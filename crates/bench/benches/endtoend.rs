@@ -1,0 +1,39 @@
+//! End-to-end Criterion benchmarks: full detector runs over selected
+//! workloads, measuring simulator wall-clock per scheme. These track the
+//! reproduction's own performance; the paper-shape numbers come from the
+//! `table1`/`fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txrace::{Detector, Scheme};
+use txrace_workloads::by_name;
+
+/// A fast subset of apps covering the interesting regimes: conflict-heavy
+/// (streamcluster), capacity-heavy (swaptions), tiny (raytrace), and
+/// race-dense (x264).
+const APPS: &[&str] = &["raytrace", "streamcluster", "swaptions", "x264"];
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    for &name in APPS {
+        let w = by_name(name, 4).expect("known app");
+        g.bench_with_input(BenchmarkId::new("tsan", name), &w, |b, w| {
+            b.iter(|| Detector::new(w.config(Scheme::Tsan, 42)).run(&w.program));
+        });
+        g.bench_with_input(BenchmarkId::new("txrace", name), &w, |b, w| {
+            b.iter(|| Detector::new(w.config(Scheme::txrace(), 42)).run(&w.program));
+        });
+        g.bench_with_input(BenchmarkId::new("uninstrumented", name), &w, |b, w| {
+            b.iter(|| {
+                let mut m = txrace_sim::Machine::new(&w.program);
+                let mut rt = txrace_sim::DirectRuntime::default();
+                let mut s = txrace_sim::FairSched::new(42, 0.1);
+                m.run(&mut rt, &mut s)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

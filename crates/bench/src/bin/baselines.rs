@@ -1,0 +1,76 @@
+//! Compares the detector families the paper's related-work section
+//! discusses, on the same workloads:
+//!
+//! * **Eraser-style lockset** (Savage et al. '97) — cheap but incomplete:
+//!   blind to non-mutex synchronization, so it raises false alarms on
+//!   correctly ordered code.
+//! * **FastTrack/TSan happens-before** — sound and complete but slow.
+//! * **TxRace** — complete, almost as effective as HB detection, and far
+//!   cheaper.
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin baselines [workers] [seed]
+//! ```
+
+use txrace::{CostModel, LocksetRuntime, SchedKind, Scheme};
+use txrace_bench::{fmt_x, Table, run_scheme};
+use txrace_sim::{FairSched, Machine};
+use txrace_workloads::all_workloads;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Detector family comparison (workers={workers}, seed={seed})\n");
+    let mut t = Table::new(&[
+        "application",
+        "lockset reports (fp)",
+        "lockset ovh",
+        "TSan races",
+        "TSan ovh",
+        "TxRace races",
+        "TxRace ovh",
+    ]);
+    for w in all_workloads(workers) {
+        let tsan = run_scheme(&w, Scheme::Tsan, seed);
+        let tx = run_scheme(&w, Scheme::txrace(), seed);
+
+        // Drive the lockset runtime directly over the uninstrumented
+        // program with a matching scheduler.
+        let mut ls = LocksetRuntime::new(w.program.thread_count(), CostModel::default());
+        let mut m = Machine::new(&w.program);
+        let (jitter, slack) = match w.sched {
+            SchedKind::Fair { jitter, slack } => (jitter, slack),
+            _ => (0.1, 0),
+        };
+        let mut sched = FairSched::new(seed, jitter).with_slack(slack);
+        let run = m.run(&mut ls, &mut sched);
+        assert!(matches!(run.status, txrace_sim::RunStatus::Done), "{}", w.name);
+        let base = CostModel::default().baseline_cycles(&w.program);
+        let ls_ovh = ls.breakdown().overhead_vs(base);
+
+        // A lockset report is a false positive if the address is not one
+        // TSan flags (lockset reports are per-address).
+        let tsan_addrs: std::collections::BTreeSet<_> =
+            tsan.races.reports().iter().map(|r| r.addr).collect();
+        let fp = ls
+            .reports()
+            .iter()
+            .filter(|r| !tsan_addrs.contains(&r.addr))
+            .count();
+
+        t.row(vec![
+            w.name.to_string(),
+            format!("{} ({fp})", ls.reports().len()),
+            fmt_x(ls_ovh),
+            tsan.races.distinct_count().to_string(),
+            fmt_x(tsan.overhead),
+            tx.races.distinct_count().to_string(),
+            fmt_x(tx.overhead),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("lockset is cheap but inexact in both directions: false positives on");
+    println!("sync it cannot see, and address-level (not instruction-pair) reports.");
+}

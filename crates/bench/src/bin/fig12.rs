@@ -1,0 +1,44 @@
+//! Regenerates the paper's **Figure 12**: bodytrack runtime overhead as a
+//! function of the TSan sampling rate, normalized to 100% sampling, with
+//! TxRace's overhead marked. The paper measures TxRace at 0.69 of full
+//! TSan — equivalent to sampling ~25.5% of memory operations.
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin fig12 [workers] [seed]
+//! ```
+
+use txrace::Scheme;
+use txrace_bench::{run_scheme, Table};
+use txrace_workloads::by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("TxRace reproduction — Figure 12: bodytrack overhead vs sampling rate (workers={workers}, seed={seed})\n");
+    let w = by_name("bodytrack", workers).expect("bodytrack exists");
+    let full = run_scheme(&w, Scheme::Tsan, seed);
+    let full_extra = (full.overhead - 1.0).max(1e-9);
+
+    let mut t = Table::new(&["sampling rate", "normalized overhead"]);
+    for pct in (0..=100).step_by(10) {
+        let out = run_scheme(
+            &w,
+            Scheme::TsanSampling {
+                rate: pct as f64 / 100.0,
+            },
+            seed,
+        );
+        let norm = (out.overhead - 1.0).max(0.0) / full_extra;
+        t.row(vec![format!("{pct}%"), format!("{norm:.2}")]);
+    }
+    println!("{}", t.render());
+
+    let tx = run_scheme(&w, Scheme::txrace(), seed);
+    let tx_norm = (tx.overhead - 1.0).max(0.0) / full_extra;
+    println!(
+        "TxRace: {:.2} of full TSan (paper: 0.69, equivalent to ~25.5% sampling)",
+        tx_norm
+    );
+}

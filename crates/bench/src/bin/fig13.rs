@@ -1,0 +1,58 @@
+//! Regenerates the paper's **Figure 13**: bodytrack recall as a function
+//! of the TSan sampling rate (against 100% sampling as the oracle), with
+//! TxRace's recall marked. The paper measures TxRace at recall 0.75 —
+//! equivalent to sampling ~47.2% of memory operations — while its
+//! overhead equals only ~25.5% sampling (Figure 12): the cost-
+//! effectiveness argument in one pair of plots.
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin fig13 [workers] [seeds]
+//! ```
+//!
+//! Recall at each rate is averaged over several seeds (sampling is
+//! probabilistic).
+
+use txrace::{recall, Scheme};
+use txrace_bench::{run_scheme, Table};
+use txrace_workloads::by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let nseeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    println!("TxRace reproduction — Figure 13: bodytrack recall vs sampling rate (workers={workers}, {nseeds} seeds)\n");
+    let w = by_name("bodytrack", workers).expect("bodytrack exists");
+
+    let mut t = Table::new(&["sampling rate", "recall"]);
+    for pct in (0..=100).step_by(10) {
+        let mut acc = 0.0;
+        for seed in 0..nseeds {
+            let truth = run_scheme(&w, Scheme::Tsan, seed);
+            let out = run_scheme(
+                &w,
+                Scheme::TsanSampling {
+                    rate: pct as f64 / 100.0,
+                },
+                seed,
+            );
+            acc += recall(&out.races, &truth.races);
+        }
+        t.row(vec![
+            format!("{pct}%"),
+            format!("{:.2}", acc / nseeds as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut acc = 0.0;
+    for seed in 0..nseeds {
+        let truth = run_scheme(&w, Scheme::Tsan, seed);
+        let tx = run_scheme(&w, Scheme::txrace(), seed);
+        acc += recall(&tx.races, &truth.races);
+    }
+    println!(
+        "TxRace recall: {:.2} (paper: 0.75, equivalent to ~47.2% sampling)",
+        acc / nseeds as f64
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 9**: effectiveness of the loop-cut
+//! optimization — TSan vs TxRace-NoOpt vs TxRace-DynLoopcut vs
+//! TxRace-ProfLoopcut (paper geomeans: 11.68x / — / 5.34x / 4.65x, with
+//! Prof best and NoOpt worst among the TxRace variants).
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin fig9 [workers] [seed]
+//! ```
+
+use txrace::{LoopcutMode, Scheme};
+use txrace_bench::{fmt_x, geomean, run_scheme, Table};
+use txrace_workloads::all_workloads;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("TxRace reproduction — Figure 9: loop-cut effectiveness (workers={workers}, seed={seed})\n");
+    let mut t = Table::new(&["application", "TSan", "NoOpt", "DynLoopcut", "ProfLoopcut"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for w in all_workloads(workers) {
+        let schemes = [
+            Scheme::Tsan,
+            Scheme::txrace_loopcut(LoopcutMode::NoOpt),
+            Scheme::txrace_loopcut(LoopcutMode::Dyn),
+            Scheme::txrace_loopcut(LoopcutMode::Prof),
+        ];
+        let mut cells = vec![w.name.to_string()];
+        for (i, s) in schemes.into_iter().enumerate() {
+            let out = run_scheme(&w, s, seed);
+            cells.push(fmt_x(out.overhead));
+            cols[i].push(out.overhead);
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "geo.mean: TSan {} (paper 11.68x), NoOpt {}, Dyn {} (paper 5.34x), Prof {} (paper 4.65x)",
+        fmt_x(geomean(&cols[0])),
+        fmt_x(geomean(&cols[1])),
+        fmt_x(geomean(&cols[2])),
+        fmt_x(geomean(&cols[3])),
+    );
+}

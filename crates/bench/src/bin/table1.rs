@@ -1,0 +1,94 @@
+//! Regenerates the paper's **Table 1**: per-application transaction
+//! statistics, detected races, and runtime overheads for TSan vs TxRace.
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin table1 [workers] [seed]
+//! ```
+//!
+//! Counts are at the per-app scale noted in each workload (the paper's
+//! runs are 10^2–10^4 larger); overheads are directly comparable. Paper
+//! values are shown in parentheses.
+
+use txrace_bench::{
+    evaluate_app, fmt_x, geomean, json_rows, paper, EvalOptions, JsonValue, Table,
+};
+use txrace_workloads::all_workloads;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let json = raw.iter().any(|a| a == "--json");
+    raw.retain(|a| a != "--json");
+    let mut args = raw.into_iter();
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    if json {
+        return print_json(workers, seed);
+    }
+
+    println!("TxRace reproduction — Table 1 (workers={workers}, seed={seed})");
+    println!("paper values in parentheses; counts are scaled per the app's note\n");
+
+    let mut t = Table::new(&[
+        "application",
+        "committed",
+        "conflict",
+        "capacity",
+        "unknown",
+        "TSan races",
+        "TxRace races",
+        "TSan ovh",
+        "TxRace ovh",
+    ]);
+    let mut tsan_ovh = Vec::new();
+    let mut tx_ovh = Vec::new();
+
+    for w in all_workloads(workers) {
+        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let htm = r.txrace.htm.expect("txrace stats");
+        let p = paper::row(w.name).expect("paper row");
+        t.row(vec![
+            w.name.to_string(),
+            format!("{}", htm.committed),
+            format!("{} ({})", htm.conflict_aborts, p.conflict),
+            format!("{} ({})", htm.capacity_aborts, p.capacity),
+            format!("{} ({})", htm.unknown_aborts, p.unknown),
+            format!("{} ({})", r.tsan.races.distinct_count(), p.tsan_races),
+            format!("{} ({})", r.txrace.races.distinct_count(), p.txrace_races),
+            format!("{} ({})", fmt_x(r.tsan.overhead), fmt_x(p.tsan_overhead)),
+            format!("{} ({})", fmt_x(r.txrace.overhead), fmt_x(p.txrace_overhead)),
+        ]);
+        tsan_ovh.push(r.tsan.overhead);
+        tx_ovh.push(r.txrace.overhead);
+    }
+    println!("{}", t.render());
+    println!(
+        "geo.mean overhead: TSan {} (paper {}), TxRace {} (paper {} Prof / {} Dyn)",
+        fmt_x(geomean(&tsan_ovh)),
+        fmt_x(paper::GEOMEAN_TSAN_OVERHEAD),
+        fmt_x(geomean(&tx_ovh)),
+        fmt_x(paper::GEOMEAN_TXRACE_OVERHEAD),
+        fmt_x(paper::GEOMEAN_TXRACE_DYN_OVERHEAD),
+    );
+}
+
+/// Machine-readable output: `table1 --json [workers] [seed]`.
+fn print_json(workers: usize, seed: u64) {
+    let mut rows = Vec::new();
+    for w in all_workloads(workers) {
+        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let h = r.txrace.htm.expect("txrace stats");
+        rows.push(vec![
+            ("app", JsonValue::Str(w.name.to_string())),
+            ("committed", JsonValue::Int(h.committed)),
+            ("conflict_aborts", JsonValue::Int(h.conflict_aborts)),
+            ("capacity_aborts", JsonValue::Int(h.capacity_aborts)),
+            ("unknown_aborts", JsonValue::Int(h.unknown_aborts)),
+            ("tsan_races", JsonValue::Int(r.tsan.races.distinct_count() as u64)),
+            ("txrace_races", JsonValue::Int(r.txrace.races.distinct_count() as u64)),
+            ("tsan_overhead", JsonValue::Num(r.tsan.overhead)),
+            ("txrace_overhead", JsonValue::Num(r.txrace.overhead)),
+            ("recall", JsonValue::Num(r.recall)),
+        ]);
+    }
+    println!("{}", json_rows(&rows));
+}

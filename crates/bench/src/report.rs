@@ -1,0 +1,175 @@
+//! Formatting helpers for paper-style console tables.
+
+/// Geometric mean of positive values (1.0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Formats an overhead factor like the paper ("4.65x").
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// A simple fixed-width console table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn fmt_x_switches_precision() {
+        assert_eq!(fmt_x(4.651), "4.65x");
+        assert_eq!(fmt_x(1195.0), "1195x");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["app", "overhead"]);
+        t.row(vec!["vips".into(), "63.3x".into()]);
+        let s = t.render();
+        assert!(s.contains("app"));
+        assert!(s.contains("vips"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_checks_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}
+
+/// A minimal JSON value for machine-readable harness output (kept
+/// dependency-free on purpose; the approved crate list has no JSON
+/// serializer).
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// An integer.
+    Int(u64),
+    /// A float (rendered with full precision).
+    Num(f64),
+    /// A string (escaped minimally: quotes and backslashes).
+    Str(String),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Int(v) => write!(f, "{v}"),
+            JsonValue::Num(v) => write!(f, "{v}"),
+            JsonValue::Str(s) => {
+                write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+        }
+    }
+}
+
+/// Renders an array of flat objects as a JSON document.
+pub fn json_rows(rows: &[Vec<(&str, JsonValue)>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (k, v)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_flat_json() {
+        let rows = vec![
+            vec![
+                ("app", JsonValue::Str("vips \"x\"".into())),
+                ("overhead", JsonValue::Num(34.5)),
+                ("races", JsonValue::Int(60)),
+            ],
+            vec![("app", JsonValue::Str("x264".into()))],
+        ];
+        let s = json_rows(&rows);
+        assert!(s.starts_with('['));
+        assert!(s.contains("\"app\": \"vips \\\"x\\\"\""));
+        assert!(s.contains("\"overhead\": 34.5"));
+        assert!(s.trim_end().ends_with(']'));
+    }
+}

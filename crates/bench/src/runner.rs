@@ -1,0 +1,93 @@
+//! The per-app evaluation driver shared by all table/figure binaries.
+
+use txrace::{recall, Detector, LoopcutMode, RunOutcome, Scheme, TxRaceOpts};
+use txrace_workloads::Workload;
+
+/// Options for one app evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Scheduling seed.
+    pub seed: u64,
+    /// Loop-cut mode for the TxRace run.
+    pub loopcut: LoopcutMode,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            seed: 42,
+            loopcut: LoopcutMode::Dyn,
+        }
+    }
+}
+
+/// Everything Table 1/2 needs about one app: both detectors on the same
+/// workload and seed.
+#[derive(Debug)]
+pub struct AppResult {
+    /// Application name.
+    pub name: &'static str,
+    /// Full TSan run.
+    pub tsan: RunOutcome,
+    /// TxRace run.
+    pub txrace: RunOutcome,
+    /// Recall of TxRace against TSan's reports.
+    pub recall: f64,
+    /// Cost-effectiveness vs TSan (Table 2): recall / normalized overhead.
+    pub cost_effectiveness: f64,
+}
+
+impl AppResult {
+    /// TxRace overhead normalized to TSan's (Table 2 "overhead" column).
+    pub fn normalized_overhead(&self) -> f64 {
+        let tsan_extra = (self.tsan.overhead - 1.0).max(1e-9);
+        let tx_extra = (self.txrace.overhead - 1.0).max(0.0);
+        tx_extra / tsan_extra
+    }
+}
+
+/// Runs TSan and TxRace on `w` and scores them.
+pub fn evaluate_app(w: &Workload, opts: EvalOptions) -> AppResult {
+    let tsan = Detector::new(w.config(Scheme::Tsan, opts.seed)).run(&w.program);
+    let txopts = TxRaceOpts {
+        loopcut: opts.loopcut,
+        ..TxRaceOpts::default()
+    };
+    let txrace = Detector::new(w.config(Scheme::TxRace(txopts), opts.seed)).run(&w.program);
+    assert!(tsan.completed(), "{}: TSan run did not complete", w.name);
+    assert!(txrace.completed(), "{}: TxRace run did not complete", w.name);
+    let rec = recall(&txrace.races, &tsan.races);
+    let mut result = AppResult {
+        name: w.name,
+        tsan,
+        txrace,
+        recall: rec,
+        cost_effectiveness: 0.0,
+    };
+    let norm = result.normalized_overhead();
+    result.cost_effectiveness = if norm > 0.0 { rec / norm } else { rec / 1e-9 };
+    result
+}
+
+/// Runs one scheme on a workload.
+pub fn run_scheme(w: &Workload, scheme: Scheme, seed: u64) -> RunOutcome {
+    let out = Detector::new(w.config(scheme, seed)).run(&w.program);
+    assert!(out.completed(), "{}: run did not complete", w.name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_workloads::by_name;
+
+    #[test]
+    fn evaluate_runs_both_detectors() {
+        let w = by_name("blackscholes", 2).unwrap();
+        let r = evaluate_app(&w, EvalOptions::default());
+        assert!(r.tsan.completed() && r.txrace.completed());
+        assert!(r.recall >= 0.0 && r.recall <= 1.0);
+        assert!(r.txrace.htm.is_some());
+        assert!(r.tsan.htm.is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! An Eraser-style lockset detector (Savage et al., TOCS '97), kept as the
+//! classic incomplete baseline the paper's related-work section contrasts
+//! with happens-before detection: it ignores non-mutex synchronization
+//! (signal/wait ordering), so it reports *false positives* that FastTrack
+//! does not.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use txrace_sim::{Addr, LockId, SiteId, ThreadId};
+
+/// The Eraser per-variable state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarPhase {
+    Virgin,
+    Exclusive(ThreadId),
+    Shared,
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    phase: VarPhase,
+    candidates: BTreeSet<LockId>,
+    first_site: SiteId,
+    reported: bool,
+}
+
+/// A lockset violation: the candidate lockset of `addr` became empty while
+/// shared-modified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocksetReport {
+    /// The variable.
+    pub addr: Addr,
+    /// Site of the access that emptied the lockset.
+    pub site: SiteId,
+    /// An earlier access site to the same variable.
+    pub earlier_site: SiteId,
+}
+
+impl fmt::Display for LocksetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lockset violation on {} at {} (earlier access {})",
+            self.addr, self.site, self.earlier_site
+        )
+    }
+}
+
+/// The lockset detector.
+#[derive(Debug)]
+pub struct Lockset {
+    held: Vec<BTreeSet<LockId>>,
+    vars: HashMap<Addr, VarState>,
+    reports: Vec<LocksetReport>,
+}
+
+impl Lockset {
+    /// Creates a detector for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Lockset {
+            held: vec![BTreeSet::new(); threads],
+            vars: HashMap::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Violations found so far.
+    pub fn reports(&self) -> &[LocksetReport] {
+        &self.reports
+    }
+
+    /// Tracks a mutex acquire.
+    pub fn lock_acquire(&mut self, t: ThreadId, l: LockId) {
+        self.held[t.index()].insert(l);
+    }
+
+    /// Tracks a mutex release.
+    pub fn lock_release(&mut self, t: ThreadId, l: LockId) {
+        self.held[t.index()].remove(&l);
+    }
+
+    /// Checks a read.
+    pub fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.access(t, site, addr, false);
+    }
+
+    /// Checks a write.
+    pub fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.access(t, site, addr, true);
+    }
+
+    fn access(&mut self, t: ThreadId, site: SiteId, addr: Addr, is_write: bool) {
+        let held = &self.held[t.index()];
+        let state = self.vars.entry(addr).or_insert_with(|| VarState {
+            phase: VarPhase::Virgin,
+            candidates: BTreeSet::new(),
+            first_site: site,
+            reported: false,
+        });
+        match state.phase {
+            VarPhase::Virgin => {
+                state.phase = VarPhase::Exclusive(t);
+                state.candidates = held.clone();
+            }
+            VarPhase::Exclusive(owner) => {
+                if owner == t {
+                    // Still exclusive; refine candidates only once shared.
+                } else {
+                    state.candidates = state
+                        .candidates
+                        .intersection(held)
+                        .copied()
+                        .collect();
+                    state.phase = if is_write {
+                        VarPhase::SharedModified
+                    } else {
+                        VarPhase::Shared
+                    };
+                }
+            }
+            VarPhase::Shared => {
+                state.candidates = state
+                    .candidates
+                    .intersection(held)
+                    .copied()
+                    .collect();
+                if is_write {
+                    state.phase = VarPhase::SharedModified;
+                }
+            }
+            VarPhase::SharedModified => {
+                state.candidates = state
+                    .candidates
+                    .intersection(held)
+                    .copied()
+                    .collect();
+            }
+        }
+        if state.phase == VarPhase::SharedModified && state.candidates.is_empty() && !state.reported
+        {
+            state.reported = true;
+            self.reports.push(LocksetReport {
+                addr,
+                site,
+                earlier_site: state.first_site,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const X: Addr = Addr(0x900);
+    const L: LockId = LockId(0);
+
+    #[test]
+    fn consistent_locking_is_clean() {
+        let mut d = Lockset::new(2);
+        for (t, s) in [(T0, 1u32), (T1, 2u32)] {
+            d.lock_acquire(t, L);
+            d.write(t, SiteId(s), X);
+            d.lock_release(t, L);
+        }
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn unlocked_shared_write_is_reported() {
+        let mut d = Lockset::new(2);
+        d.write(T0, SiteId(1), X);
+        d.write(T1, SiteId(2), X);
+        assert_eq!(d.reports().len(), 1);
+        assert_eq!(d.reports()[0].addr, X);
+    }
+
+    #[test]
+    fn exclusive_phase_never_reports() {
+        let mut d = Lockset::new(2);
+        for _ in 0..10 {
+            d.write(T0, SiteId(1), X);
+        }
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn read_sharing_without_writes_is_clean() {
+        let mut d = Lockset::new(2);
+        d.read(T0, SiteId(1), X);
+        d.read(T1, SiteId(2), X);
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn signal_wait_ordering_still_reported_false_positive() {
+        // Eraser's hallmark incompleteness: no lock is held, but the
+        // accesses are actually ordered by signal/wait (which Eraser cannot
+        // see), so this is a FALSE positive a HB detector would not emit.
+        let mut d = Lockset::new(2);
+        d.write(T0, SiteId(1), X);
+        // (signal/wait happens here in the real program)
+        d.write(T1, SiteId(2), X);
+        assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn reports_once_per_variable() {
+        let mut d = Lockset::new(2);
+        d.write(T0, SiteId(1), X);
+        d.write(T1, SiteId(2), X);
+        d.write(T0, SiteId(3), X);
+        d.write(T1, SiteId(4), X);
+        assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn partial_lock_discipline_detected() {
+        let mut d = Lockset::new(2);
+        d.lock_acquire(T0, L);
+        d.write(T0, SiteId(1), X);
+        d.lock_release(T0, L);
+        d.write(T1, SiteId(2), X); // no lock held: candidates empty
+        assert_eq!(d.reports().len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Race reports: dynamic access pairs deduplicated into static
+//! "racy instruction pairs", the unit the paper counts in Table 1.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use txrace_sim::{Addr, SiteId, ThreadId};
+
+/// Whether an access read or wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One side of a dynamic race: who accessed what, where, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessInfo {
+    /// Static site of the access.
+    pub site: SiteId,
+    /// Accessing thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A dynamic race report: two unordered conflicting accesses to `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RaceReport {
+    /// The racing address.
+    pub addr: Addr,
+    /// The earlier access (the one recorded in shadow state).
+    pub prior: AccessInfo,
+    /// The access that exposed the race.
+    pub current: AccessInfo,
+}
+
+impl RaceReport {
+    /// The static identity of this race.
+    pub fn pair(&self) -> RacePair {
+        RacePair::new(self.prior.site, self.current.site)
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on {}: {} {} at {} vs {} {} at {}",
+            self.addr,
+            self.prior.thread,
+            self.prior.kind,
+            self.prior.site,
+            self.current.thread,
+            self.current.kind,
+            self.current.site
+        )
+    }
+}
+
+/// A static race: an unordered pair of sites. Normalized so `a <= b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RacePair {
+    /// The smaller site.
+    pub a: SiteId,
+    /// The larger site.
+    pub b: SiteId,
+}
+
+impl RacePair {
+    /// Builds a normalized pair.
+    pub fn new(x: SiteId, y: SiteId) -> Self {
+        if x <= y {
+            RacePair { a: x, b: y }
+        } else {
+            RacePair { a: y, b: x }
+        }
+    }
+}
+
+impl fmt::Display for RacePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+/// Accumulates dynamic race reports, deduplicating into static pairs.
+#[derive(Debug, Clone, Default)]
+pub struct RaceSet {
+    pairs: BTreeSet<RacePair>,
+    reports: Vec<RaceReport>,
+}
+
+impl RaceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a dynamic report; returns true if its static pair is new.
+    pub fn record(&mut self, report: RaceReport) -> bool {
+        let fresh = self.pairs.insert(report.pair());
+        if fresh {
+            self.reports.push(report);
+        }
+        fresh
+    }
+
+    /// Number of distinct static racy pairs.
+    pub fn distinct_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The distinct static pairs, ordered.
+    pub fn pairs(&self) -> impl Iterator<Item = RacePair> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Whether the pair `(x, y)` was reported (order-insensitive).
+    pub fn contains(&self, x: SiteId, y: SiteId) -> bool {
+        self.pairs.contains(&RacePair::new(x, y))
+    }
+
+    /// The first dynamic report for each distinct pair, in discovery order.
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// True if no race was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Merges another set into this one (union of static pairs).
+    pub fn merge(&mut self, other: &RaceSet) {
+        for r in other.reports() {
+            self.record(*r);
+        }
+    }
+}
+
+impl FromIterator<RaceReport> for RaceSet {
+    fn from_iter<I: IntoIterator<Item = RaceReport>>(iter: I) -> Self {
+        let mut set = RaceSet::new();
+        for r in iter {
+            set.record(r);
+        }
+        set
+    }
+}
+
+impl Extend<RaceReport> for RaceSet {
+    fn extend<I: IntoIterator<Item = RaceReport>>(&mut self, iter: I) {
+        for r in iter {
+            self.record(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(s1: u32, s2: u32) -> RaceReport {
+        RaceReport {
+            addr: Addr(0x100),
+            prior: AccessInfo {
+                site: SiteId(s1),
+                thread: ThreadId(0),
+                kind: AccessKind::Write,
+            },
+            current: AccessInfo {
+                site: SiteId(s2),
+                thread: ThreadId(1),
+                kind: AccessKind::Read,
+            },
+        }
+    }
+
+    #[test]
+    fn pairs_are_normalized() {
+        assert_eq!(RacePair::new(SiteId(5), SiteId(2)), RacePair::new(SiteId(2), SiteId(5)));
+    }
+
+    #[test]
+    fn record_dedups_static_pairs() {
+        let mut set = RaceSet::new();
+        assert!(set.record(report(1, 2)));
+        assert!(!set.record(report(2, 1)), "swapped order is the same pair");
+        assert!(set.record(report(1, 3)));
+        assert_eq!(set.distinct_count(), 2);
+        assert_eq!(set.reports().len(), 2);
+        assert!(set.contains(SiteId(2), SiteId(1)));
+        assert!(!set.contains(SiteId(2), SiteId(3)));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a: RaceSet = [report(1, 2)].into_iter().collect();
+        let b: RaceSet = [report(1, 2), report(3, 4)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.distinct_count(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = report(1, 2);
+        let s = r.to_string();
+        assert!(s.contains("race on 0x100"));
+        assert!(s.contains("write"));
+        assert!(s.contains("read"));
+        assert_eq!(r.pair().to_string(), "(s1, s2)");
+    }
+}

@@ -1,0 +1,191 @@
+//! Abort status words, mirroring the Intel RTM `EAX` bit layout.
+
+use std::fmt;
+
+/// The status word an aborted transaction reports, with the bit layout of
+/// Intel RTM's `EAX` abort status.
+///
+/// An all-zero word is an *unknown* abort — the hardware gives no reason
+/// at all (the paper attributes these mostly to OS context switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AbortStatus(u32);
+
+impl AbortStatus {
+    /// Bit 0: aborted by an explicit `xabort` (imm8 in bits 31:24).
+    pub const EXPLICIT: AbortStatus = AbortStatus(1 << 0);
+    /// Bit 1: the transaction may succeed on retry.
+    pub const RETRY: AbortStatus = AbortStatus(1 << 1);
+    /// Bit 2: a conflicting access by another logical processor.
+    pub const CONFLICT: AbortStatus = AbortStatus(1 << 2);
+    /// Bit 3: an internal buffer overflowed.
+    pub const CAPACITY: AbortStatus = AbortStatus(1 << 3);
+    /// Bit 4: a debug breakpoint was hit.
+    pub const DEBUG: AbortStatus = AbortStatus(1 << 4);
+    /// Bit 5: the abort occurred inside a nested transaction.
+    pub const NESTED: AbortStatus = AbortStatus(1 << 5);
+
+    /// The empty status word: an unknown abort.
+    pub const UNKNOWN: AbortStatus = AbortStatus(0);
+
+    /// Combines status bits with an explicit-abort code in bits 31:24.
+    pub fn explicit_with_code(code: u8) -> AbortStatus {
+        AbortStatus(Self::EXPLICIT.0 | (u32::from(code) << 24))
+    }
+
+    /// Raw status word.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// True if every bit of `flag` is set. Note `contains(UNKNOWN)` is
+    /// vacuously true (the unknown status is the *absence* of bits); use
+    /// [`AbortStatus::reason`] to classify a status word.
+    pub fn contains(self, flag: AbortStatus) -> bool {
+        self.0 & flag.0 & 0x3f == flag.0 & 0x3f
+    }
+
+    /// The `xabort` code, meaningful only when [`Self::EXPLICIT`] is set.
+    pub fn explicit_code(self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// Classifies this status the way the TxRace runtime does (paper §4.2):
+    /// conflict dominates (conflict + retry is treated as conflict),
+    /// then capacity, then pure retry, then explicit; an empty word is
+    /// unknown.
+    pub fn reason(self) -> AbortReason {
+        if self.contains(Self::CONFLICT) {
+            AbortReason::Conflict
+        } else if self.contains(Self::CAPACITY) {
+            AbortReason::Capacity
+        } else if self.contains(Self::RETRY) {
+            AbortReason::Retry
+        } else if self.contains(Self::EXPLICIT) {
+            AbortReason::Explicit
+        } else {
+            AbortReason::Unknown
+        }
+    }
+}
+
+impl std::ops::BitOr for AbortStatus {
+    type Output = AbortStatus;
+    fn bitor(self, rhs: AbortStatus) -> AbortStatus {
+        AbortStatus(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for AbortStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 & 0x3f == 0 {
+            return write!(f, "UNKNOWN");
+        }
+        let mut first = true;
+        let mut emit = |name: &str, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, "|")?;
+            }
+            first = false;
+            write!(f, "{name}")
+        };
+        if self.contains(Self::EXPLICIT) {
+            emit("EXPLICIT", f)?;
+        }
+        if self.contains(Self::RETRY) {
+            emit("RETRY", f)?;
+        }
+        if self.contains(Self::CONFLICT) {
+            emit("CONFLICT", f)?;
+        }
+        if self.contains(Self::CAPACITY) {
+            emit("CAPACITY", f)?;
+        }
+        if self.contains(Self::DEBUG) {
+            emit("DEBUG", f)?;
+        }
+        if self.contains(Self::NESTED) {
+            emit("NESTED", f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The abort classification the TxRace runtime acts on (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Data conflict: a potential data race; trigger the global slow path.
+    Conflict,
+    /// Buffer overflow: only this thread falls back to the slow path.
+    Capacity,
+    /// Transient; retry the transaction (bounded times).
+    Retry,
+    /// Explicit `xabort`.
+    Explicit,
+    /// No reason reported; treated like capacity by TxRace.
+    Unknown,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Conflict => "conflict",
+            AbortReason::Capacity => "capacity",
+            AbortReason::Retry => "retry",
+            AbortReason::Explicit => "explicit",
+            AbortReason::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_with_retry_classifies_as_conflict() {
+        let s = AbortStatus::CONFLICT | AbortStatus::RETRY;
+        assert_eq!(s.reason(), AbortReason::Conflict);
+        assert!(s.contains(AbortStatus::RETRY));
+    }
+
+    #[test]
+    fn empty_word_is_unknown() {
+        assert_eq!(AbortStatus::UNKNOWN.reason(), AbortReason::Unknown);
+        assert_eq!(AbortStatus::UNKNOWN.to_string(), "UNKNOWN");
+    }
+
+    #[test]
+    fn capacity_classification() {
+        assert_eq!(AbortStatus::CAPACITY.reason(), AbortReason::Capacity);
+        assert_eq!(
+            (AbortStatus::CAPACITY | AbortStatus::RETRY).reason(),
+            AbortReason::Capacity
+        );
+    }
+
+    #[test]
+    fn pure_retry_classification() {
+        assert_eq!(AbortStatus::RETRY.reason(), AbortReason::Retry);
+    }
+
+    #[test]
+    fn explicit_code_roundtrip() {
+        let s = AbortStatus::explicit_with_code(0xAB);
+        assert!(s.contains(AbortStatus::EXPLICIT));
+        assert_eq!(s.explicit_code(), 0xAB);
+        assert_eq!(s.reason(), AbortReason::Explicit);
+    }
+
+    #[test]
+    fn display_lists_bits() {
+        let s = AbortStatus::CONFLICT | AbortStatus::RETRY;
+        assert_eq!(s.to_string(), "RETRY|CONFLICT");
+    }
+
+    #[test]
+    fn contains_ignores_code_bits() {
+        let s = AbortStatus::explicit_with_code(0xFF);
+        assert!(!s.contains(AbortStatus::CONFLICT));
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-thread transaction bookkeeping.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use txrace_sim::{Addr, CacheLine};
+
+use crate::status::AbortStatus;
+
+/// The lifecycle of one hardware transaction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// No transaction in flight.
+    Idle,
+    /// Transaction executing.
+    Active,
+    /// Transaction has been aborted by the hardware but the thread has not
+    /// yet observed it (it observes at its next access or at `xend`).
+    Doomed(AbortStatus),
+}
+
+/// One in-flight transaction's tracked state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Txn {
+    /// Lines read (tracked for conflict detection).
+    pub read_lines: BTreeSet<CacheLine>,
+    /// Lines written.
+    pub write_lines: BTreeSet<CacheLine>,
+    /// Buffered stores, applied to memory only on commit.
+    pub write_buf: BTreeMap<Addr, u64>,
+    /// Doom status, if the hardware aborted this transaction.
+    pub doom: Option<AbortStatus>,
+    /// The first conflicting line (for the optional conflict-address
+    /// reporting extension).
+    pub conflict_line: Option<CacheLine>,
+    /// Dynamic count of data accesses inside this transaction (statistics).
+    pub accesses: u64,
+    /// Per-cache-set occupancy of the write set (lazily sized; avoids an
+    /// O(write-set) scan on every new line).
+    pub set_occupancy: Vec<u16>,
+}
+
+impl Txn {
+    pub(crate) fn state(&self) -> TxnState {
+        match self.doom {
+            Some(s) => TxnState::Doomed(s),
+            None => TxnState::Active,
+        }
+    }
+
+    /// Total distinct lines in the footprint.
+    pub(crate) fn footprint_lines(&self) -> usize {
+        self.read_lines.union(&self.write_lines).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_counts_union() {
+        let mut t = Txn::default();
+        t.read_lines.insert(CacheLine(1));
+        t.read_lines.insert(CacheLine(2));
+        t.write_lines.insert(CacheLine(2));
+        t.write_lines.insert(CacheLine(3));
+        assert_eq!(t.footprint_lines(), 3);
+    }
+
+    #[test]
+    fn state_reflects_doom() {
+        let mut t = Txn::default();
+        assert_eq!(t.state(), TxnState::Active);
+        t.doom = Some(AbortStatus::CAPACITY);
+        assert_eq!(t.state(), TxnState::Doomed(AbortStatus::CAPACITY));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests of the HTM invariants from DESIGN.md §6:
+//!
+//! 1. Atomicity: a committed transaction's writes appear all at once; an
+//!    aborted transaction's writes never appear.
+//! 2. Isolation / strong isolation: no reader ever observes another
+//!    in-flight transaction's buffered write; conflicting non-transactional
+//!    accesses always doom the transaction (requester wins).
+//! 3. Conflict soundness: overlapping conflicting accesses to one line
+//!    always doom at least one party.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use txrace_htm::{AbortReason, HtmConfig, HtmSystem};
+use txrace_sim::{Addr, CacheLine, Memory, ThreadId};
+
+/// The abstract script step applied to a random thread/address.
+#[derive(Debug, Clone)]
+enum Step {
+    Begin(u32),
+    Read(u32, u64),
+    Write(u32, u64, u64),
+    Rmw(u32, u64, u64),
+    End(u32),
+}
+
+fn step_strategy(threads: u32, lines: u64) -> impl Strategy<Value = Step> {
+    let t = 0..threads;
+    let a = 0..lines * 2; // two 8-byte slots per line
+    prop_oneof![
+        t.clone().prop_map(Step::Begin),
+        (t.clone(), a.clone()).prop_map(|(t, a)| Step::Read(t, a)),
+        (t.clone(), a.clone(), 1u64..100).prop_map(|(t, a, v)| Step::Write(t, a, v)),
+        (t.clone(), a, 1u64..5).prop_map(|(t, a, d)| Step::Rmw(t, a, d)),
+        t.prop_map(Step::End),
+    ]
+}
+
+fn addr_of(slot: u64) -> Addr {
+    // Two 8-byte variables per line: slot 2k and 2k+1 share line k.
+    CacheLine(slot / 2).base().offset(8 * (slot % 2))
+}
+
+/// A reference model: memory plus per-thread pending write logs, updated in
+/// lockstep with the real system using the real system's abort outcomes.
+#[derive(Default)]
+struct Model {
+    mem: BTreeMap<Addr, u64>,
+    pending: BTreeMap<u32, BTreeMap<Addr, u64>>,
+}
+
+impl Model {
+    fn load(&self, t: u32, a: Addr) -> u64 {
+        if let Some(p) = self.pending.get(&t) {
+            if let Some(v) = p.get(&a) {
+                return *v;
+            }
+        }
+        self.mem.get(&a).copied().unwrap_or(0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Run a random script; check that values read, values committed, and
+    /// rollback behaviour all match the reference model, and that no
+    /// transactional buffered value ever leaks to another thread.
+    #[test]
+    fn htm_matches_reference_model(script in proptest::collection::vec(step_strategy(3, 4), 1..120)) {
+        let threads = 3usize;
+        let mut htm = HtmSystem::new(HtmConfig::default(), threads);
+        let mut mem = Memory::new();
+        let mut model = Model::default();
+        let mut in_txn = vec![false; threads];
+
+        for step in script {
+            match step {
+                Step::Begin(t) => {
+                    let tid = ThreadId(t);
+                    if in_txn[t as usize] {
+                        prop_assert!(htm.xbegin(tid).is_err());
+                    } else if htm.xbegin(tid).is_ok() {
+                        in_txn[t as usize] = true;
+                        model.pending.insert(t, BTreeMap::new());
+                    }
+                }
+                Step::Read(t, slot) => {
+                    let tid = ThreadId(t);
+                    let a = addr_of(slot);
+                    let doomed_before = htm.is_doomed(tid).is_some();
+                    let v = htm.read(tid, &mem, a);
+                    // Isolation: an observed value is always explainable by
+                    // the model (own pending writes or global memory) —
+                    // never another thread's buffer.
+                    if !doomed_before {
+                        prop_assert_eq!(v, model.load(t, a), "read isolation violated");
+                    }
+                }
+                Step::Write(t, slot, val) => {
+                    let tid = ThreadId(t);
+                    let a = addr_of(slot);
+                    let doomed_before = htm.is_doomed(tid).is_some();
+                    htm.write(tid, &mut mem, a, val);
+                    if in_txn[t as usize] {
+                        if !doomed_before && htm.is_doomed(tid).is_none() {
+                            model.pending.get_mut(&t).expect("in txn").insert(a, val);
+                        }
+                    } else {
+                        model.mem.insert(a, val);
+                        prop_assert_eq!(mem.load(a), val, "non-tx write must be immediate");
+                    }
+                }
+                Step::Rmw(t, slot, delta) => {
+                    let tid = ThreadId(t);
+                    let a = addr_of(slot);
+                    let doomed_before = htm.is_doomed(tid).is_some();
+                    let expect_old = model.load(t, a);
+                    let old = htm.rmw(tid, &mut mem, a, delta);
+                    if in_txn[t as usize] {
+                        if !doomed_before && htm.is_doomed(tid).is_none() {
+                            prop_assert_eq!(old, expect_old);
+                            model.pending.get_mut(&t).expect("in txn")
+                                .insert(a, expect_old.wrapping_add(delta));
+                        }
+                    } else {
+                        prop_assert_eq!(old, expect_old);
+                        model.mem.insert(a, expect_old.wrapping_add(delta));
+                    }
+                }
+                Step::End(t) => {
+                    let tid = ThreadId(t);
+                    if !in_txn[t as usize] {
+                        continue; // xend without txn would panic by contract
+                    }
+                    in_txn[t as usize] = false;
+                    let pending = model.pending.remove(&t).expect("was in txn");
+                    match htm.xend(tid, &mut mem) {
+                        Ok(()) => {
+                            // Atomicity: every buffered write now visible.
+                            for (a, v) in pending {
+                                model.mem.insert(a, v);
+                                prop_assert_eq!(mem.load(a), v, "committed write lost");
+                            }
+                        }
+                        Err(_) => {
+                            // Aborted writes must not be visible unless some
+                            // other thread since overwrote the address; the
+                            // model simply drops them.
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final memory must match the model exactly for all committed and
+        // non-transactional state.
+        for (a, v) in model.mem.iter() {
+            prop_assert_eq!(mem.load(*a), *v, "final state diverged at {}", a);
+        }
+    }
+
+    /// Conflict soundness: two transactions that both touch the same line,
+    /// at least one writing, while both are in flight — the earlier one is
+    /// doomed with CONFLICT (requester wins).
+    #[test]
+    fn overlapping_conflicting_txns_always_abort_someone(
+        off0 in 0u64..8,
+        off1 in 0u64..8,
+        first_writes in any::<bool>(),
+        second_writes in any::<bool>(),
+    ) {
+        prop_assume!(first_writes || second_writes);
+        let mut htm = HtmSystem::new(HtmConfig::default(), 2);
+        let mut mem = Memory::new();
+        let base = CacheLine(40).base();
+        htm.xbegin(ThreadId(0)).unwrap();
+        htm.xbegin(ThreadId(1)).unwrap();
+        if first_writes {
+            htm.write(ThreadId(0), &mut mem, base.offset(off0 * 8), 1);
+        } else {
+            let _ = htm.read(ThreadId(0), &mem, base.offset(off0 * 8));
+        }
+        if second_writes {
+            htm.write(ThreadId(1), &mut mem, base.offset(off1 * 8), 2);
+        } else {
+            let _ = htm.read(ThreadId(1), &mem, base.offset(off1 * 8));
+        }
+        let d0 = htm.is_doomed(ThreadId(0));
+        let d1 = htm.is_doomed(ThreadId(1));
+        prop_assert!(d0.is_some() || d1.is_some(), "conflict missed");
+        // Requester-wins: the second accessor (thread 1) must survive.
+        prop_assert!(d1.is_none(), "requester was doomed");
+        prop_assert_eq!(d0.expect("doomed").reason(), AbortReason::Conflict);
+    }
+
+    /// Capacity: a transaction writing more distinct lines than the write
+    /// structure holds is always doomed with CAPACITY, never silently
+    /// truncated.
+    #[test]
+    fn write_footprint_beyond_capacity_always_aborts(extra in 1u64..64) {
+        let cfg = HtmConfig { write_sets: 8, write_ways: 4, ..HtmConfig::default() };
+        let mut htm = HtmSystem::new(cfg, 1);
+        let mut mem = Memory::new();
+        htm.xbegin(ThreadId(0)).unwrap();
+        let total_lines = (cfg.write_sets * cfg.write_ways) as u64 + extra;
+        for l in 0..total_lines {
+            htm.write(ThreadId(0), &mut mem, CacheLine(100 + l).base(), l);
+        }
+        prop_assert_eq!(
+            htm.is_doomed(ThreadId(0)).expect("must overflow").reason(),
+            AbortReason::Capacity
+        );
+        prop_assert!(htm.xend(ThreadId(0), &mut mem).is_err());
+        for l in 0..total_lines {
+            prop_assert_eq!(mem.load(CacheLine(100 + l).base()), 0);
+        }
+    }
+}

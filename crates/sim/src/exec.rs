@@ -1,0 +1,954 @@
+//! The interpreter: executes a [`Program`] under a [`Scheduler`], driving a
+//! pluggable [`Runtime`] that observes every operation and owns all shared
+//! memory accesses.
+//!
+//! The runtime hook design mirrors how TxRace interposes on a real program:
+//!
+//! * [`Runtime::before_op`] fires before each operation and may *roll the
+//!   thread back* to an earlier [`Snapshot`] — that is a transactional
+//!   abort: the program counter and loop state rewind, and whatever the
+//!   runtime buffered is discarded by the runtime itself.
+//! * [`Runtime::read`]/[`write`](Runtime::write)/[`rmw`](Runtime::rmw)
+//!   delegate the architectural memory effect to the runtime, which can
+//!   buffer it (transactional fast path), check it (software slow path), or
+//!   apply it directly.
+//! * [`Runtime::after_sync`] fires once a synchronization operation has
+//!   architecturally completed (the lock is held, the wait is satisfied),
+//!   which is where happens-before clocks are updated.
+//!
+//! Blocking is handled by the interpreter: a thread that cannot acquire a
+//! lock (or whose `Wait`/`Join`/`Barrier` is not satisfied) blocks *without*
+//! any runtime hook firing, and re-attempts when woken.
+
+use crate::addr::Addr;
+use crate::flat::{FlatProgram, Instr};
+use crate::ids::{BarrierId, CondId, LockId, LoopId, SiteId, ThreadId};
+use crate::ir::{Op, Program};
+use crate::mem::Memory;
+use crate::sched::{InterruptKind, Scheduler};
+
+/// One entry of a thread's loop stack: which loop, and how many iterations
+/// remain (including the current one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopFrame {
+    /// The loop.
+    pub id: LoopId,
+    /// Total trip count of this loop instance.
+    pub trips: u32,
+    /// Iterations left, counting the one in progress.
+    pub remaining: u32,
+}
+
+/// The row-major flat iteration index of the current loop nest: with
+/// frames outermost-first, `idx = ((i0 * n1) + i1) * n2 + i2 ...` where
+/// `i_k` is the zero-based iteration of frame `k`.
+pub fn flat_iteration_index(stack: &[LoopFrame]) -> u64 {
+    let mut idx = 0u64;
+    for f in stack {
+        let iter = u64::from(f.trips - f.remaining);
+        idx = idx * u64::from(f.trips) + iter;
+    }
+    idx
+}
+
+/// The zero-based iteration index of the *innermost* enclosing loop (0
+/// outside any loop). Indexed accesses ([`Op::ReadArr`]) use this, so a
+/// buffer walk re-walks the same addresses on every execution of its loop
+/// — re-wrapping a walk in an outer loop never escapes the array.
+pub fn innermost_iteration_index(stack: &[LoopFrame]) -> u64 {
+    stack
+        .last()
+        .map_or(0, |f| u64::from(f.trips - f.remaining))
+}
+
+/// A restorable point in one thread's control flow: program counter plus
+/// loop stack. This is what a transactional abort rolls back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Program counter (index into the thread's flattened code).
+    pub pc: usize,
+    /// Loop stack at that point.
+    pub loop_stack: Vec<LoopFrame>,
+}
+
+/// Everything a [`Runtime`] learns about the operation about to execute.
+#[derive(Debug)]
+pub struct OpEvent<'a> {
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Static site of the operation.
+    pub site: SiteId,
+    /// The operation.
+    pub op: Op,
+    /// Program counter of the operation.
+    pub pc: usize,
+    /// Current loop stack (innermost last).
+    pub loop_stack: &'a [LoopFrame],
+    /// Interrupt hitting this step, if any.
+    pub interrupted: Option<InterruptKind>,
+    /// Global step counter.
+    pub step: u64,
+}
+
+impl OpEvent<'_> {
+    /// Captures a [`Snapshot`] of the state *before* this operation; rolling
+    /// back to it re-executes this operation.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            pc: self.pc,
+            loop_stack: self.loop_stack.to_vec(),
+        }
+    }
+
+    /// Identity of the innermost enclosing loop, if any.
+    pub fn innermost_loop(&self) -> Option<LoopId> {
+        self.loop_stack.last().map(|f| f.id)
+    }
+}
+
+/// What the runtime wants done with the pending operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Execute the operation normally.
+    Continue,
+    /// Do not execute it; rewind the thread to `0`'s state (a transactional
+    /// abort). The runtime is responsible for discarding any buffered
+    /// memory effects itself.
+    Rollback(Snapshot),
+}
+
+/// Observes and mediates a program execution. See the module docs for the
+/// hook protocol.
+///
+/// The memory-access hooks default to direct, unchecked access, so simple
+/// runtimes only override what they need.
+pub trait Runtime {
+    /// Fired before every operation; may redirect control.
+    fn before_op(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) -> Directive;
+
+    /// Performs a shared read, returning the value observed.
+    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
+        let _ = ev;
+        mem.load(addr)
+    }
+
+    /// Performs a shared write.
+    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
+        let _ = ev;
+        mem.store(addr, val);
+    }
+
+    /// Performs an atomic fetch-add, returning the previous value.
+    fn rmw(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, delta: u64) -> u64 {
+        let _ = ev;
+        let old = mem.load(addr);
+        mem.store(addr, old.wrapping_add(delta));
+        old
+    }
+
+    /// Fired after a synchronization operation architecturally completes
+    /// (`Lock` acquired, `Unlock`/`Signal` done, `Wait` satisfied, `Spawn`
+    /// done, `Join` satisfied). Not fired for barriers — see
+    /// [`Runtime::after_barrier`].
+    fn after_sync(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) {
+        let _ = (mem, ev);
+    }
+
+    /// Fired once when a barrier releases, with every participant and the
+    /// site of its arrival, in arrival order.
+    fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let _ = (b, arrivals);
+    }
+
+    /// Fired when a thread finishes its program.
+    fn on_thread_done(&mut self, t: ThreadId) {
+        let _ = t;
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every thread ran to completion.
+    Done,
+    /// No thread is runnable but not all are done.
+    Deadlock,
+    /// The step limit was exhausted.
+    StepLimit,
+    /// The program performed an illegal operation (e.g., unlocking a mutex
+    /// it does not hold).
+    Fault(String),
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub status: RunStatus,
+    /// Total interpreter steps taken.
+    pub steps: u64,
+}
+
+/// A bound on interpreter steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLimit(pub u64);
+
+impl Default for StepLimit {
+    fn default() -> Self {
+        StepLimit(u64::MAX)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Parked,
+    Runnable,
+    BlockedLock(LockId),
+    BlockedWait(CondId),
+    BlockedBarrier(BarrierId),
+    BlockedJoin(ThreadId),
+    Done,
+}
+
+#[derive(Debug, Default, Clone)]
+struct BarrierState {
+    arrived: Vec<(ThreadId, SiteId)>,
+}
+
+/// The interpreter for one execution of a [`Program`].
+///
+/// A machine is single-shot: construct, [`run`](Machine::run), then inspect
+/// [`memory`](Machine::memory). Running again after completion is a no-op.
+#[derive(Debug)]
+pub struct Machine {
+    flat: FlatProgram,
+    pcs: Vec<usize>,
+    loop_stacks: Vec<Vec<LoopFrame>>,
+    states: Vec<TState>,
+    memory: Memory,
+    locks: Vec<Option<ThreadId>>,
+    sems: Vec<u64>,
+    barriers: Vec<BarrierState>,
+    barrier_widths: Vec<u32>,
+    steps: u64,
+}
+
+impl Machine {
+    /// Builds a machine for one execution of `p`.
+    pub fn new(p: &Program) -> Self {
+        let flat = FlatProgram::from_program(p);
+        let n = p.thread_count();
+        let states = (0..n)
+            .map(|t| {
+                if p.starts_parked(ThreadId(t as u32)) {
+                    TState::Parked
+                } else {
+                    TState::Runnable
+                }
+            })
+            .collect();
+        Machine {
+            flat,
+            pcs: vec![0; n],
+            loop_stacks: vec![Vec::new(); n],
+            states,
+            memory: Memory::new(),
+            locks: vec![None; p.lock_count() as usize],
+            sems: vec![0; p.cond_count() as usize],
+            barriers: vec![BarrierState::default(); p.barrier_count() as usize],
+            barrier_widths: (0..p.barrier_count())
+                .map(|b| p.barrier_width(BarrierId(b)))
+                .collect(),
+            steps: 0,
+        }
+    }
+
+    /// The shared memory (final state after a run).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Runs to completion with no step limit.
+    pub fn run<R: Runtime>(&mut self, rt: &mut R, sched: &mut dyn Scheduler) -> RunResult {
+        self.run_with_limit(rt, sched, StepLimit::default())
+    }
+
+    /// Runs until completion, deadlock, fault, or the step limit.
+    pub fn run_with_limit<R: Runtime>(
+        &mut self,
+        rt: &mut R,
+        sched: &mut dyn Scheduler,
+        limit: StepLimit,
+    ) -> RunResult {
+        // Threads with empty programs finish immediately.
+        for t in 0..self.pcs.len() {
+            self.maybe_finish(ThreadId(t as u32), rt);
+        }
+        let mut runnable: Vec<ThreadId> = Vec::with_capacity(self.pcs.len());
+        loop {
+            runnable.clear();
+            let mut all_done = true;
+            for (i, s) in self.states.iter().enumerate() {
+                match s {
+                    TState::Runnable => {
+                        all_done = false;
+                        runnable.push(ThreadId(i as u32));
+                    }
+                    TState::Done => {}
+                    // A parked thread whose spawn never executed is a
+                    // thread that was never created — it does not block
+                    // completion (joining it, however, still deadlocks).
+                    TState::Parked => {}
+                    _ => all_done = false,
+                }
+            }
+            if runnable.is_empty() {
+                let status = if all_done {
+                    RunStatus::Done
+                } else {
+                    RunStatus::Deadlock
+                };
+                return RunResult {
+                    status,
+                    steps: self.steps,
+                };
+            }
+            if self.steps >= limit.0 {
+                return RunResult {
+                    status: RunStatus::StepLimit,
+                    steps: self.steps,
+                };
+            }
+            let t = sched.next(&runnable);
+            debug_assert!(runnable.contains(&t), "scheduler picked unrunnable thread");
+            self.steps += 1;
+            if let Err(msg) = self.step_thread(t, rt, sched) {
+                return RunResult {
+                    status: RunStatus::Fault(msg),
+                    steps: self.steps,
+                };
+            }
+        }
+    }
+
+    fn step_thread<R: Runtime>(
+        &mut self,
+        t: ThreadId,
+        rt: &mut R,
+        sched: &mut dyn Scheduler,
+    ) -> Result<(), String> {
+        let ti = t.index();
+        let pc = self.pcs[ti];
+        let instr = self.flat.threads[ti].code[pc];
+        match instr {
+            Instr::LoopEnter { id, trips, end } => {
+                if trips == 0 {
+                    self.pcs[ti] = end + 1;
+                } else {
+                    self.loop_stacks[ti].push(LoopFrame {
+                        id,
+                        trips,
+                        remaining: trips,
+                    });
+                    self.pcs[ti] = pc + 1;
+                }
+                self.maybe_finish(t, rt);
+                Ok(())
+            }
+            Instr::LoopBack { start, .. } => {
+                let frame = self.loop_stacks[ti]
+                    .last_mut()
+                    .expect("LoopBack with empty loop stack");
+                frame.remaining -= 1;
+                if frame.remaining > 0 {
+                    self.pcs[ti] = start;
+                } else {
+                    self.loop_stacks[ti].pop();
+                    self.pcs[ti] = pc + 1;
+                }
+                self.maybe_finish(t, rt);
+                Ok(())
+            }
+            Instr::Op { site, op } => self.step_op(t, pc, site, op, rt, sched),
+        }
+    }
+
+    fn step_op<R: Runtime>(
+        &mut self,
+        t: ThreadId,
+        pc: usize,
+        site: SiteId,
+        op: Op,
+        rt: &mut R,
+        sched: &mut dyn Scheduler,
+    ) -> Result<(), String> {
+        let ti = t.index();
+        // Blocking check happens before any hook fires.
+        match op {
+            Op::Lock(l)
+                if self.locks[l.index()].is_some() => {
+                    self.states[ti] = TState::BlockedLock(l);
+                    return Ok(());
+                }
+            Op::Wait(c)
+                if self.sems[c.index()] == 0 => {
+                    self.states[ti] = TState::BlockedWait(c);
+                    return Ok(());
+                }
+            Op::Join(u)
+                if self.states[u.index()] != TState::Done => {
+                    self.states[ti] = TState::BlockedJoin(u);
+                    return Ok(());
+                }
+            _ => {}
+        }
+
+        let interrupted = sched.interrupt(t);
+        // Detach the loop stack so the event can borrow it while hooks
+        // receive `&mut Memory`.
+        let stack = std::mem::take(&mut self.loop_stacks[ti]);
+        // Indexed accesses resolve their effective address from the loop
+        // nest *before* the event is built.
+        let arr_addr = match op {
+            Op::ReadArr { base, stride } | Op::WriteArr { base, stride, .. } => {
+                Some(base.offset(stride * innermost_iteration_index(&stack)))
+            }
+            _ => None,
+        };
+        let ev = OpEvent {
+            thread: t,
+            site,
+            op,
+            pc,
+            loop_stack: &stack,
+            interrupted,
+            step: self.steps,
+        };
+
+        match rt.before_op(&mut self.memory, &ev) {
+            Directive::Rollback(snap) => {
+                self.pcs[ti] = snap.pc;
+                self.loop_stacks[ti] = snap.loop_stack;
+                return Ok(());
+            }
+            Directive::Continue => {}
+        }
+
+        let mut advance = true;
+        let mut fault: Option<String> = None;
+        let mut wake_lock: Option<LockId> = None;
+        let mut wake_cond: Option<CondId> = None;
+        let mut spawned: Option<ThreadId> = None;
+        let mut barrier_release: Option<BarrierId> = None;
+
+        match op {
+            Op::Read(a) => {
+                let _ = rt.read(&mut self.memory, &ev, a);
+            }
+            Op::Write(a, v) => rt.write(&mut self.memory, &ev, a, v),
+            Op::Rmw(a, d) => {
+                let _ = rt.rmw(&mut self.memory, &ev, a, d);
+            }
+            Op::ReadArr { .. } => {
+                let a = arr_addr.expect("resolved above");
+                let _ = rt.read(&mut self.memory, &ev, a);
+            }
+            Op::WriteArr { val, .. } => {
+                let a = arr_addr.expect("resolved above");
+                rt.write(&mut self.memory, &ev, a, val);
+            }
+            Op::Lock(l) => {
+                self.locks[l.index()] = Some(t);
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::Unlock(l) => {
+                if self.locks[l.index()] != Some(t) {
+                    fault = Some(format!("{t} unlocked {l} it does not hold"));
+                } else {
+                    self.locks[l.index()] = None;
+                    wake_lock = Some(l);
+                    rt.after_sync(&mut self.memory, &ev);
+                }
+            }
+            Op::Signal(c) => {
+                self.sems[c.index()] += 1;
+                wake_cond = Some(c);
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::Wait(c) => {
+                debug_assert!(self.sems[c.index()] > 0);
+                self.sems[c.index()] -= 1;
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::Spawn(u) => {
+                if self.states[u.index()] != TState::Parked {
+                    fault = Some(format!("{t} spawned non-parked thread {u}"));
+                } else {
+                    spawned = Some(u);
+                    rt.after_sync(&mut self.memory, &ev);
+                }
+            }
+            Op::Join(_) => {
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::Barrier(b) => {
+                self.barriers[b.index()].arrived.push((t, site));
+                if self.barriers[b.index()].arrived.len() as u32 == self.barrier_widths[b.index()]
+                {
+                    barrier_release = Some(b);
+                } else {
+                    advance = false; // stays at the barrier op, blocked below
+                }
+            }
+            Op::Syscall(_) | Op::Compute(_) => {}
+            Op::TxBegin(_) | Op::TxEnd(_) | Op::LoopCutProbe(_) => {}
+        }
+        self.loop_stacks[ti] = stack;
+
+        if let Some(msg) = fault {
+            return Err(msg);
+        }
+        if let Some(u) = spawned {
+            self.states[u.index()] = TState::Runnable;
+            self.maybe_finish(u, rt); // spawned thread may have an empty program
+        }
+        if let Some(l) = wake_lock {
+            for s in self.states.iter_mut() {
+                if *s == TState::BlockedLock(l) {
+                    *s = TState::Runnable;
+                }
+            }
+        }
+        if let Some(c) = wake_cond {
+            for s in self.states.iter_mut() {
+                if *s == TState::BlockedWait(c) {
+                    *s = TState::Runnable;
+                }
+            }
+        }
+
+        if let Some(b) = barrier_release {
+            let arrivals = std::mem::take(&mut self.barriers[b.index()].arrived);
+            rt.after_barrier(b, &arrivals);
+            for &(u, _) in &arrivals {
+                if u != t {
+                    debug_assert_eq!(self.states[u.index()], TState::BlockedBarrier(b));
+                    self.states[u.index()] = TState::Runnable;
+                    self.pcs[u.index()] += 1;
+                    self.maybe_finish(u, rt);
+                }
+            }
+            // `t` (the last arriver) advances normally below.
+        } else if !advance {
+            if let Op::Barrier(b) = op {
+                self.states[ti] = TState::BlockedBarrier(b);
+            }
+            return Ok(());
+        }
+
+        self.pcs[ti] = pc + 1;
+        self.maybe_finish(t, rt);
+        Ok(())
+    }
+
+    fn maybe_finish<R: Runtime>(&mut self, t: ThreadId, rt: &mut R) {
+        let ti = t.index();
+        if self.states[ti] != TState::Done
+            && self.states[ti] != TState::Parked
+            && self.pcs[ti] >= self.flat.threads[ti].code.len()
+        {
+            self.states[ti] = TState::Done;
+            for s in self.states.iter_mut() {
+                if *s == TState::BlockedJoin(t) {
+                    *s = TState::Runnable;
+                }
+            }
+            rt.on_thread_done(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ProgramBuilder, SyscallKind};
+    use crate::sched::{RandomSched, RoundRobin};
+    use crate::DirectRuntime;
+
+    fn run_direct(p: &Program) -> (RunResult, Memory) {
+        let mut m = Machine::new(p);
+        let mut rt = DirectRuntime::default();
+        let mut s = RoundRobin::new();
+        let r = m.run(&mut rt, &mut s);
+        let mem = m.memory().clone();
+        (r, mem)
+    }
+
+    #[test]
+    fn straight_line_program_completes() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write(x, 5).read(x).compute(10);
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 5);
+    }
+
+    #[test]
+    fn loops_iterate_their_trip_count() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(10, |t| {
+            t.rmw(x, 1);
+        });
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 10);
+    }
+
+    #[test]
+    fn zero_trip_loops_are_skipped() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0)
+            .loop_n(0, |t| {
+                t.write(x, 99);
+            })
+            .write(x, 1);
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(3, |t| {
+            t.loop_n(4, |t| {
+                t.rmw(x, 1);
+            });
+        });
+        let p = b.build();
+        let (_, mem) = run_direct(&p);
+        assert_eq!(mem.load(x), 12);
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion_of_rmw() {
+        // With round-robin and locks, both increments land.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        for t in 0..2 {
+            b.thread(t).loop_n(50, |tb| {
+                tb.lock(l).rmw(x, 1).unlock(l);
+            });
+        }
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 100);
+    }
+
+    #[test]
+    fn unlock_of_unheld_lock_faults() {
+        let mut b = ProgramBuilder::new(1);
+        let l = b.lock_id("l");
+        b.thread(0).unlock(l);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert!(matches!(r.status, RunStatus::Fault(_)));
+    }
+
+    #[test]
+    fn wait_blocks_until_signal() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let c = b.cond_id("c");
+        b.thread(0).write(x, 1).signal(c);
+        b.thread(1).wait(c).read(x);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+    }
+
+    #[test]
+    fn wait_without_signal_deadlocks() {
+        let mut b = ProgramBuilder::new(1);
+        let c = b.cond_id("c");
+        b.thread(0).wait(c);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Deadlock);
+    }
+
+    #[test]
+    fn lock_cycle_deadlocks() {
+        let mut b = ProgramBuilder::new(2);
+        let l1 = b.lock_id("a");
+        let l2 = b.lock_id("b");
+        // Classic AB/BA deadlock with round-robin scheduling.
+        b.thread(0).lock(l1).compute(1).lock(l2);
+        b.thread(1).lock(l2).compute(1).lock(l1);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Deadlock);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        b.thread(0)
+            .spawn(ThreadId(1))
+            .spawn(ThreadId(2))
+            .join(ThreadId(1))
+            .join(ThreadId(2))
+            .read(x);
+        b.thread(1).rmw(x, 1);
+        b.thread(2).rmw(x, 1);
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 2);
+    }
+
+    #[test]
+    fn join_of_never_spawned_parked_thread_deadlocks() {
+        // Thread 1 is spawned only after the join, which can never happen.
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).join(ThreadId(1)).spawn(ThreadId(1));
+        b.thread(1).compute(1);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Deadlock);
+    }
+
+    #[test]
+    fn barrier_releases_all_participants() {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let bar = b.barrier_id("bar");
+        for t in 0..3 {
+            b.thread(t).rmw(x, 1).barrier(bar).read(x);
+        }
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 3);
+    }
+
+    #[test]
+    fn barrier_in_loop_reuses() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let bar = b.barrier_id("bar");
+        for t in 0..2 {
+            b.thread(t).loop_n(5, |tb| {
+                tb.rmw(x, 1).barrier(bar);
+            });
+        }
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 10);
+    }
+
+    #[test]
+    fn step_limit_stops_run() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(1000, |t| {
+            t.read(x);
+        });
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let mut rt = DirectRuntime::default();
+        let mut s = RoundRobin::new();
+        let r = m.run_with_limit(&mut rt, &mut s, StepLimit(10));
+        assert_eq!(r.status, RunStatus::StepLimit);
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn random_schedule_same_seed_same_final_memory() {
+        let mut b = ProgramBuilder::new(4);
+        let arr = b.array("a", 32);
+        for t in 0..4u64 {
+            b.thread(t as usize).loop_n(20, |tb| {
+                tb.rmw(crate::addr::elem(arr, (t % 4) as usize), t + 1);
+            });
+        }
+        let p = b.build();
+        let run = |seed| {
+            let mut m = Machine::new(&p);
+            let mut rt = DirectRuntime::default();
+            let mut s = RandomSched::new(seed);
+            let r = m.run(&mut rt, &mut s);
+            assert_eq!(r.status, RunStatus::Done);
+            (m.memory().clone(), r.steps)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn syscalls_and_markers_are_noops_for_direct_runtime() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0)
+            .syscall(SyscallKind::Io)
+            .write(x, 2)
+            .syscall(SyscallKind::Alloc);
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 2);
+    }
+
+    /// A runtime that rolls a thread back once, exercising the abort path.
+    struct RollOnce {
+        done: bool,
+        saved: Option<Snapshot>,
+        rolled_at_step: u64,
+    }
+
+    impl Runtime for RollOnce {
+        fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+            if self.saved.is_none() {
+                self.saved = Some(ev.snapshot());
+            } else if !self.done && ev.step > 3 {
+                self.done = true;
+                self.rolled_at_step = ev.step;
+                return Directive::Rollback(self.saved.clone().expect("saved above"));
+            }
+            Directive::Continue
+        }
+    }
+
+    #[test]
+    fn rollback_reexecutes_from_snapshot() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).rmw(x, 1).rmw(x, 1).rmw(x, 1).rmw(x, 1);
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let mut rt = RollOnce {
+            done: false,
+            saved: None,
+            rolled_at_step: 0,
+        };
+        let mut s = RoundRobin::new();
+        let r = m.run(&mut rt, &mut s);
+        assert_eq!(r.status, RunStatus::Done);
+        assert!(rt.done);
+        // Rolled back to the beginning once: some increments re-applied
+        // (DirectRuntime-style effects are not undone — the runtime under
+        // test does not buffer), so the count exceeds 4.
+        assert!(m.memory().load(x) > 4, "got {}", m.memory().load(x));
+    }
+
+    #[test]
+    fn rollback_restores_loop_stack() {
+        // Roll back from inside a loop to before the loop; the loop must
+        // restart from scratch.
+        struct RollFromLoop {
+            rolled: bool,
+            start: Option<Snapshot>,
+        }
+        impl Runtime for RollFromLoop {
+            fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+                if self.start.is_none() {
+                    self.start = Some(ev.snapshot());
+                }
+                if !self.rolled && !ev.loop_stack.is_empty() && ev.step > 6 {
+                    self.rolled = true;
+                    return Directive::Rollback(self.start.clone().expect("set above"));
+                }
+                Directive::Continue
+            }
+        }
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write(x, 0).loop_n(5, |t| {
+            t.rmw(x, 1);
+        });
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let mut rt = RollFromLoop {
+            rolled: false,
+            start: None,
+        };
+        let mut s = RoundRobin::new();
+        let r = m.run(&mut rt, &mut s);
+        assert_eq!(r.status, RunStatus::Done);
+        assert!(rt.rolled);
+        // After rollback the initial write(x, 0) re-executes, then the loop
+        // runs its full 5 iterations.
+        assert_eq!(m.memory().load(x), 5);
+    }
+
+    #[test]
+    fn indexed_accesses_use_innermost_loop_index() {
+        let mut b = ProgramBuilder::new(1);
+        let arr = b.array("arr", 16);
+        b.thread(0).loop_n(4, |t| {
+            t.loop_n(3, |t| {
+                t.write_arr(arr, 8, 7);
+            });
+        });
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        // The inner loop walks elements 0..3; the outer loop re-walks the
+        // same elements (no escape past the inner trip count).
+        for i in 0..3 {
+            assert_eq!(mem.load(arr.offset(8 * i)), 7, "element {i}");
+        }
+        assert_eq!(mem.load(arr.offset(8 * 3)), 0);
+    }
+
+    #[test]
+    fn indexed_access_outside_loop_uses_index_zero() {
+        let mut b = ProgramBuilder::new(1);
+        let arr = b.array("arr", 4);
+        b.thread(0).write_arr(arr, 8, 9);
+        let p = b.build();
+        let (_, mem) = run_direct(&p);
+        assert_eq!(mem.load(arr), 9);
+    }
+
+    #[test]
+    fn flat_index_is_row_major() {
+        let f = |trips: u32, remaining: u32, id: u32| LoopFrame {
+            id: LoopId(id),
+            trips,
+            remaining,
+        };
+        assert_eq!(flat_iteration_index(&[]), 0);
+        assert_eq!(flat_iteration_index(&[f(10, 10, 0)]), 0); // first iter
+        assert_eq!(flat_iteration_index(&[f(10, 1, 0)]), 9); // last iter
+        // outer iter 2 of 4, inner iter 1 of 3 -> 2*3 + 1 = 7
+        assert_eq!(flat_iteration_index(&[f(4, 2, 0), f(3, 2, 1)]), 7);
+        // innermost index ignores outer frames
+        assert_eq!(innermost_iteration_index(&[]), 0);
+        assert_eq!(innermost_iteration_index(&[f(4, 2, 0), f(3, 2, 1)]), 1);
+    }
+
+    #[test]
+    fn machine_is_single_shot() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0).compute(1);
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let mut rt = DirectRuntime::default();
+        let mut s = RoundRobin::new();
+        assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        let again = m.run(&mut rt, &mut s);
+        assert_eq!(again.status, RunStatus::Done);
+        assert_eq!(again.steps, 1); // no further work
+    }
+}

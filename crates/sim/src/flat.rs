@@ -1,0 +1,145 @@
+//! Flattening of the structured IR into linear per-thread instruction
+//! streams with explicit loop control, so thread state is a plain program
+//! counter plus a loop stack — cheap to snapshot and restore, which is
+//! exactly what transactional rollback needs.
+
+use crate::ids::{LoopId, SiteId, ThreadId};
+use crate::ir::{Op, Program, Stmt};
+
+/// One flattened instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// An IR operation.
+    Op {
+        /// Static site of the op.
+        site: SiteId,
+        /// The operation.
+        op: Op,
+    },
+    /// Loop header: pushes a loop frame (or skips the loop if `trips == 0`).
+    LoopEnter {
+        /// Loop identity.
+        id: LoopId,
+        /// Trip count.
+        trips: u32,
+        /// Index of the matching [`Instr::LoopBack`].
+        end: usize,
+    },
+    /// Loop latch: decrements the trip counter and jumps back while
+    /// iterations remain.
+    LoopBack {
+        /// Loop identity.
+        id: LoopId,
+        /// Index of the first body instruction (header + 1).
+        start: usize,
+    },
+}
+
+/// The flattened code of one thread.
+#[derive(Debug, Clone)]
+pub struct FlatThread {
+    /// Instruction stream.
+    pub code: Vec<Instr>,
+}
+
+/// A fully flattened program, ready for interpretation.
+#[derive(Debug, Clone)]
+pub struct FlatProgram {
+    /// Per-thread instruction streams.
+    pub threads: Vec<FlatThread>,
+}
+
+impl FlatProgram {
+    /// Flattens every thread of `p`.
+    pub fn from_program(p: &Program) -> Self {
+        let threads = (0..p.thread_count())
+            .map(|t| FlatThread {
+                code: flatten(p.thread(ThreadId(t as u32))),
+            })
+            .collect();
+        FlatProgram { threads }
+    }
+}
+
+fn flatten(stmts: &[Stmt]) -> Vec<Instr> {
+    let mut code = Vec::new();
+    emit(stmts, &mut code);
+    code
+}
+
+fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
+    for s in stmts {
+        match s {
+            Stmt::Op { site, op } => code.push(Instr::Op {
+                site: *site,
+                op: *op,
+            }),
+            Stmt::Loop { id, trips, body } => {
+                let header = code.len();
+                // Placeholder; patched once the body length is known.
+                code.push(Instr::LoopEnter {
+                    id: *id,
+                    trips: *trips,
+                    end: usize::MAX,
+                });
+                emit(body, code);
+                let back = code.len();
+                code.push(Instr::LoopBack {
+                    id: *id,
+                    start: header + 1,
+                });
+                code[header] = Instr::LoopEnter {
+                    id: *id,
+                    trips: *trips,
+                    end: back,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    #[test]
+    fn flattening_patches_loop_targets() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).read(x).loop_n(3, |t| {
+            t.write(x, 1).write(x, 2);
+        });
+        let p = b.build();
+        let f = FlatProgram::from_program(&p);
+        let code = &f.threads[0].code;
+        // read, LoopEnter, write, write, LoopBack
+        assert_eq!(code.len(), 5);
+        match code[1] {
+            Instr::LoopEnter { end, trips, .. } => {
+                assert_eq!(end, 4);
+                assert_eq!(trips, 3);
+            }
+            other => panic!("expected LoopEnter, got {other:?}"),
+        }
+        match code[4] {
+            Instr::LoopBack { start, .. } => assert_eq!(start, 2),
+            other => panic!("expected LoopBack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loops_flatten() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(2, |t| {
+            t.loop_n(2, |t| {
+                t.read(x);
+            });
+        });
+        let p = b.build();
+        let f = FlatProgram::from_program(&p);
+        // LoopEnter, LoopEnter, read, LoopBack, LoopBack
+        assert_eq!(f.threads[0].code.len(), 5);
+    }
+}

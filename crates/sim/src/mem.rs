@@ -1,0 +1,79 @@
+//! The simulated shared memory.
+
+use std::collections::BTreeMap;
+
+use crate::addr::Addr;
+
+/// A sparse, word-granular shared memory. Unwritten addresses read as 0.
+///
+/// A `BTreeMap` keeps iteration deterministic so final-state comparisons
+/// between runs are reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    cells: BTreeMap<Addr, u64>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the 8-byte word at `a` (0 if never written).
+    #[inline]
+    pub fn load(&self, a: Addr) -> u64 {
+        self.cells.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Stores `v` into the 8-byte word at `a`.
+    #[inline]
+    pub fn store(&mut self, a: Addr, v: u64) {
+        self.cells.insert(a, v);
+    }
+
+    /// Iterates over every written cell in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.cells.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// Number of distinct written cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.load(Addr(0x40)), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn store_then_load() {
+        let mut m = Memory::new();
+        m.store(Addr(8), 7);
+        m.store(Addr(8), 9);
+        assert_eq!(m.load(Addr(8)), 9);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        let mut m = Memory::new();
+        m.store(Addr(128), 1);
+        m.store(Addr(0), 2);
+        m.store(Addr(64), 3);
+        let order: Vec<u64> = m.iter().map(|(a, _)| a.0).collect();
+        assert_eq!(order, vec![0, 64, 128]);
+    }
+}

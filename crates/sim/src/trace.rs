@@ -1,0 +1,276 @@
+//! Execution tracing: a [`Runtime`] adapter that records the events any
+//! inner runtime observes, for debugging, test assertions, and analyses
+//! that need the actual interleaving (e.g., measuring how far apart two
+//! sites executed).
+
+use crate::addr::Addr;
+use crate::exec::{Directive, OpEvent, Runtime};
+use crate::ids::{BarrierId, SiteId, ThreadId};
+use crate::ir::Op;
+use crate::mem::Memory;
+
+/// One recorded execution event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A shared-memory access the runtime observed. Note: transactional
+    /// runtimes may later roll an access back; the event is still
+    /// recorded (it reflects what the runtime saw, not the final
+    /// architectural history).
+    Access {
+        /// Global step at which it executed.
+        step: u64,
+        /// Executing thread.
+        thread: ThreadId,
+        /// Static site.
+        site: SiteId,
+        /// Resolved address.
+        addr: Addr,
+        /// True for writes and RMWs.
+        is_write: bool,
+    },
+    /// A synchronization operation that architecturally completed.
+    Sync {
+        /// Global step.
+        step: u64,
+        /// Executing thread.
+        thread: ThreadId,
+        /// Static site.
+        site: SiteId,
+        /// The operation.
+        op: Op,
+    },
+    /// A barrier released with the given participant count.
+    BarrierRelease {
+        /// The barrier.
+        barrier: BarrierId,
+        /// How many threads it released.
+        participants: usize,
+    },
+    /// A thread finished.
+    ThreadDone {
+        /// The thread.
+        thread: ThreadId,
+    },
+}
+
+impl Event {
+    /// The step of this event, if it carries one.
+    pub fn step(&self) -> Option<u64> {
+        match self {
+            Event::Access { step, .. } | Event::Sync { step, .. } => Some(*step),
+            _ => None,
+        }
+    }
+}
+
+/// Wraps an inner [`Runtime`] and records every event it observes.
+///
+/// ```
+/// use txrace_sim::{trace::Recording, DirectRuntime, Machine, ProgramBuilder, RoundRobin};
+///
+/// let mut b = ProgramBuilder::new(1);
+/// let x = b.var("x");
+/// b.thread(0).write(x, 1).read(x);
+/// let p = b.build();
+///
+/// let mut rt = Recording::new(DirectRuntime::default());
+/// let mut m = Machine::new(&p);
+/// m.run(&mut rt, &mut RoundRobin::new());
+/// assert_eq!(rt.events().len(), 3); // write, read, thread-done
+/// ```
+#[derive(Debug)]
+pub struct Recording<R> {
+    inner: R,
+    events: Vec<Event>,
+    limit: usize,
+}
+
+impl<R: Runtime> Recording<R> {
+    /// Records every event (up to a large default cap).
+    pub fn new(inner: R) -> Self {
+        Recording {
+            inner,
+            events: Vec::new(),
+            limit: 1 << 22,
+        }
+    }
+
+    /// Caps the number of recorded events (older events are kept; new ones
+    /// beyond the cap are dropped).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The wrapped runtime.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Consumes the recorder, returning the inner runtime and the events.
+    pub fn into_parts(self) -> (R, Vec<Event>) {
+        (self.inner, self.events)
+    }
+
+    /// Steps at which `site` executed an access.
+    pub fn access_steps(&self, site: SiteId) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access { step, site: s, .. } if *s == site => Some(*step),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn push(&mut self, e: Event) {
+        if self.events.len() < self.limit {
+            self.events.push(e);
+        }
+    }
+}
+
+impl<R: Runtime> Runtime for Recording<R> {
+    fn before_op(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+        self.inner.before_op(mem, ev)
+    }
+
+    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
+        self.push(Event::Access {
+            step: ev.step,
+            thread: ev.thread,
+            site: ev.site,
+            addr,
+            is_write: false,
+        });
+        self.inner.read(mem, ev, addr)
+    }
+
+    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
+        self.push(Event::Access {
+            step: ev.step,
+            thread: ev.thread,
+            site: ev.site,
+            addr,
+            is_write: true,
+        });
+        self.inner.write(mem, ev, addr, val);
+    }
+
+    fn rmw(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, delta: u64) -> u64 {
+        self.push(Event::Access {
+            step: ev.step,
+            thread: ev.thread,
+            site: ev.site,
+            addr,
+            is_write: true,
+        });
+        self.inner.rmw(mem, ev, addr, delta)
+    }
+
+    fn after_sync(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) {
+        self.push(Event::Sync {
+            step: ev.step,
+            thread: ev.thread,
+            site: ev.site,
+            op: ev.op,
+        });
+        self.inner.after_sync(mem, ev);
+    }
+
+    fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        self.push(Event::BarrierRelease {
+            barrier: b,
+            participants: arrivals.len(),
+        });
+        self.inner.after_barrier(b, arrivals);
+    }
+
+    fn on_thread_done(&mut self, t: ThreadId) {
+        self.push(Event::ThreadDone { thread: t });
+        self.inner.on_thread_done(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+    use crate::sched::RoundRobin;
+    use crate::{DirectRuntime, Machine, RunStatus};
+
+    #[test]
+    fn records_accesses_and_sync_in_order() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).lock(l).write_l(x, 1, "w").unlock(l);
+        b.thread(1).read_l(x, "r");
+        let p = b.build();
+        let mut rt = Recording::new(DirectRuntime::default());
+        let mut m = Machine::new(&p);
+        let mut s = RoundRobin::new();
+        assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+
+        let w = p.site("w").unwrap();
+        let r = p.site("r").unwrap();
+        assert_eq!(rt.access_steps(w).len(), 1);
+        assert_eq!(rt.access_steps(r).len(), 1);
+        let syncs = rt
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Sync { .. }))
+            .count();
+        assert_eq!(syncs, 2, "lock and unlock");
+        let dones = rt
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::ThreadDone { .. }))
+            .count();
+        assert_eq!(dones, 2);
+        // Steps are nondecreasing.
+        let steps: Vec<u64> = rt.events().iter().filter_map(Event::step).collect();
+        assert!(steps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn limit_caps_recording() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(100, |t| {
+            t.read(x);
+        });
+        let p = b.build();
+        let mut rt = Recording::new(DirectRuntime::default()).with_limit(10);
+        let mut m = Machine::new(&p);
+        let mut s = RoundRobin::new();
+        m.run(&mut rt, &mut s);
+        assert_eq!(rt.events().len(), 10);
+    }
+
+    #[test]
+    fn barrier_release_is_recorded() {
+        let mut b = ProgramBuilder::new(2);
+        let bar = b.barrier_id("bar");
+        let x = b.var("x");
+        for t in 0..2 {
+            b.thread(t).read(x).barrier(bar);
+        }
+        let p = b.build();
+        let mut rt = Recording::new(DirectRuntime::default());
+        let mut m = Machine::new(&p);
+        let mut s = RoundRobin::new();
+        m.run(&mut rt, &mut s);
+        assert!(rt.events().iter().any(|e| matches!(
+            e,
+            Event::BarrierRelease { participants: 2, .. }
+        )));
+        let (_inner, events) = rt.into_parts();
+        assert!(!events.is_empty());
+    }
+}

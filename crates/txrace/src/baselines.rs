@@ -1,0 +1,327 @@
+//! Baseline detectors the paper compares TxRace against: full
+//! ThreadSanitizer-style checking of every access, and the
+//! sampling-based variant (Figures 11–13).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txrace_hb::{FastTrack, Lockset, LocksetReport, RaceSet, ShadowMode};
+use txrace_sim::{
+    Addr, BarrierId, Directive, Memory, Op, OpEvent, Runtime, SiteId, ThreadId,
+};
+
+use crate::cost::{CostModel, CycleBreakdown};
+
+/// The always-on software detector: FastTrack checks on every shared
+/// access (the paper's "TSan" baseline), optionally sampling accesses at a
+/// fixed rate (the paper's "TSan+Sampling" comparison).
+#[derive(Debug)]
+pub struct TsanRuntime {
+    ft: FastTrack,
+    cost: CostModel,
+    eff_check: u64,
+    breakdown: CycleBreakdown,
+    sampler: Option<(f64, StdRng)>,
+    checked: u64,
+    skipped: u64,
+}
+
+impl TsanRuntime {
+    /// Full checking: every access pays the shadow-memory check.
+    pub fn full(threads: usize, cost: CostModel, shadow_factor: f64, shadow: ShadowMode) -> Self {
+        TsanRuntime {
+            ft: FastTrack::new(threads, shadow),
+            eff_check: cost.effective_tsan_check(shadow_factor),
+            cost,
+            breakdown: CycleBreakdown::default(),
+            sampler: None,
+            checked: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Sampled checking: each dynamic access is checked with probability
+    /// `rate` (clamped to `[0, 1]`; `1.0` behaves exactly like
+    /// [`TsanRuntime::full`]).
+    pub fn sampling(
+        threads: usize,
+        cost: CostModel,
+        shadow_factor: f64,
+        shadow: ShadowMode,
+        rate: f64,
+        seed: u64,
+    ) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rt = Self::full(threads, cost, shadow_factor, shadow);
+        if rate < 1.0 {
+            rt.sampler = Some((rate, StdRng::seed_from_u64(seed)));
+        }
+        rt
+    }
+
+    /// Races detected.
+    pub fn races(&self) -> &RaceSet {
+        self.ft.races()
+    }
+
+    /// Cycle breakdown (`baseline` + `checks`).
+    pub fn breakdown(&self) -> CycleBreakdown {
+        self.breakdown
+    }
+
+    /// Accesses actually checked.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// Accesses skipped by sampling.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Decides whether this access is checked; charges accordingly.
+    fn sample(&mut self) -> bool {
+        let take = match &mut self.sampler {
+            None => true,
+            Some((rate, rng)) => rng.gen::<f64>() < *rate,
+        };
+        if take {
+            self.checked += 1;
+            self.breakdown.checks += self.eff_check;
+        } else {
+            self.skipped += 1;
+        }
+        take
+    }
+}
+
+impl Runtime for TsanRuntime {
+    fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+        self.breakdown.baseline += self.cost.base_op_cost(&ev.op);
+        Directive::Continue
+    }
+
+    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
+        if self.sample() {
+            self.ft.read(ev.thread, ev.site, addr);
+        }
+        mem.load(addr)
+    }
+
+    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
+        if self.sample() {
+            self.ft.write(ev.thread, ev.site, addr);
+        }
+        mem.store(addr, val);
+    }
+
+    fn rmw(&mut self, mem: &mut Memory, _ev: &OpEvent<'_>, addr: Addr, delta: u64) -> u64 {
+        // Atomics are never data races under the C11 model; TSan does not
+        // check them either.
+        let old = mem.load(addr);
+        mem.store(addr, old.wrapping_add(delta));
+        old
+    }
+
+    fn after_sync(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) {
+        let t = ev.thread;
+        match ev.op {
+            Op::Lock(l) => self.ft.lock_acquire(t, l),
+            Op::Unlock(l) => self.ft.lock_release(t, l),
+            Op::Signal(c) => self.ft.signal(t, c),
+            Op::Wait(c) => self.ft.wait(t, c),
+            Op::Spawn(u) => self.ft.spawn(t, u),
+            Op::Join(u) => self.ft.join(t, u),
+            _ => return,
+        }
+        self.breakdown.checks += self.cost.tsan_sync;
+    }
+
+    fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
+        self.ft.barrier(b, &threads);
+        self.breakdown.checks += self.cost.tsan_sync * arrivals.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_sim::{Machine, ProgramBuilder, RandomSched, RunStatus};
+
+    #[test]
+    fn full_tsan_finds_plain_race() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write_l(x, 1, "w0");
+        b.thread(1).write_l(x, 2, "w1");
+        let p = b.build();
+        let mut rt = TsanRuntime::full(2, CostModel::default(), 1.0, ShadowMode::Exact);
+        let mut m = Machine::new(&p);
+        let mut s = RandomSched::new(1);
+        assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        assert_eq!(rt.races().distinct_count(), 1);
+        assert_eq!(rt.checked(), 2);
+        assert!(rt.breakdown().checks > 0);
+    }
+
+    #[test]
+    fn zero_rate_sampling_checks_nothing() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write(x, 1);
+        b.thread(1).write(x, 2);
+        let p = b.build();
+        let mut rt =
+            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.0, 7);
+        let mut m = Machine::new(&p);
+        let mut s = RandomSched::new(1);
+        m.run(&mut rt, &mut s);
+        assert_eq!(rt.checked(), 0);
+        assert_eq!(rt.skipped(), 2);
+        assert!(rt.races().is_empty());
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_respected() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(10_000, |t| {
+            t.read(x);
+        });
+        let p = b.build();
+        let mut rt =
+            TsanRuntime::sampling(1, CostModel::default(), 1.0, ShadowMode::Exact, 0.3, 9);
+        let mut m = Machine::new(&p);
+        let mut s = RandomSched::new(1);
+        m.run(&mut rt, &mut s);
+        let rate = rt.checked() as f64 / (rt.checked() + rt.skipped()) as f64;
+        assert!((0.25..0.35).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn full_rate_sampling_equals_full() {
+        let mut rt =
+            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 1.0, 7);
+        assert!(rt.sample());
+        assert_eq!(rt.skipped(), 0);
+    }
+
+    #[test]
+    fn sync_tracking_prevents_false_positives_under_sampling() {
+        // Sampling skips access checks but must never skip sync tracking.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let c = b.cond_id("c");
+        b.thread(0).write(x, 1).signal(c);
+        b.thread(1).wait(c).write(x, 2);
+        let p = b.build();
+        let mut rt =
+            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.99, 3);
+        let mut m = Machine::new(&p);
+        let mut s = RandomSched::new(1);
+        m.run(&mut rt, &mut s);
+        assert!(rt.races().is_empty(), "ordered accesses misreported");
+    }
+}
+
+/// An always-on Eraser-style lockset detector (Savage et al. '97), the
+/// classic pre-happens-before baseline the paper's related work contrasts
+/// with: cheap bookkeeping, but *incomplete* — it cannot see non-mutex
+/// synchronization (signal/wait, barriers, spawn/join), so it reports
+/// false positives on correctly ordered code.
+#[derive(Debug)]
+pub struct LocksetRuntime {
+    ls: Lockset,
+    cost: CostModel,
+    breakdown: CycleBreakdown,
+}
+
+impl LocksetRuntime {
+    /// Creates a lockset runtime for `threads` threads.
+    pub fn new(threads: usize, cost: CostModel) -> Self {
+        LocksetRuntime {
+            ls: Lockset::new(threads),
+            cost,
+            breakdown: CycleBreakdown::default(),
+        }
+    }
+
+    /// Lockset violations reported (candidate set emptied while shared-
+    /// modified). Some are true races; some are false positives.
+    pub fn reports(&self) -> &[LocksetReport] {
+        self.ls.reports()
+    }
+
+    /// Cycle breakdown (`baseline` + `checks`).
+    pub fn breakdown(&self) -> CycleBreakdown {
+        self.breakdown
+    }
+}
+
+impl Runtime for LocksetRuntime {
+    fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+        self.breakdown.baseline += self.cost.base_op_cost(&ev.op);
+        Directive::Continue
+    }
+
+    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
+        self.ls.read(ev.thread, ev.site, addr);
+        // Lockset checks are cheaper than vector-clock checks: a set
+        // intersection against the held set, modeled at half a TSan check.
+        self.breakdown.checks += self.cost.tsan_check / 2;
+        mem.load(addr)
+    }
+
+    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
+        self.ls.write(ev.thread, ev.site, addr);
+        self.breakdown.checks += self.cost.tsan_check / 2;
+        mem.store(addr, val);
+    }
+
+    fn after_sync(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) {
+        match ev.op {
+            Op::Lock(l) => self.ls.lock_acquire(ev.thread, l),
+            Op::Unlock(l) => self.ls.lock_release(ev.thread, l),
+            // Eraser is blind to every other synchronization primitive —
+            // that blindness is its incompleteness.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod lockset_tests {
+    use super::*;
+    use txrace_sim::{Machine, ProgramBuilder, RoundRobin, RunStatus};
+
+    #[test]
+    fn lockset_runtime_flags_unlocked_sharing() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write(x, 1);
+        b.thread(1).write(x, 2);
+        let p = b.build();
+        let mut rt = LocksetRuntime::new(2, CostModel::default());
+        let mut m = Machine::new(&p);
+        let mut s = RoundRobin::new();
+        assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        assert_eq!(rt.reports().len(), 1);
+    }
+
+    #[test]
+    fn lockset_runtime_false_positive_on_signal_wait() {
+        // Ordered by signal/wait: a HB detector stays silent, Eraser does
+        // not — the incompleteness the paper's related work describes.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let c = b.cond_id("c");
+        b.thread(0).write(x, 1).signal(c);
+        b.thread(1).wait(c).write(x, 2);
+        let p = b.build();
+        let mut rt = LocksetRuntime::new(2, CostModel::default());
+        let mut m = Machine::new(&p);
+        let mut s = RoundRobin::new();
+        assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        assert_eq!(rt.reports().len(), 1, "expected the classic false positive");
+    }
+}

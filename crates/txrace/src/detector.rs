@@ -1,0 +1,434 @@
+//! The public façade: configure a detection scheme, run a program, get a
+//! [`RunOutcome`] with races, transaction statistics, and the cycle
+//! breakdown.
+
+use txrace_hb::{RaceSet, ShadowMode};
+use txrace_htm::{HtmConfig, HtmStats};
+use txrace_sim::{
+    FairSched, InterruptModel, Machine, Program, RandomSched, RoundRobin, RunResult, RunStatus,
+    Scheduler, StepLimit,
+};
+
+use crate::baselines::TsanRuntime;
+use crate::cost::{CostModel, CycleBreakdown};
+use crate::engine::{EngineConfig, EngineStats, TxRaceEngine};
+use crate::instrument::{instrument, InstrumentConfig, InstrumentedProgram};
+use crate::loopcut::{LoopcutMode, LoopcutProfile};
+
+/// TxRace-specific options.
+#[derive(Debug, Clone)]
+pub struct TxRaceOpts {
+    /// Loop-cut scheme (`NoOpt` / `Dyn` / `Prof`).
+    pub loopcut: LoopcutMode,
+    /// Instrumentation pass configuration.
+    pub instrument: InstrumentConfig,
+    /// Transient-abort retries before the slow path.
+    pub max_retries: u32,
+    /// Profile for [`LoopcutMode::Prof`]; auto-collected (one Dyn run on a
+    /// derived seed) when absent.
+    pub profile: Option<LoopcutProfile>,
+    /// Track happens-before of sync ops on the fast path (§5). Disable
+    /// only for the ablation study — false positives appear.
+    pub track_fast_sync: bool,
+    /// Extension: conflict-address-directed slow path (requires
+    /// [`txrace_htm::HtmConfig::report_conflict_address`]).
+    pub conflict_hints: bool,
+    /// Extension: sample slow-path checks at this rate.
+    pub slow_sampling: Option<f64>,
+}
+
+impl Default for TxRaceOpts {
+    fn default() -> Self {
+        TxRaceOpts {
+            loopcut: LoopcutMode::Dyn,
+            instrument: InstrumentConfig::default(),
+            max_retries: 3,
+            profile: None,
+            track_fast_sync: true,
+            conflict_hints: false,
+            slow_sampling: None,
+        }
+    }
+}
+
+/// Which detector to run.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// Full software happens-before checking (the TSan baseline).
+    Tsan,
+    /// TSan with per-access sampling at the given rate in `[0, 1]`.
+    TsanSampling {
+        /// Fraction of dynamic accesses checked.
+        rate: f64,
+    },
+    /// The TxRace two-phase detector.
+    TxRace(TxRaceOpts),
+}
+
+impl Scheme {
+    /// TxRace with default options (Dyn loop-cut, `K = 5`).
+    pub fn txrace() -> Scheme {
+        Scheme::TxRace(TxRaceOpts::default())
+    }
+
+    /// TxRace with a specific loop-cut mode.
+    pub fn txrace_loopcut(mode: LoopcutMode) -> Scheme {
+        Scheme::TxRace(TxRaceOpts {
+            loopcut: mode,
+            ..TxRaceOpts::default()
+        })
+    }
+}
+
+/// Scheduling policy for the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedKind {
+    /// Deterministic round-robin (no interrupts ever fire).
+    RoundRobin,
+    /// Seeded random with burst stickiness in `[0, 1)`.
+    Random {
+        /// Probability of keeping the running thread each step.
+        stickiness: f64,
+    },
+    /// Fair (parallel-cores) scheduling with a random-jitter fraction in
+    /// `[0, 1]` and a fairness slack (bounded random-walk amplitude of
+    /// relative thread positions).
+    Fair {
+        /// Probability of a uniformly random pick.
+        jitter: f64,
+        /// Fairness slack in steps.
+        slack: u64,
+    },
+}
+
+/// Full configuration of one detection run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Detector selection.
+    pub scheme: Scheme,
+    /// Seed for scheduling (and sampling, shifted).
+    pub seed: u64,
+    /// Scheduler policy.
+    pub sched: SchedKind,
+    /// OS interrupt injection (drives unknown/retry aborts).
+    pub interrupts: InterruptModel,
+    /// Simulated HTM parameters.
+    pub htm: HtmConfig,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Workload-specific TSan shadow-cost multiplier.
+    pub shadow_factor: f64,
+    /// Slow-path shadow-memory configuration.
+    pub shadow: ShadowMode,
+    /// Optional interpreter step limit.
+    pub step_limit: Option<u64>,
+}
+
+impl RunConfig {
+    /// A configuration with sensible defaults: fair (parallel-cores)
+    /// scheduling with light jitter and no interrupt injection.
+    pub fn new(scheme: Scheme, seed: u64) -> Self {
+        RunConfig {
+            scheme,
+            seed,
+            sched: SchedKind::Fair {
+                jitter: 0.1,
+                slack: 0,
+            },
+            interrupts: InterruptModel::NONE,
+            htm: HtmConfig::default(),
+            cost: CostModel::default(),
+            shadow_factor: 1.0,
+            shadow: ShadowMode::Exact,
+            step_limit: None,
+        }
+    }
+
+    /// Sets the interrupt model.
+    pub fn with_interrupts(mut self, m: InterruptModel) -> Self {
+        self.interrupts = m;
+        self
+    }
+
+    /// Sets the HTM parameters.
+    pub fn with_htm(mut self, htm: HtmConfig) -> Self {
+        self.htm = htm;
+        self
+    }
+
+    /// Sets the workload shadow factor.
+    pub fn with_shadow_factor(mut self, f: f64) -> Self {
+        self.shadow_factor = f;
+        self
+    }
+
+    /// Sets the scheduler policy.
+    pub fn with_sched(mut self, s: SchedKind) -> Self {
+        self.sched = s;
+        self
+    }
+}
+
+/// Everything one detection run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Distinct static races reported.
+    pub races: RaceSet,
+    /// Cycle breakdown by overhead category.
+    pub breakdown: CycleBreakdown,
+    /// Uninstrumented baseline cycles of the program.
+    pub baseline_cycles: u64,
+    /// `breakdown.total() / baseline_cycles`.
+    pub overhead: f64,
+    /// HTM statistics (TxRace runs only).
+    pub htm: Option<HtmStats>,
+    /// Engine statistics (TxRace runs only).
+    pub engine: Option<EngineStats>,
+    /// Software access checks performed.
+    pub checks: u64,
+    /// Final shared-memory state of the run.
+    pub memory: txrace_sim::Memory,
+    /// Interpreter result.
+    pub run: RunResult,
+}
+
+impl RunOutcome {
+    /// True if the program ran to completion.
+    pub fn completed(&self) -> bool {
+        self.run.status == RunStatus::Done
+    }
+}
+
+/// Runs detection schemes over programs.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    cfg: RunConfig,
+}
+
+impl Detector {
+    /// Creates a detector with the given configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        Detector { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    fn make_sched(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self.cfg.sched {
+            SchedKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedKind::Random { stickiness } => Box::new(
+                RandomSched::new(seed)
+                    .with_interrupts(self.cfg.interrupts)
+                    .with_stickiness(stickiness),
+            ),
+            SchedKind::Fair { jitter, slack } => Box::new(
+                FairSched::new(seed, jitter)
+                    .with_slack(slack)
+                    .with_interrupts(self.cfg.interrupts),
+            ),
+        }
+    }
+
+    fn limit(&self) -> StepLimit {
+        self.cfg
+            .step_limit
+            .map(StepLimit)
+            .unwrap_or_default()
+    }
+
+    /// Runs the configured scheme on `program`. TxRace schemes instrument
+    /// internally; to reuse an instrumented program across runs, use
+    /// [`Detector::run_instrumented`].
+    pub fn run(&self, program: &Program) -> RunOutcome {
+        match &self.cfg.scheme {
+            Scheme::Tsan | Scheme::TsanSampling { .. } => self.run_tsan(program),
+            Scheme::TxRace(opts) => {
+                let ip = instrument(program, &opts.instrument);
+                self.run_txrace(&ip, opts)
+            }
+        }
+    }
+
+    /// Runs a TxRace scheme on an already instrumented program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured scheme is not [`Scheme::TxRace`].
+    pub fn run_instrumented(&self, ip: &InstrumentedProgram) -> RunOutcome {
+        match &self.cfg.scheme {
+            Scheme::TxRace(opts) => self.run_txrace(ip, opts),
+            other => panic!("run_instrumented requires a TxRace scheme, got {other:?}"),
+        }
+    }
+
+    /// Collects a loop-cut profile: one Dyn-mode run on `profile_seed`,
+    /// exporting the learned thresholds (the paper's offline profiling run
+    /// with representative input).
+    pub fn profile_loopcut(&self, ip: &InstrumentedProgram, profile_seed: u64) -> LoopcutProfile {
+        let opts = match &self.cfg.scheme {
+            Scheme::TxRace(o) => o.clone(),
+            _ => TxRaceOpts::default(),
+        };
+        let cfg = EngineConfig {
+            htm: self.cfg.htm,
+            cost: self.cfg.cost,
+            shadow_factor: self.cfg.shadow_factor,
+            loopcut: LoopcutMode::Dyn,
+            profile: None,
+            max_retries: opts.max_retries,
+            shadow: self.cfg.shadow,
+            track_fast_sync: opts.track_fast_sync,
+            conflict_hints: opts.conflict_hints,
+            slow_sampling: opts.slow_sampling,
+        };
+        let mut engine = TxRaceEngine::new(ip, cfg);
+        let mut machine = Machine::new(&ip.program);
+        let mut sched = self.make_sched(profile_seed);
+        let _ = machine.run_with_limit(&mut engine, sched.as_mut(), self.limit());
+        engine.loopcut_profile()
+    }
+
+    fn run_txrace(&self, ip: &InstrumentedProgram, opts: &TxRaceOpts) -> RunOutcome {
+        let profile = match (opts.loopcut, &opts.profile) {
+            (LoopcutMode::Prof, Some(p)) => Some(p.clone()),
+            (LoopcutMode::Prof, None) => {
+                // Auto-profile on a derived seed (a "representative input"
+                // run in the paper's methodology).
+                Some(self.profile_loopcut(ip, self.cfg.seed.wrapping_add(0x9E37_79B9)))
+            }
+            _ => None,
+        };
+        let cfg = EngineConfig {
+            htm: self.cfg.htm,
+            cost: self.cfg.cost,
+            shadow_factor: self.cfg.shadow_factor,
+            loopcut: opts.loopcut,
+            profile,
+            max_retries: opts.max_retries,
+            shadow: self.cfg.shadow,
+            track_fast_sync: opts.track_fast_sync,
+            conflict_hints: opts.conflict_hints,
+            slow_sampling: opts.slow_sampling,
+        };
+        let mut engine = TxRaceEngine::new(ip, cfg);
+        let mut machine = Machine::new(&ip.program);
+        let mut sched = self.make_sched(self.cfg.seed);
+        let run = machine.run_with_limit(&mut engine, sched.as_mut(), self.limit());
+        let baseline_cycles = self.cfg.cost.baseline_cycles(&ip.program);
+        let breakdown = engine.breakdown();
+        RunOutcome {
+            races: engine.races().clone(),
+            breakdown,
+            baseline_cycles,
+            overhead: breakdown.overhead_vs(baseline_cycles),
+            htm: Some(engine.htm_stats()),
+            engine: Some(engine.stats()),
+            checks: engine.checks(),
+            memory: machine.memory().clone(),
+            run,
+        }
+    }
+
+    fn run_tsan(&self, program: &Program) -> RunOutcome {
+        let n = program.thread_count();
+        let mut rt = match &self.cfg.scheme {
+            Scheme::Tsan => TsanRuntime::full(
+                n,
+                self.cfg.cost,
+                self.cfg.shadow_factor,
+                self.cfg.shadow,
+            ),
+            Scheme::TsanSampling { rate } => TsanRuntime::sampling(
+                n,
+                self.cfg.cost,
+                self.cfg.shadow_factor,
+                self.cfg.shadow,
+                *rate,
+                self.cfg.seed.wrapping_add(0x517C_C1B7),
+            ),
+            Scheme::TxRace(_) => unreachable!("dispatched in run()"),
+        };
+        let mut machine = Machine::new(program);
+        let mut sched = self.make_sched(self.cfg.seed);
+        let run = machine.run_with_limit(&mut rt, sched.as_mut(), self.limit());
+        let baseline_cycles = self.cfg.cost.baseline_cycles(program);
+        let breakdown = rt.breakdown();
+        RunOutcome {
+            races: rt.races().clone(),
+            breakdown,
+            baseline_cycles,
+            overhead: breakdown.overhead_vs(baseline_cycles),
+            htm: None,
+            engine: None,
+            checks: rt.checked(),
+            memory: machine.memory().clone(),
+            run,
+        }
+    }
+}
+
+/// Computes recall: the fraction of `truth`'s races also found in `found`
+/// (the paper's effectiveness metric, §8.4, with TSan's reports as the
+/// "real data races").
+pub fn recall(found: &RaceSet, truth: &RaceSet) -> f64 {
+    if truth.distinct_count() == 0 {
+        return 1.0;
+    }
+    let hit = truth
+        .pairs()
+        .filter(|p| found.contains(p.a, p.b))
+        .count();
+    hit as f64 / truth.distinct_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_hb::{RacePair, RaceSet};
+    use txrace_sim::{ProgramBuilder, SiteId};
+
+    #[test]
+    fn recall_of_empty_truth_is_one() {
+        assert_eq!(recall(&RaceSet::new(), &RaceSet::new()), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_hits() {
+        use txrace_hb::{AccessInfo, AccessKind, RaceReport};
+        let mk = |a: u32, b: u32| RaceReport {
+            addr: txrace_sim::Addr(0x100),
+            prior: AccessInfo {
+                site: SiteId(a),
+                thread: txrace_sim::ThreadId(0),
+                kind: AccessKind::Write,
+            },
+            current: AccessInfo {
+                site: SiteId(b),
+                thread: txrace_sim::ThreadId(1),
+                kind: AccessKind::Write,
+            },
+        };
+        let truth: RaceSet = [mk(1, 2), mk(3, 4)].into_iter().collect();
+        let found: RaceSet = [mk(1, 2)].into_iter().collect();
+        assert_eq!(recall(&found, &truth), 0.5);
+        let _ = RacePair::new(SiteId(1), SiteId(2));
+    }
+
+    #[test]
+    fn tsan_and_txrace_complete_on_simple_program() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        for t in 0..2 {
+            b.thread(t).compute(5).write(x, t as u64).compute(5);
+        }
+        let p = b.build();
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            let out = Detector::new(RunConfig::new(scheme, 3)).run(&p);
+            assert!(out.completed());
+            assert!(out.overhead >= 1.0);
+        }
+    }
+}

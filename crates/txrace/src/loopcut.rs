@@ -1,0 +1,279 @@
+//! The loop-cut optimization (paper §4.3).
+//!
+//! Long loops overflow the HTM write buffer and cause *capacity aborts*
+//! every time their region executes; without mitigation every such region
+//! pays a full slow-path re-execution. Loop-cut learns, per static loop, a
+//! trip-count threshold that fits the hardware, and splits the transaction
+//! at the loop probe whenever the running iteration count reaches it.
+//!
+//! * **Dyn** learns online: the threshold appears (initialized to 2) after
+//!   the first capacity abort attributed to the loop, is incremented each
+//!   time a cut transaction commits, and decremented on further capacity
+//!   aborts — converging to the largest committing trip count. Updates to
+//!   a plain counter would not survive the abort, which is why TxRace
+//!   adjusts the estimate outside the transaction (commit/abort events).
+//! * **Prof** starts from thresholds collected in a profiling run, so even
+//!   the *first* capacity abort is avoided; mis-profiling is repaired by
+//!   the same online adjustment.
+//! * **NoOpt** disables cutting: every capacity abort falls back to the
+//!   slow path (the paper's baseline scheme).
+
+use std::collections::HashMap;
+
+use txrace_sim::{LoopId, ThreadId};
+
+/// Which loop-cut scheme the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopcutMode {
+    /// No cutting; capacity aborts always fall back to the slow path.
+    NoOpt,
+    /// Online threshold learning (`TxRace-DynLoopcut`).
+    #[default]
+    Dyn,
+    /// Profile-seeded thresholds (`TxRace-ProfLoopcut`).
+    Prof,
+}
+
+/// Thresholds collected by a profiling run, consumed by
+/// [`LoopcutMode::Prof`].
+#[derive(Debug, Clone, Default)]
+pub struct LoopcutProfile {
+    /// Largest committing trip count observed per loop.
+    pub thresholds: HashMap<LoopId, u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Learn {
+    threshold: u32,
+    /// Smallest threshold that is known to overflow; growth stays below it
+    /// (hysteresis, so the learner settles instead of oscillating at the
+    /// capacity boundary).
+    cap: Option<u32>,
+}
+
+/// Runtime loop-cut state: per-loop thresholds plus per-thread iteration
+/// counters for the current transaction.
+#[derive(Debug)]
+pub struct LoopcutState {
+    mode: LoopcutMode,
+    thresholds: HashMap<LoopId, Learn>,
+    counters: Vec<HashMap<LoopId, u32>>,
+    cuts: u64,
+}
+
+/// Initial threshold after the first capacity abort (paper: "a small
+/// initial estimate (two in our experiment)").
+const INITIAL_THRESHOLD: u32 = 2;
+
+impl LoopcutState {
+    /// Creates loop-cut state for `threads` threads. `profile` seeds
+    /// thresholds and is only meaningful in [`LoopcutMode::Prof`].
+    pub fn new(mode: LoopcutMode, threads: usize, profile: Option<&LoopcutProfile>) -> Self {
+        let thresholds = match (mode, profile) {
+            (LoopcutMode::Prof, Some(p)) => p
+                .thresholds
+                .iter()
+                .map(|(&l, &t)| {
+                    // A profiled threshold is trusted as the stable value:
+                    // cap growth right above it so the very first capacity
+                    // abort is avoided (mis-profiling still self-repairs
+                    // through the abort path).
+                    (
+                        l,
+                        Learn {
+                            threshold: t,
+                            cap: Some(t + 1),
+                        },
+                    )
+                })
+                .collect(),
+            _ => HashMap::new(),
+        };
+        LoopcutState {
+            mode,
+            thresholds,
+            counters: vec![HashMap::new(); threads],
+            cuts: 0,
+        }
+    }
+
+    /// Number of transactions split so far.
+    pub fn cuts(&self) -> u64 {
+        self.cuts
+    }
+
+    /// Current per-loop thresholds (what a profiling run exports).
+    pub fn thresholds(&self) -> HashMap<LoopId, u32> {
+        self.thresholds
+            .iter()
+            .map(|(&l, &v)| (l, v.threshold))
+            .collect()
+    }
+
+    /// Exports the learned thresholds as a profile.
+    pub fn to_profile(&self) -> LoopcutProfile {
+        LoopcutProfile {
+            thresholds: self.thresholds(),
+        }
+    }
+
+    /// Resets thread `t`'s iteration counters; call at transaction start
+    /// (counters track iterations *within the current transaction*).
+    pub fn on_txn_start(&mut self, t: ThreadId) {
+        self.counters[t.index()].clear();
+    }
+
+    /// Records one pass of thread `t` over loop `l`'s probe. Returns true
+    /// if the transaction should be cut here (and resets the counters for
+    /// the new transaction).
+    pub fn probe(&mut self, t: ThreadId, l: LoopId) -> bool {
+        if self.mode == LoopcutMode::NoOpt {
+            return false;
+        }
+        let Some(&Learn { threshold, .. }) = self.thresholds.get(&l) else {
+            return false; // not (yet) a loop-cut candidate
+        };
+        let c = self.counters[t.index()].entry(l).or_insert(0);
+        *c += 1;
+        if *c >= threshold {
+            self.counters[t.index()].clear();
+            self.cuts += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A capacity abort was attributed to loop `l`: activate it (Dyn) or
+    /// shrink its threshold.
+    pub fn on_capacity_abort(&mut self, l: Option<LoopId>) {
+        if self.mode == LoopcutMode::NoOpt {
+            return;
+        }
+        let Some(l) = l else { return };
+        self.thresholds
+            .entry(l)
+            .and_modify(|v| {
+                v.cap = Some(v.cap.map_or(v.threshold, |c| c.min(v.threshold)));
+                v.threshold = (v.threshold - 1).max(1);
+            })
+            .or_insert(Learn {
+                threshold: INITIAL_THRESHOLD,
+                cap: None,
+            });
+    }
+
+    /// A transaction cut at loop `l` committed: grow the threshold, but
+    /// never to a value known to overflow.
+    pub fn on_cut_commit(&mut self, l: LoopId) {
+        if let Some(v) = self.thresholds.get_mut(&l) {
+            if v.cap.is_none_or(|c| v.threshold + 1 < c) {
+                v.threshold += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const L: LoopId = LoopId(3);
+
+    #[test]
+    fn noopt_never_cuts() {
+        let mut s = LoopcutState::new(LoopcutMode::NoOpt, 1, None);
+        s.on_capacity_abort(Some(L));
+        for _ in 0..100 {
+            assert!(!s.probe(T0, L));
+        }
+        assert_eq!(s.cuts(), 0);
+    }
+
+    #[test]
+    fn dyn_activates_after_first_capacity_abort() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        assert!(!s.probe(T0, L), "inactive before any capacity abort");
+        s.on_capacity_abort(Some(L));
+        assert_eq!(s.thresholds()[&L], INITIAL_THRESHOLD);
+        assert!(!s.probe(T0, L)); // 1 < 2
+        assert!(s.probe(T0, L)); // 2 >= 2: cut
+        assert_eq!(s.cuts(), 1);
+    }
+
+    #[test]
+    fn commit_grows_and_abort_shrinks_threshold() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(Some(L));
+        s.on_cut_commit(L);
+        s.on_cut_commit(L);
+        assert_eq!(s.thresholds()[&L], 4);
+        s.on_capacity_abort(Some(L));
+        assert_eq!(s.thresholds()[&L], 3);
+    }
+
+    #[test]
+    fn threshold_floors_at_one() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(Some(L));
+        for _ in 0..10 {
+            s.on_capacity_abort(Some(L));
+        }
+        assert_eq!(s.thresholds()[&L], 1);
+        assert!(s.probe(T0, L), "threshold 1 cuts every iteration");
+    }
+
+    #[test]
+    fn prof_seeds_thresholds() {
+        let mut profile = LoopcutProfile::default();
+        profile.thresholds.insert(L, 10);
+        let mut s = LoopcutState::new(LoopcutMode::Prof, 1, Some(&profile));
+        for _ in 0..9 {
+            assert!(!s.probe(T0, L));
+        }
+        assert!(s.probe(T0, L));
+    }
+
+    #[test]
+    fn dyn_ignores_profile() {
+        let mut profile = LoopcutProfile::default();
+        profile.thresholds.insert(L, 10);
+        let s = LoopcutState::new(LoopcutMode::Dyn, 1, Some(&profile));
+        assert!(s.thresholds().is_empty());
+    }
+
+    #[test]
+    fn txn_start_resets_counters() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(Some(L));
+        assert!(!s.probe(T0, L));
+        s.on_txn_start(T0);
+        assert!(!s.probe(T0, L), "counter was reset");
+        assert!(s.probe(T0, L));
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 2, None);
+        s.on_capacity_abort(Some(L));
+        assert!(!s.probe(T0, L));
+        assert!(!s.probe(ThreadId(1), L), "thread 1 has its own counter");
+    }
+
+    #[test]
+    fn unknown_loop_attribution_is_ignored() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(None);
+        assert!(s.thresholds().is_empty());
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(Some(L));
+        s.on_cut_commit(L);
+        let p = s.to_profile();
+        assert_eq!(p.thresholds[&L], 3);
+    }
+}

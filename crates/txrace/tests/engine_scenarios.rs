@@ -1,0 +1,536 @@
+//! End-to-end scenario tests of the TxRace two-phase protocol, one per
+//! paper mechanism: conflict-triggered slow path (Figure 3), false-sharing
+//! filtering, capacity fallback with concurrent fast/slow detection
+//! (Figure 5), fast-path happens-before tracking (Figure 6),
+//! non-overlapping false negatives (Figure 4), loop-cut, and the forward
+//! progress / correctness invariants of DESIGN.md §6.
+
+use txrace::{recall, Detector, LoopcutMode, RunConfig, SchedKind, Scheme, TxRaceOpts};
+use txrace_htm::HtmConfig;
+use txrace_sim::{InterruptModel, ProgramBuilder, Program, ThreadId};
+
+fn txrace_cfg(seed: u64) -> RunConfig {
+    RunConfig::new(Scheme::txrace(), seed)
+}
+
+fn tsan_cfg(seed: u64) -> RunConfig {
+    RunConfig::new(Scheme::Tsan, seed)
+}
+
+/// Two threads hammer the same variable in big unsynchronized regions:
+/// the HTM must conflict, the slow path must pinpoint the planted pair.
+fn racy_program() -> Program {
+    // The racy accesses recur throughout both threads' main loops, so the
+    // conflicting accesses overlap in flight under any fair schedule.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    let scratch = b.array("scratch", 64);
+    for t in 0..2u32 {
+        b.thread(t as usize).loop_n(50, |tb| {
+            tb.compute(5);
+            for i in 0..6 {
+                tb.read(txrace_sim::elem(scratch, (t as usize) * 8 + i));
+            }
+            if t == 0 {
+                tb.write_l(x, 1, "racy_write");
+            } else {
+                tb.read_l(x, "racy_read");
+            }
+            tb.compute(4);
+            // A syscall cuts the region, so each iteration is its own
+            // transaction: most commit, the overlapping ones conflict.
+            tb.syscall(txrace_sim::SyscallKind::Io);
+        });
+    }
+    b.build()
+}
+
+#[test]
+fn conflict_abort_triggers_slow_path_and_pinpoints_race() {
+    let p = racy_program();
+    let out = Detector::new(txrace_cfg(7).with_sched(SchedKind::Random { stickiness: 0.5 }))
+        .run(&p);
+    assert!(out.completed());
+    let htm = out.htm.expect("txrace run has HTM stats");
+    assert!(htm.conflict_aborts > 0, "expected conflict aborts: {htm:?}");
+    assert!(htm.committed > 0);
+    let w = p.site("racy_write").unwrap();
+    let r = p.site("racy_read").unwrap();
+    assert!(
+        out.races.contains(w, r),
+        "planted race not found; races: {:?}",
+        out.races.pairs().collect::<Vec<_>>()
+    );
+    let es = out.engine.expect("engine stats");
+    assert!(es.slow_conflict > 0);
+    assert!(es.txfail_writes > 0, "conflict episode must write TxFail");
+}
+
+#[test]
+fn false_sharing_conflicts_are_filtered_by_slow_path() {
+    // Distinct variables in one cache line: the fast path conflicts, the
+    // word-granular slow path must not report anything.
+    let mut b = ProgramBuilder::new(2);
+    let base = b.var("padded");
+    let x0 = base;
+    let x1 = b.var_sharing_line(base, 8);
+    for (t, v) in [(0usize, x0), (1usize, x1)] {
+        b.thread(t).loop_n(60, |tb| {
+            tb.write(v, t as u64).read(v).compute(3);
+        });
+    }
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(3).with_sched(SchedKind::Random { stickiness: 0.3 }))
+        .run(&p);
+    assert!(out.completed());
+    let htm = out.htm.unwrap();
+    assert!(
+        htm.conflict_aborts > 0,
+        "false sharing should conflict in HTM: {htm:?}"
+    );
+    assert!(
+        out.races.is_empty(),
+        "false sharing must be filtered (completeness): {:?}",
+        out.races.reports()
+    );
+}
+
+#[test]
+fn lock_protected_accesses_never_race_and_never_conflict() {
+    let mut b = ProgramBuilder::new(4);
+    let x = b.var("x");
+    let l = b.lock_id("l");
+    for t in 0..4 {
+        b.thread(t).loop_n(25, |tb| {
+            tb.lock(l);
+            for _ in 0..6 {
+                tb.read(x);
+            }
+            tb.write(x, t as u64);
+            tb.unlock(l);
+        });
+    }
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(11)).run(&p);
+    assert!(out.completed());
+    assert!(out.races.is_empty());
+    // Critical sections on one lock cannot overlap, so their transactions
+    // cannot conflict with each other.
+    assert_eq!(out.htm.unwrap().conflict_aborts, 0);
+}
+
+#[test]
+fn capacity_abort_sends_only_that_thread_slow() {
+    // Thread 0 writes far more lines than the (shrunken) HTM holds;
+    // thread 1 does small clean work.
+    let mut b = ProgramBuilder::new(2);
+    let big = b.array("big", 1024); // 128 lines
+    let y = b.var("y");
+    b.thread(0).loop_n(3, |tb| {
+        for i in 0..128 {
+            tb.write(txrace_sim::elem(big, i * 8), 1);
+        }
+        tb.compute(10);
+    });
+    b.thread(1).loop_n(50, |tb| {
+        tb.read(y).read(y).read(y).write(y, 1).read(y).read(y);
+    });
+    let p = b.build();
+    let htm = HtmConfig {
+        write_sets: 8,
+        write_ways: 4, // 32-line write capacity
+        ..HtmConfig::default()
+    };
+    let cfg = RunConfig::new(
+        Scheme::TxRace(TxRaceOpts {
+            loopcut: LoopcutMode::NoOpt,
+            ..TxRaceOpts::default()
+        }),
+        5,
+    )
+    .with_htm(htm);
+    let out = Detector::new(cfg).run(&p);
+    assert!(out.completed());
+    let stats = out.htm.unwrap();
+    assert!(stats.capacity_aborts > 0, "{stats:?}");
+    let es = out.engine.unwrap();
+    assert!(es.slow_capacity > 0);
+    // No conflicts, no TxFail episodes: thread 1 stays fast.
+    assert_eq!(es.txfail_writes, 0);
+    assert!(out.races.is_empty());
+}
+
+#[test]
+fn loopcut_dyn_reduces_capacity_aborts() {
+    // Each loop iteration writes a fresh cache line (stride 64); the
+    // shrunken HTM holds 32 write lines, so a 200-iteration transaction
+    // always overflows unless it is cut.
+    let mut b = ProgramBuilder::new(2);
+    let big0 = b.array("big0", 8192);
+    let big1 = b.array("big1", 8192);
+    for (t, base) in [(0usize, big0), (1usize, big1)] {
+        // Ten dynamic instances of the region (cut by the syscall), each
+        // walking 60 fresh lines: NoOpt capacity-aborts every instance;
+        // Dyn learns after the first; Prof avoids even that one.
+        b.thread(t).loop_n(10, |tb| {
+            tb.loop_n(60, |tb| {
+                tb.write_arr(base, 64, 1);
+                tb.compute(2);
+            });
+            tb.syscall(txrace_sim::SyscallKind::Io);
+        });
+    }
+    let p = b.build();
+    let htm = HtmConfig {
+        write_sets: 8,
+        write_ways: 4, // 32-line write capacity
+        ..HtmConfig::default()
+    };
+    let run = |mode: LoopcutMode| {
+        let cfg = RunConfig::new(
+            Scheme::TxRace(TxRaceOpts {
+                loopcut: mode,
+                ..TxRaceOpts::default()
+            }),
+            9,
+        )
+        .with_htm(htm);
+        Detector::new(cfg).run(&p)
+    };
+    let noopt = run(LoopcutMode::NoOpt);
+    let dynr = run(LoopcutMode::Dyn);
+    let prof = run(LoopcutMode::Prof);
+    assert!(noopt.completed() && dynr.completed() && prof.completed());
+    let (n_cap, d_cap, p_cap) = (
+        noopt.htm.unwrap().capacity_aborts,
+        dynr.htm.unwrap().capacity_aborts,
+        prof.htm.unwrap().capacity_aborts,
+    );
+    assert!(n_cap > 0);
+    assert!(d_cap < n_cap, "Dyn should cut: {d_cap} vs {n_cap}");
+    assert!(p_cap <= d_cap, "Prof avoids early aborts: {p_cap} vs {d_cap}");
+    assert!(dynr.engine.unwrap().loop_cuts > 0);
+    assert!(
+        dynr.overhead < noopt.overhead,
+        "loopcut should pay off: {} vs {}",
+        dynr.overhead,
+        noopt.overhead
+    );
+}
+
+#[test]
+fn fast_slow_concurrent_detection_via_strong_isolation() {
+    // Figure 5: thread 0 runs big fast regions touching X; thread 1 runs
+    // tiny (SlowOnly) regions also touching X. The slow thread's plain
+    // access must doom thread 0's transaction (strong isolation), pulling
+    // it into the slow path where the race is confirmed.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    let pad = b.array("pad", 64);
+    b.thread(0).loop_n(80, |tb| {
+        for i in 0..6 {
+            tb.read(txrace_sim::elem(pad, i));
+        }
+        tb.write_l(x, 7, "fast_write");
+        tb.compute(3);
+    });
+    b.thread(1).loop_n(80, |tb| {
+        tb.read_l(x, "slow_read").compute(6);
+        tb.syscall(txrace_sim::SyscallKind::Io); // keeps regions tiny (SlowOnly)
+    });
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(21).with_sched(SchedKind::Random { stickiness: 0.4 }))
+        .run(&p);
+    assert!(out.completed());
+    assert!(out.engine.unwrap().slow_small > 0, "thread 1 regions are SlowOnly");
+    let w = p.site("fast_write").unwrap();
+    let r = p.site("slow_read").unwrap();
+    assert!(
+        out.races.contains(w, r),
+        "fast/slow race not detected: {:?}",
+        out.races.pairs().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fast_path_sync_tracking_prevents_false_positives() {
+    // Figure 6: a signal/wait edge whose endpoints run on the fast path
+    // must still order slow-path accesses before and after it.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    let c = b.cond_id("c");
+    // Thread 0: writes X in a tiny SlowOnly region, then signals.
+    b.thread(0).write_l(x, 1, "before_signal").signal(c);
+    // Thread 1: waits, runs a big fast region (clean), then a tiny
+    // SlowOnly region writing X.
+    let pad = b.array("pad", 64);
+    b.thread(1).wait(c);
+    b.thread(1).loop_n(10, |tb| {
+        for i in 0..6 {
+            tb.read(txrace_sim::elem(pad, i));
+        }
+    });
+    b.thread(1).syscall(txrace_sim::SyscallKind::Io);
+    b.thread(1).write_l(x, 2, "after_wait");
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(2)).run(&p);
+    assert!(out.completed());
+    assert!(
+        out.races.is_empty(),
+        "signal/wait-ordered accesses misreported: {:?}",
+        out.races.reports()
+    );
+}
+
+#[test]
+fn non_overlapping_race_is_missed_but_tsan_finds_it() {
+    // Figure 4(b) / the bodytrack init idiom: write early, read much
+    // later; transactions never overlap, so TxRace misses what TSan finds.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    let pad0 = b.array("pad0", 64);
+    let pad1 = b.array("pad1", 64);
+    // Thread 0: racy write in its own early region (closed by a syscall),
+    // then long quiet work.
+    b.thread(0).write_l(x, 1, "init_write");
+    b.thread(0).write(x, 1).write(x, 1).write(x, 1).write(x, 1); // pad region >= K
+    b.thread(0).syscall(txrace_sim::SyscallKind::Io);
+    b.thread(0).loop_n(400, |tb| {
+        tb.read(txrace_sim::elem(pad0, 0)).compute(20);
+    });
+    // Thread 1: long quiet work, then the racy read in its own region.
+    b.thread(1).loop_n(400, |tb| {
+        tb.read(txrace_sim::elem(pad1, 0)).compute(20);
+    });
+    b.thread(1).syscall(txrace_sim::SyscallKind::Io);
+    b.thread(1)
+        .read_l(x, "late_read")
+        .read(x)
+        .read(x)
+        .read(x)
+        .read(x);
+    let p = b.build();
+
+    // Round-robin keeps the two ends of the race hundreds of steps apart.
+    let tx = Detector::new(txrace_cfg(1).with_sched(SchedKind::RoundRobin)).run(&p);
+    let ts = Detector::new(tsan_cfg(1).with_sched(SchedKind::RoundRobin)).run(&p);
+    let w = p.site("init_write").unwrap();
+    let r = p.site("late_read").unwrap();
+    assert!(ts.races.contains(w, r), "HB detector must find it");
+    assert!(
+        !tx.races.contains(w, r),
+        "overlap-based TxRace should miss the temporally-distant race"
+    );
+    assert!(recall(&tx.races, &ts.races) < 1.0);
+}
+
+#[test]
+fn unknown_aborts_from_interrupts_are_survivable() {
+    let p = racy_program();
+    let cfg = txrace_cfg(13).with_interrupts(InterruptModel {
+        context_switch_p: 0.02,
+        transient_p: 0.01,
+    });
+    let out = Detector::new(cfg).run(&p);
+    assert!(out.completed());
+    let htm = out.htm.unwrap();
+    assert!(htm.unknown_aborts > 0, "{htm:?}");
+    assert!(htm.retry_aborts > 0, "{htm:?}");
+    let es = out.engine.unwrap();
+    assert!(es.slow_unknown > 0);
+    assert!(es.fast_retries > 0);
+}
+
+#[test]
+fn final_memory_matches_uninstrumented_semantics() {
+    // Deterministic final state under locks: every scheme must agree.
+    let mut b = ProgramBuilder::new(3);
+    let counter = b.var("counter");
+    let l = b.lock_id("l");
+    for t in 0..3 {
+        b.thread(t).loop_n(40, |tb| {
+            tb.lock(l).rmw(counter, 1).unlock(l);
+        });
+    }
+    let p = b.build();
+    for scheme in [Scheme::Tsan, Scheme::txrace()] {
+        let out = Detector::new(RunConfig::new(scheme, 17)).run(&p);
+        assert!(out.completed());
+        assert_eq!(out.memory.load(counter), 120, "atomicity violated");
+    }
+}
+
+#[test]
+fn same_seed_same_outcome() {
+    let p = racy_program();
+    let run = || {
+        let out = Detector::new(txrace_cfg(99)).run(&p);
+        (
+            out.races.pairs().collect::<Vec<_>>(),
+            out.breakdown,
+            out.htm,
+            out.engine,
+            out.run.steps,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_can_find_different_schedules() {
+    let p = racy_program();
+    let steps: Vec<u64> = (0..4)
+        .map(|s| Detector::new(txrace_cfg(s)).run(&p).run.steps)
+        .collect();
+    assert!(
+        steps.windows(2).any(|w| w[0] != w[1]),
+        "seeds should vary schedules: {steps:?}"
+    );
+}
+
+#[test]
+fn txrace_is_complete_every_report_is_a_tsan_race() {
+    // Completeness (no false positives): on the same seed, everything
+    // TxRace reports must be HB-racy per full TSan on a matching trace.
+    // (TSan ground truth is schedule-dependent; use the same seed & sched.)
+    let p = racy_program();
+    for seed in 0..5 {
+        let tx = Detector::new(txrace_cfg(seed)).run(&p);
+        let ts = Detector::new(tsan_cfg(seed)).run(&p);
+        for pair in tx.races.pairs() {
+            assert!(
+                ts.races.contains(pair.a, pair.b),
+                "seed {seed}: TxRace reported {pair} unknown to TSan"
+            );
+        }
+    }
+}
+
+#[test]
+fn slow_only_small_regions_still_detect_races() {
+    // Both sides tiny (< K): everything runs SlowOnly, detection is pure
+    // software and still works.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    for t in 0..2 {
+        b.thread(t).loop_n(10, |tb| {
+            tb.write_l(x, t as u64, &format!("w{t}_{}", 0)).compute(2);
+            tb.syscall(txrace_sim::SyscallKind::Io);
+        });
+    }
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(4)).run(&p);
+    assert!(out.completed());
+    let es = out.engine.unwrap();
+    assert!(es.slow_small > 0);
+    assert_eq!(out.races.distinct_count(), 1);
+}
+
+#[test]
+fn single_threaded_phases_cost_nothing_extra() {
+    // A program that is mostly single-threaded prologue/epilogue: TxRace
+    // overhead should stay close to 1x thanks to the elision.
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    b.thread(0).loop_n(2000, |tb| {
+        tb.write(x, 1).compute(2);
+    });
+    b.thread(0).spawn(ThreadId(1));
+    b.thread(0).read(x).read(x).read(x).read(x).read(x);
+    b.thread(0).join(ThreadId(1));
+    b.thread(0).loop_n(2000, |tb| {
+        tb.write(x, 2).compute(2);
+    });
+    b.thread(1).read(x).read(x).read(x).read(x).read(x);
+    let p = b.build();
+    let out = Detector::new(txrace_cfg(6)).run(&p);
+    assert!(out.completed());
+    assert!(
+        out.overhead < 1.2,
+        "single-threaded elision should keep overhead tiny, got {}",
+        out.overhead
+    );
+}
+
+/// Figure 4(a) vs 4(b): the *same* temporally-distant race is caught when
+/// each thread is one long transaction (the accesses' transactions
+/// overlap) and missed when the regions are cut short.
+#[test]
+fn transaction_length_controls_detection_figure4() {
+    let build = |cut: bool| {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let pad0 = b.array("pad0", 8);
+        let pad1 = b.array("pad1", 8);
+        // Thread 0 writes X early; thread 1 reads X late. With no cuts,
+        // each thread is a single long transaction and the two overlap;
+        // with per-iteration cuts the racy accesses sit in short
+        // transactions hundreds of steps apart.
+        // The racy regions carry enough private accesses to stay above the
+        // K threshold, so they run as transactions rather than being
+        // software-checked outright.
+        b.thread(0).write_l(x, 1, "early_write");
+        for i in 0..5 {
+            b.thread(0).read(txrace_sim::elem(pad0, i));
+        }
+        if cut {
+            b.thread(0).syscall(txrace_sim::SyscallKind::Io);
+        }
+        // The writer runs longer than the reader, so in the uncut case its
+        // transaction is still in flight when the reader's late access
+        // arrives.
+        b.thread(0).loop_n(90, |tb| {
+            for i in 0..4 {
+                tb.read(txrace_sim::elem(pad0, i));
+            }
+            tb.compute(4);
+            if cut {
+                tb.syscall(txrace_sim::SyscallKind::Io);
+            }
+        });
+        b.thread(1).loop_n(60, |tb| {
+            for i in 0..4 {
+                tb.read(txrace_sim::elem(pad1, i));
+            }
+            tb.compute(4);
+            if cut {
+                tb.syscall(txrace_sim::SyscallKind::Io);
+            }
+        });
+        if cut {
+            b.thread(1).syscall(txrace_sim::SyscallKind::Io);
+        }
+        for i in 0..5 {
+            b.thread(1).read(txrace_sim::elem(pad1, i));
+        }
+        b.thread(1).read_l(x, "late_read");
+        b.build()
+    };
+    let run = |p: &Program| {
+        Detector::new(txrace_cfg(1).with_sched(SchedKind::RoundRobin)).run(p)
+    };
+    let long = build(false);
+    let short = build(true);
+    let long_out = run(&long);
+    let short_out = run(&short);
+    assert!(
+        long_out.races.contains(
+            long.site("early_write").unwrap(),
+            long.site("late_read").unwrap()
+        ),
+        "long transactions overlap: race must be caught (Fig. 4a)"
+    );
+    assert!(
+        !short_out.races.contains(
+            short.site("early_write").unwrap(),
+            short.site("late_read").unwrap()
+        ),
+        "short transactions never overlap: race must be missed (Fig. 4b)"
+    );
+    // TSan finds it either way — transaction length is an HTM-side limit.
+    let ts = Detector::new(tsan_cfg(1).with_sched(SchedKind::RoundRobin)).run(&short);
+    assert!(ts.races.contains(
+        short.site("early_write").unwrap(),
+        short.site("late_read").unwrap()
+    ));
+}

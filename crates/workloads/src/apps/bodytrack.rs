@@ -1,0 +1,130 @@
+//! bodytrack: particle-filter body tracking. The paper's most
+//! interrupt-prone app (2M unknown aborts against 10M committed txns —
+//! its Figure 7 bar is dominated by unknown-abort handling), with 8 true
+//! races: 6 hot ones TxRace catches and 2 instances of the init idiom
+//! (§8.3) it misses because the accesses never overlap (TSan 8 / TxRace 6,
+//! TSan 12.78x, TxRace 8.9x).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, woven_racy_iters, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Particle iterations across all workers.
+const TOTAL_ITERS: u32 = 9600;
+/// Hot racy weight cells.
+const HOT_RACES: usize = 6;
+
+/// Builds bodytrack for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 25, 10);
+    let weights: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("weight_{j}"))).collect();
+    let pose_model = b.var("pose_model");
+    let edge_map = b.var("edge_map");
+    let iters = (TOTAL_ITERS / workers as u32).max(40);
+
+    let mut planted: Vec<PlantedRace> = (0..HOT_RACES)
+        .map(|j| {
+            PlantedRace::new(
+                format!("weight_w_{j}"),
+                format!("weight_r_{j}"),
+                RaceKind::Overlapping,
+            )
+        })
+        .collect();
+    planted.push(PlantedRace::new(
+        "pose_init",
+        "pose_use",
+        RaceKind::InitIdiom,
+    ));
+    planted.push(PlantedRace::new(
+        "edge_init",
+        "edge_use",
+        RaceKind::InitIdiom,
+    ));
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("particles_{w}"), 16);
+        let flush = (70 * 4 / workers as u64).max(8);
+        let likelihood = b.array(&format!("likelihood_{w}"), (flush as usize + 1) * 8 * 8);
+        let body = IterBody {
+            accesses: 8,
+            compute: 4,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        // Init idiom, write side: worker 1 initializes shared model
+        // structures at startup, while they are logically thread-local —
+        // no synchronization publishes them.
+        if w == 1 {
+            for a in 0..4 {
+                tb.write(elem(scratch, a), 1);
+            }
+            tb.write_l(pose_model, 7, "pose_init");
+            tb.write_l(edge_map, 9, "edge_init");
+            tb.syscall(SyscallKind::Io);
+        }
+        // Main particle loop, in thirds so hot races sit mid-stream.
+        tb.loop_n(iters / 3, |tb| {
+            body.emit(tb);
+            tb.syscall(SyscallKind::Io);
+        });
+        // Hot races on the weight array, each woven across a segment of
+        // the middle third (all workers run identical-length segments so
+        // participants stay position-aligned).
+        for (j, &wt) in weights.iter().enumerate() {
+            let writer = (j % workers) + 1;
+            let reader = ((j + 1) % workers) + 1;
+            let seg = (iters / 3 / HOT_RACES as u32).max(8);
+            if w == writer || w == reader {
+                let label = if w == writer {
+                    format!("weight_w_{j}")
+                } else {
+                    format!("weight_r_{j}")
+                };
+                woven_racy_iters(&mut tb, seg / 4, 4, &body, wt, &label, w == writer);
+            } else {
+                tb.loop_n(seg / 4 * 4, |tb| {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                });
+            }
+        }
+        // Image-likelihood buffers overflow the write structure in a
+        // straight line, repeatedly.
+        tb.loop_n(24, |tb| {
+            tb.loop_n(iters / 80, |tb| {
+                body.emit(tb);
+                tb.syscall(SyscallKind::Io);
+            });
+            for k in 0..flush {
+                tb.write(likelihood.offset(k * 8 * 64), 1);
+            }
+            tb.syscall(SyscallKind::Io);
+        });
+        // Init idiom, read side: the last worker consumes the model
+        // structures long after initialization.
+        if w == workers {
+            for a in 0..4 {
+                tb.read(elem(scratch, a));
+            }
+            tb.read_l(pose_model, "pose_use");
+            tb.read_l(edge_map, "edge_use");
+            tb.syscall(SyscallKind::Io);
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 12.78);
+    Workload {
+        name: "bodytrack",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.03, 0.006, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted,
+        scale: "transactions 1:1000 vs paper",
+    }
+}

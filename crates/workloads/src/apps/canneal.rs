@@ -1,0 +1,74 @@
+//! canneal: simulated-annealing netlist routing with lock-free element
+//! swaps — moderate conflicts from the shared temperature/netlist state
+//! and one true race on the routing-cost cache (paper: 3.2M committed
+//! txns, 25K conflict aborts, TSan 4.39x, TxRace 2.97x, 1 race).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{ProgramBuilder, SyscallKind};
+
+use crate::patterns::{
+    main_scaffold, scaled_interrupts, straight_capacity_region, woven_racy_iters, IterBody,
+};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Swap attempts across all workers.
+const TOTAL_SWAPS: u32 = 3100;
+/// Swaps between shared-state touches.
+const HOT_EVERY: u32 = 11;
+
+/// Builds canneal for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 20, 10);
+    let temperature = b.var("temperature");
+    let cost_cache = b.var("cost_cache");
+    let swaps = (TOTAL_SWAPS / workers as u32).max(HOT_EVERY);
+    let blocks = swaps / HOT_EVERY;
+    for w in 1..=workers {
+        let scratch = b.array(&format!("elements_{w}"), 16);
+        let body = IterBody {
+            accesses: 7,
+            compute: 9,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        tb.loop_n(blocks, |tb| {
+            tb.loop_n(HOT_EVERY - 1, |tb| {
+                body.emit(tb);
+                tb.syscall(SyscallKind::Io);
+            });
+            // Temperature check: atomic read-modify (benign conflicts).
+            body.emit(tb);
+            tb.rmw(temperature, 1);
+            tb.syscall(SyscallKind::Io);
+        });
+        // The true race: workers 1 and 2 share the cost cache without
+        // synchronization, woven through their whole swap streams.
+        if w <= 2 {
+            let label = if w == 1 { "cache_write" } else { "cache_read" };
+            let mut tb = b.thread(w);
+            woven_racy_iters(&mut tb, blocks / 2, 4, &body, cost_cache, label, w == 1);
+        }
+        if w <= 3 {
+            let netlist = b.array(&format!("netlist_{w}"), 70 * 8 * 8);
+            let mut tb = b.thread(w);
+            straight_capacity_region(&mut tb, netlist, 70, 8);
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 4.39);
+    Workload {
+        name: "canneal",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.004, 0.001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: vec![PlantedRace::new(
+            "cache_write",
+            "cache_read",
+            RaceKind::Overlapping,
+        )],
+        scale: "transactions 1:1000 vs paper",
+    }
+}

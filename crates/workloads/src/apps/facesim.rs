@@ -1,0 +1,122 @@
+//! facesim: face-mesh simulation whose kernels alternate big vectorized
+//! regions with a multitude of tiny ones — the tiny regions fall under
+//! TxRace's `K < 5` heuristic and run software-checked, which is why
+//! facesim keeps a sizable TxRace overhead despite almost no aborts
+//! (paper: TSan 36.59x, TxRace 11.49x; 9 races, 8 found — the missed one
+//! is a thread-pool structure initialized at startup and shared later,
+//! §8.3).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{
+    main_scaffold, scaled_interrupts, straight_capacity_region, woven_racy_iters, IterBody,
+};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Mesh-node iterations across all workers.
+const TOTAL_ITERS: u32 = 6000;
+/// Hot racy mesh cells.
+const HOT_RACES: usize = 8;
+
+/// Builds facesim for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 30, 10);
+    let cells: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("cell_{j}"))).collect();
+    let pool_state = b.var("pool_state");
+    let iters = (TOTAL_ITERS / workers as u32).max(40);
+
+    let mut planted: Vec<PlantedRace> = (0..HOT_RACES)
+        .map(|j| {
+            PlantedRace::new(
+                format!("cell_w_{j}"),
+                format!("cell_r_{j}"),
+                RaceKind::Overlapping,
+            )
+        })
+        .collect();
+    planted.push(PlantedRace::new(
+        "pool_init",
+        "pool_use",
+        RaceKind::InitIdiom,
+    ));
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("mesh_{w}"), 16);
+        let b_arr = b.array(&format!("stiffness_{w}"), 70 * 8 * 8);
+        let big = IterBody {
+            accesses: 10,
+            compute: 3,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        // Thread-pool init idiom: worker 1 fills the pool structure when
+        // it is still private (races with the late reader below).
+        if w == 1 {
+            tb.write_l(pool_state, 1, "pool_init");
+            for a in 0..5 {
+                tb.write(elem(scratch, a), 1);
+            }
+            tb.syscall(SyscallKind::Io);
+        }
+        // Kernel: each iteration is one big region followed by two tiny
+        // (< K accesses) bookkeeping regions that go slow-path-only.
+        tb.loop_n(iters / 2, |tb| {
+            big.emit(tb);
+            tb.syscall(SyscallKind::Io);
+            tb.read(elem(scratch, 0)).write(elem(scratch, 1), 1);
+            tb.syscall(SyscallKind::Io);
+            tb.read(elem(scratch, 2)).write(elem(scratch, 3), 1);
+            tb.syscall(SyscallKind::Io);
+        });
+        // Hot races on shared mesh cells, each woven across an
+        // equal-length segment on every worker.
+        for (j, &cell) in cells.iter().enumerate() {
+            let writer = (j % workers) + 1;
+            let reader = ((j + 1) % workers) + 1;
+            if w == writer {
+                // Writer and reader weave at different periods so their
+                // phase offset sweeps through overlap.
+                woven_racy_iters(&mut tb, 16, 3, &big, cell, &format!("cell_w_{j}"), true);
+            } else if w == reader {
+                woven_racy_iters(&mut tb, 12, 4, &big, cell, &format!("cell_r_{j}"), false);
+            } else {
+                tb.loop_n(16 * 3, |tb| {
+                    big.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                });
+            }
+        }
+        tb.loop_n(iters / 2, |tb| {
+            big.emit(tb);
+            tb.syscall(SyscallKind::Io);
+            tb.read(elem(scratch, 4)).write(elem(scratch, 5), 1);
+            tb.syscall(SyscallKind::Io);
+        });
+        if w <= 3 {
+            let stiffness = b_arr;
+            straight_capacity_region(&mut tb, stiffness, 70, 8);
+        }
+        // Late pool reader: unordered with worker 1's init, far apart.
+        if w == workers {
+            tb.read_l(pool_state, "pool_use");
+            for a in 0..5 {
+                tb.read(elem(scratch, a));
+            }
+            tb.syscall(SyscallKind::Io);
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 36.59);
+    Workload {
+        name: "facesim",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.0003, 0.0001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted,
+        scale: "transactions 1:1000 vs paper",
+    }
+}

@@ -1,0 +1,82 @@
+//! ferret: a similarity-search pipeline whose stages hand work over
+//! through lock-protected queues, with one race on the result-list tail
+//! pointer (paper: 208K committed txns, TSan 10.74x, TxRace 5.52x,
+//! 1 race found by both).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, woven_racy_iters, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Pipeline items across all workers.
+const TOTAL_ITEMS: u32 = 200;
+/// Items between unsynchronized tail-pointer touches.
+const RACE_EVERY: u32 = 10;
+
+/// Builds ferret for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 20, 10);
+    let queue = b.array("queue", 8);
+    let qlock = b.lock_id("queue_lock");
+    let tail = b.var("result_tail");
+    let items = (TOTAL_ITEMS / workers as u32).max(RACE_EVERY);
+    let blocks = items / RACE_EVERY;
+    for w in 1..=workers {
+        let scratch = b.array(&format!("features_{w}"), 16);
+        let body = IterBody {
+            accesses: 12,
+            compute: 8,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        tb.loop_n(blocks, |tb| {
+            tb.loop_n(RACE_EVERY - 1, |tb| {
+                body.emit(tb);
+                // Queue handoff under the lock (a tiny critical section:
+                // slow-path-only region under the K heuristic).
+                tb.lock(qlock);
+                tb.read(elem(queue, 0)).write(elem(queue, 1), 1);
+                tb.unlock(qlock);
+            });
+            body.emit(tb);
+            tb.syscall(SyscallKind::Io);
+        });
+        // The buggy stage skips the lock for the result-list tail,
+        // woven across the item stream.
+        if w == 1 {
+            woven_racy_iters(&mut tb, 12, 3, &body, tail, "tail_write", true);
+        } else if w == 2 {
+            // A different weave period than the writer: the phase offset
+            // between the two streams sweeps, guaranteeing overlap.
+            woven_racy_iters(&mut tb, 9, 4, &body, tail, "tail_read", false);
+        }
+        // One big feature-extraction buffer per worker overflows the HTM
+        // write structure (a straight-line region: loop-cut cannot help).
+        if w <= 2 {
+            let buf = b.array(&format!("extract_{w}"), 80 * 8 * 8);
+            let mut tb = b.thread(w);
+            for k in 0..80u64 {
+                tb.write(buf.offset(k * 8 * 64), 1);
+            }
+            tb.syscall(SyscallKind::Io);
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 10.74);
+    Workload {
+        name: "ferret",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.0008, 0.0002, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: vec![PlantedRace::new(
+            "tail_write",
+            "tail_read",
+            RaceKind::Overlapping,
+        )],
+        scale: "transactions 1:1000 vs paper",
+    }
+}

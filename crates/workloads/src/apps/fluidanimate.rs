@@ -1,0 +1,101 @@
+//! fluidanimate: barrier-phased particle simulation with a hot shared
+//! progress counter (benign atomic conflicts), big conflict-prone cell
+//! regions, recurring straight-line capacity regions, and one true race
+//! on a partition-boundary cell (paper: 17.8M committed txns, 697K
+//! conflict aborts, 10K capacity aborts, TSan 15.23x, TxRace 6.9x,
+//! 1 race found by both).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{ProgramBuilder, SyscallKind};
+
+use crate::patterns::{
+    hot_rmw, main_scaffold, scaled_interrupts, straight_capacity_region, woven_racy_iters,
+    IterBody,
+};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Simulation phases (time steps).
+const PHASES: u32 = 5;
+/// Total per-phase cell updates across all workers.
+const TOTAL_CELLS_PER_PHASE: u32 = 3800;
+/// Iterations per hot block (the last iteration of each block touches the
+/// shared counter in a *large* region, so conflict episodes re-check a
+/// meaningful amount of work).
+const HOT_EVERY: u32 = 20;
+/// Straight-line capacity regions per worker per run.
+const CAP_REGIONS: u32 = 3;
+
+/// Builds fluidanimate for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 30, 10);
+    let bar = b.barrier_id("phase_barrier");
+    let hot = b.var("particles_done");
+    let boundary_cell = b.var("boundary_cell");
+    let cells_per_worker = (TOTAL_CELLS_PER_PHASE / workers as u32).max(HOT_EVERY);
+    let blocks = cells_per_worker / HOT_EVERY;
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("cells_{w}"), 40);
+        let grid = b.array(&format!("grid_{w}"), 70 * 8 * 8);
+        let body = IterBody {
+            accesses: 8,
+            compute: 5,
+            scratch,
+        };
+        let big = IterBody {
+            accesses: 30,
+            compute: 8,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        tb.loop_n(PHASES, |tb| {
+            tb.loop_n(blocks, |tb| {
+                tb.loop_n(HOT_EVERY - 1, |tb| {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                });
+                // A big cell-update region that also bumps the shared
+                // progress counter: an atomic, so the HTM conflicts but
+                // there is no race — and the conflict episode re-checks
+                // this whole region.
+                big.emit(tb);
+                hot_rmw(tb, hot);
+                big.emit(tb);
+                tb.syscall(SyscallKind::Io);
+            });
+            // Per-phase grid rebuild overflows the write buffer in a
+            // straight line (not loop-cuttable).
+            if (w as u32) < CAP_REGIONS {
+                straight_capacity_region(tb, grid, 70, 8);
+            }
+            tb.barrier(bar);
+        });
+        // The partition-boundary bug: workers 1 and 2 share a cell without
+        // the cell lock, woven across the stream tail.
+        if w == 1 {
+            let mut tb = b.thread(w);
+            woven_racy_iters(&mut tb, 24, 3, &body, boundary_cell, "boundary_write", true);
+        } else if w == 2 {
+            // Different weave period: the phase offset sweeps (see ferret).
+            let mut tb = b.thread(w);
+            woven_racy_iters(&mut tb, 18, 4, &body, boundary_cell, "boundary_read", false);
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 15.23);
+    Workload {
+        name: "fluidanimate",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.0002, 0.00005, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: vec![PlantedRace::new(
+            "boundary_write",
+            "boundary_read",
+            RaceKind::Overlapping,
+        )],
+        scale: "transactions 1:1000 vs paper",
+    }
+}

@@ -1,0 +1,70 @@
+//! freqmine: frequent-itemset mining with few, very large mining regions
+//! plus a stream of tiny bookkeeping regions around its I/O. The paper's
+//! best case for TxRace (1.15x vs TSan's 14x): the huge transactions
+//! amortize management cost, and what aborts (mostly unknown aborts near
+//! the I/O bookkeeping) re-executes only cheap regions.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{ProgramBuilder, SyscallKind};
+
+use crate::patterns::{capacity_walk, main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, Workload};
+
+/// Mining rounds per worker at 4 workers.
+const ROUNDS_PER_WORKER_AT4: u32 = 20;
+/// Tiny bookkeeping regions per round.
+const TINY_PER_ROUND: u32 = 1;
+
+/// Builds freqmine for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 40, 20);
+    let rounds = (ROUNDS_PER_WORKER_AT4 * 4 / workers as u32).max(2);
+    for w in 1..=workers {
+        let tree = b.array(&format!("fptree_{w}"), 512);
+        let body = IterBody {
+            accesses: 320,
+            compute: 180,
+            scratch: tree,
+        };
+        let mut tb = b.thread(w);
+        tb.loop_n(rounds, |tb| {
+            body.emit(tb);
+            tb.syscall(SyscallKind::Io);
+            // Tiny I/O bookkeeping regions: these soak up most of the OS
+            // interrupts, so unknown aborts are frequent but cheap.
+            tb.loop_n(TINY_PER_ROUND, |tb| {
+                tb.read(txrace_sim::elem(tree, 0));
+                tb.write(txrace_sim::elem(tree, 1), 1);
+                tb.read(txrace_sim::elem(tree, 2));
+                tb.read(txrace_sim::elem(tree, 3));
+                tb.read(txrace_sim::elem(tree, 4));
+                tb.syscall(SyscallKind::Io);
+            });
+        });
+        // One conditional-pattern-base build per worker walks a strided
+        // buffer big enough to overflow the write structure (loop-cut
+        // fixes it after the first abort).
+        if w <= 3 {
+            let walk = (90 * 4 / workers as u32).max(8);
+            let base = b.array(&format!("cpb_{w}"), (walk as usize + 1) * 8 * 8);
+            let mut tb = b.thread(w);
+            tb.loop_n(3, |tb| {
+                capacity_walk(tb, base, walk, 8);
+                tb.syscall(SyscallKind::Io);
+            });
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 14.0);
+    Workload {
+        name: "freqmine",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.00003, 0.00001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: Vec::new(),
+        scale: "transactions ~1:1 vs paper (plus tiny bookkeeping regions)",
+    }
+}

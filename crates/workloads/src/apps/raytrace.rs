@@ -1,0 +1,87 @@
+//! raytrace: ray bundles over a shared scene with two hot races on the
+//! frame statistics (paper: only 143 committed transactions, 12 conflict
+//! aborts, TSan 5.09x, TxRace 2.68x, 2 races found by both).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, woven_racy_iters, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Ray-bundle iterations across all workers.
+const TOTAL_ITERS: u32 = 120;
+/// Statistics-flush blocks per worker.
+const BLOCKS: u32 = 5;
+
+/// Builds raytrace for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 15, 8);
+    let stats_hits = b.var("stats_hits");
+    let stats_depth = b.var("stats_depth");
+    let iters = (TOTAL_ITERS / workers as u32).max(BLOCKS * 3);
+    let blocks = BLOCKS * 2;
+    // Worker 1 writes both statistics; the depth statistic is read by
+    // worker 3 when it exists, else by worker 2 alongside the hit count.
+    let depth_reader = if workers >= 3 { 3 } else { 2 };
+    for w in 1..=workers {
+        let scratch = b.array(&format!("rays_{w}"), 32);
+        let body = IterBody {
+            accesses: 20,
+            compute: 45,
+            scratch,
+        };
+        let k = (iters / blocks).max(2);
+        let mut tb = b.thread(w);
+        // Frame statistics are updated without the stats lock on every
+        // k-th ray bundle: hot races woven through the whole run.
+        match w {
+            1 => {
+                // Both statistics are flushed in the same racy iteration.
+                tb.loop_n(blocks, |tb| {
+                    tb.loop_n(k - 1, |tb| {
+                        body.emit(tb);
+                        tb.syscall(SyscallKind::Io);
+                    });
+                    body.emit(tb);
+                    tb.write_l(stats_hits, 1, "hits_write");
+                    tb.write_l(stats_depth, 1, "depth_write");
+                    for a in 0..3 {
+                        tb.read(txrace_sim::elem(scratch, a));
+                    }
+                    tb.syscall(SyscallKind::Io);
+                });
+            }
+            2 => {
+                woven_racy_iters(&mut tb, blocks, k, &body, stats_hits, "hits_read", false);
+                if depth_reader == 2 {
+                    woven_racy_iters(&mut tb, blocks, k, &body, stats_depth, "depth_read", false);
+                }
+            }
+            3 => {
+                woven_racy_iters(&mut tb, blocks, k, &body, stats_depth, "depth_read", false);
+            }
+            _ => {
+                tb.loop_n(blocks * k, |tb| {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                });
+            }
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 5.09);
+    Workload {
+        name: "raytrace",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.005, 0.001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: vec![
+            PlantedRace::new("hits_write", "hits_read", RaceKind::Overlapping),
+            PlantedRace::new("depth_write", "depth_read", RaceKind::Overlapping),
+        ],
+        scale: "transactions 1:1 vs paper",
+    }
+}

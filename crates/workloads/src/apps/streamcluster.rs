@@ -1,0 +1,115 @@
+//! streamcluster: online clustering with barrier phases and very tight
+//! syscall-bearing loops — conflict-heavy on the shared cluster centers
+//! (the second-highest conflict rate in Table 1) yet cheap for TxRace
+//! because the conflicting regions are tiny while the bulk of the work is
+//! private (paper: 171K conflict aborts on 757K committed txns, TSan
+//! 25.9x, TxRace 2.97x, 4 races found by both).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Clustering phases.
+const PHASES: u32 = 4;
+/// Points processed per worker per phase.
+const POINTS_PER_PHASE_AT4: u32 = 44;
+/// Racy center coordinates.
+const HOT_RACES: usize = 4;
+
+/// Builds streamcluster for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 20, 10);
+    let bar = b.barrier_id("phase");
+    let centers: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("center_{j}"))).collect();
+    let cost_acc = b.var("global_cost");
+    let points = (POINTS_PER_PHASE_AT4 * 4 / workers as u32).max(8);
+
+    let planted = (0..HOT_RACES)
+        .map(|j| {
+            PlantedRace::new(
+                format!("center_w_{j}"),
+                format!("center_r_{j}"),
+                RaceKind::Overlapping,
+            )
+        })
+        .collect();
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("points_{w}"), 256);
+        let big = IterBody {
+            accesses: 150,
+            compute: 60,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        tb.loop_n(PHASES, |tb| {
+            // Big private distance computation once per phase.
+            big.emit(tb);
+            tb.syscall(SyscallKind::Io);
+            // Tight loop: tiny regions, each touching the shared cost
+            // accumulator (atomic -> benign conflicts) — the conflict-
+            // and management-heavy part.
+            tb.loop_n(points / 8, |tb| {
+                tb.loop_n(7, |tb| {
+                    tb.read(elem(scratch, 0));
+                    tb.read(elem(scratch, 1));
+                    tb.write(elem(scratch, 2), 1);
+                    tb.read(elem(scratch, 3));
+                    tb.read(elem(scratch, 4));
+                    tb.syscall(SyscallKind::Io);
+                });
+                tb.read(elem(scratch, 0));
+                tb.read(elem(scratch, 1));
+                tb.write(elem(scratch, 2), 1);
+                tb.read(elem(scratch, 3));
+                tb.read(elem(scratch, 4));
+                tb.rmw(cost_acc, 1);
+                tb.syscall(SyscallKind::Io);
+            });
+            // The true races: unsynchronized center updates, woven —
+            // each participant touches its center every few points, so
+            // writer and reader instances overlap many times per phase.
+            for (j, &c) in centers.iter().enumerate() {
+                let writer = (j % workers) + 1;
+                let reader = ((j + 1) % workers) + 1;
+                if w == writer || w == reader {
+                    let label = if w == writer {
+                        format!("center_w_{j}")
+                    } else {
+                        format!("center_r_{j}")
+                    };
+                    let is_writer = w == writer;
+                    tb.loop_n(if is_writer { 6 } else { 5 }, |tb| {
+                        tb.read(elem(scratch, 0));
+                        tb.read(elem(scratch, 1));
+                        if is_writer {
+                            tb.write_l(c, 1, &label);
+                        } else {
+                            tb.read_l(c, &label);
+                        }
+                        tb.read(elem(scratch, 2));
+                        tb.read(elem(scratch, 3));
+                        tb.compute(3);
+                        tb.syscall(SyscallKind::Io);
+                    });
+                }
+            }
+            tb.barrier(bar);
+        });
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 25.9);
+    Workload {
+        name: "streamcluster",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.00002, 0.00001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted,
+        scale: "transactions 1:1000 vs paper",
+    }
+}

@@ -1,0 +1,74 @@
+//! swaptions: Monte-Carlo pricing whose workers run tight loops with
+//! system calls in the body — the transactions are tiny and transaction
+//! management dominates TxRace's overhead (the big black bar in Figure 7).
+//! Strided intermediate buffers overflow the HTM write set periodically
+//! (paper: 160M committed txns, 557K capacity aborts, TSan 6.77x,
+//! TxRace 3.97x, no races).
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::ProgramBuilder;
+
+use crate::patterns::{capacity_walk, main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, Workload};
+
+/// Total tight iterations across workers.
+const TOTAL_ITERS: u32 = 15680;
+/// Distinct strided-buffer loops per worker (each a separate static loop,
+/// so each learns its own loop-cut threshold).
+const WALKS_PER_WORKER: usize = 14;
+
+/// Builds swaptions for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 15, 5);
+    let iters = (TOTAL_ITERS / workers as u32).max(WALKS_PER_WORKER as u32);
+    let per_block = iters / WALKS_PER_WORKER as u32;
+    for w in 1..=workers {
+        let scratch = b.array(&format!("path_{w}"), 8);
+        // Strided simulation buffer: a stride-8-line walk overflows the
+        // 8-way write structure after ~64 writes. The walk length is the
+        // worker's data share, so more workers -> smaller footprints ->
+        // fewer capacity aborts (the paper's Figure 8 observation).
+        let walk = (90 * 4 / workers as u32).max(8);
+        let sim = b.array(&format!("sim_{w}"), (walk as usize + 1) * 8 * 8);
+        let body = IterBody {
+            accesses: 6,
+            compute: 2,
+            scratch,
+        };
+        // One static simulation walk executed WALKS_PER_WORKER times:
+        // NoOpt capacity-aborts every execution; DynLoopcut learns a
+        // threshold after the first and cuts from then on; ProfLoopcut
+        // starts with the profiled threshold and avoids even the first.
+        // A per-batch result flush with no loop structure: these overflow
+        // the write set every time, in every loop-cut mode (most of the
+        // paper's 557K capacity aborts).
+        let flush_len = (70 * 4 / workers as u64).max(8);
+        let flush = b.array(&format!("results_{w}"), (flush_len as usize + 1) * 8 * 8);
+        let mut tb = b.thread(w);
+        tb.loop_n(WALKS_PER_WORKER as u32, |tb| {
+            tb.loop_n(per_block, |tb| {
+                body.emit(tb);
+                tb.syscall(txrace_sim::SyscallKind::Io);
+            });
+            capacity_walk(tb, sim, walk, 8);
+            tb.syscall(txrace_sim::SyscallKind::Io);
+            for k in 0..flush_len {
+                tb.write(flush.offset(k * 8 * 64), 1);
+            }
+            tb.syscall(txrace_sim::SyscallKind::Io);
+        });
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 6.77);
+    Workload {
+        name: "swaptions",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.00003, 0.00001, workers),
+        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        planted: Vec::new(),
+        scale: "transactions 1:10000 vs paper",
+    }
+}

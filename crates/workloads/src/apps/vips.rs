@@ -1,0 +1,149 @@
+//! vips: the image-processing pipeline that is pathological for TSan
+//! (shadow-memory traffic pushes it to ~1195x) and carries the paper's
+//! largest race population: 112 distinct racy pairs between pipeline
+//! stages.
+//!
+//! The racy band accesses are grouped four to a region and woven
+//! round-robin through the stages' streams; whether a given group's write
+//! and read regions overlap depends on how far the two stages have
+//! drifted apart at that point of the schedule. A single TxRace run
+//! therefore finds only a subset of the pairs (the paper finds ~79 of
+//! 112) and different seeds find different subsets — accumulating across
+//! runs recovers all 112 (Figure 10). TSan finds all 112 every run.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, Addr, ProgramBuilder, SyscallKind, ThreadBuilder};
+
+use crate::patterns::{capacity_walk, main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Distinct racy pairs (Table 1: 112 TSan races).
+pub const RACE_PAIRS: usize = 112;
+/// Band accesses per racy region.
+const GROUP: usize = 4;
+/// Rounds over all band groups.
+const ROUNDS: u32 = 20;
+/// Extra ops per reader group region (the sawtooth slope). Kept larger
+/// than the overlap window so a conflict episode's realignment does not
+/// cascade through every following group: detection happens only where
+/// the ramp crosses the window.
+const SKEW: usize = 10;
+
+/// Builds vips for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 25, 10);
+
+    let bands: Vec<_> = (0..RACE_PAIRS)
+        .map(|j| b.var(&format!("band_{j}")))
+        .collect();
+    let planted = (0..RACE_PAIRS)
+        .map(|j| {
+            PlantedRace::new(
+                format!("band_w_{j}"),
+                format!("band_r_{j}"),
+                RaceKind::SchedulerSensitive,
+            )
+        })
+        .collect();
+
+    // One racy region touching a group of four bands. The reader's
+    // regions are `SKEW` ops longer than the writer's, so the relative
+    // offset of the two stages ramps up along each round (a sawtooth:
+    // the writer repays the difference at the end of its round). Which
+    // part of the ramp falls inside the overlap window depends on the
+    // schedule, so each seed detects a different subset of the pairs.
+    let band_group_region =
+        |tb: &mut ThreadBuilder<'_>, group: &[Addr], g: usize, scratch: Addr, write: bool| {
+            for (i, &band) in group.iter().enumerate() {
+                let j = g * GROUP + i;
+                if write {
+                    tb.write_l(band, 1, &format!("band_w_{j}"));
+                } else {
+                    tb.read_l(band, &format!("band_r_{j}"));
+                }
+            }
+            for a in 0..32 {
+                tb.read(elem(scratch, a));
+            }
+            if !write {
+                for a in 2..2 + SKEW {
+                    tb.read(elem(scratch, a));
+                }
+            }
+            tb.syscall(SyscallKind::Io);
+        };
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("tile_{w}"), 32);
+        let walk = (70 * 4 / workers as u32).max(8);
+        let buf = b.array(&format!("linebuf_{w}"), (walk as usize + 1) * 8 * 8);
+        let body = IterBody {
+            accesses: 26,
+            compute: 3,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        if w <= 2 {
+            // The two pipeline stages sharing image bands unsafely: each
+            // round processes one tile per band group, then touches the
+            // group. Whether the stages' group regions align at any given
+            // group depends on accumulated scheduling drift.
+            // Rounds are a runtime loop so each band keeps one static
+            // site across rounds.
+            tb.loop_n(ROUNDS, |tb| {
+                for g in 0..(RACE_PAIRS / GROUP) {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                    let group = &bands[g * GROUP..(g + 1) * GROUP];
+                    band_group_region(tb, group, g, scratch, w == 1);
+                }
+                if w == 1 {
+                    // The writer repays the reader's per-group skew so
+                    // both rounds are equally long (sawtooth reset).
+                    tb.loop_n((RACE_PAIRS / GROUP) as u32, |tb| {
+                        for a in 2..2 + SKEW {
+                            tb.read(elem(scratch, a));
+                        }
+                        tb.compute(1);
+                    });
+                }
+            });
+            // Line-buffer flushes (stage 1 only) are a big strided loop:
+            // they overflow the write structure every time under NoOpt,
+            // but the loop-cut optimization learns to split them — a large
+            // part of vips's Figure 9 gap between NoOpt and Prof.
+            if w == 1 {
+                tb.loop_n(4, |tb| {
+                    capacity_walk(tb, buf, walk, 8);
+                    tb.syscall(SyscallKind::Io);
+                });
+            }
+        } else {
+            // Other stages stream many small tile regions; they make up
+            // most of the committed transactions.
+            tb.loop_n(4 * (RACE_PAIRS / GROUP) as u32 * ROUNDS, |tb| {
+                tb.read(elem(scratch, 0));
+                tb.read(elem(scratch, 1));
+                tb.write(elem(scratch, 2), 1);
+                tb.read(elem(scratch, 3));
+                tb.read(elem(scratch, 4));
+                tb.read(elem(scratch, 5));
+                tb.compute(2);
+                tb.syscall(SyscallKind::Io);
+            });
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 1195.0);
+    Workload {
+        name: "vips",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.0001, 0.00003, workers),
+        sched: SchedKind::Fair { jitter: 0.0, slack: 140 },
+        planted,
+        scale: "transactions 1:1000 vs paper",
+    }
+}

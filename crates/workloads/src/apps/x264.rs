@@ -1,0 +1,114 @@
+//! x264: frame encoding where the lookahead thread reads reconstructed
+//! rows the encoder is still writing — 64 distinct racy pairs, all hot
+//! enough that TxRace finds every one (paper: TSan 64 / TxRace 64 races,
+//! TSan 6.45x, TxRace 5.6x — the slow path runs often, so TxRace's win is
+//! small here).
+//!
+//! The 64 racy sites are interleaved round-robin through the encoding
+//! stream (not segment-per-pair), so abort-rollback skew cannot shift one
+//! pair's accesses past its partner's: every pair recurs across the whole
+//! run, and the encoder and lookahead weave at different periods so their
+//! phase offset sweeps through overlap.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, straight_capacity_region, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Distinct racy row pairs (Table 1: 64).
+pub const RACE_PAIRS: usize = 64;
+/// Encoder/lookahead rounds over all rows.
+const WRITER_ROUNDS: u32 = 8;
+
+/// Builds x264 for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 20, 10);
+    let rows: Vec<_> = (0..RACE_PAIRS).map(|j| b.var(&format!("row_{j}"))).collect();
+    // Per-frame synchronization (as in the real encoder): threads realign
+    // at every frame boundary, so racy row accesses at the same in-frame
+    // position reliably overlap.
+    let frame_sync = b.barrier_id("frame_sync");
+    let planted = (0..RACE_PAIRS)
+        .map(|j| {
+            PlantedRace::new(
+                format!("row_w_{j}"),
+                format!("row_r_{j}"),
+                RaceKind::Overlapping,
+            )
+        })
+        .collect();
+
+    for w in 1..=workers {
+        let scratch = b.array(&format!("mb_{w}"), 16);
+        let recon = b.array(&format!("recon_{w}"), 70 * 8 * 8);
+        let body = IterBody {
+            accesses: 10,
+            compute: 6,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        if w == 1 {
+            // Encoder: each round encodes one macroblock then publishes
+            // one row, cycling over all 64 rows.
+            tb.loop_n(WRITER_ROUNDS, |tb| {
+                for (j, &row) in rows.iter().enumerate() {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                    for a in 0..12 {
+                        tb.read(elem(scratch, a));
+                    }
+                    tb.write_l(row, 1, &format!("row_w_{j}"));
+                    for a in 0..12 {
+                        tb.read(elem(scratch, a % 12));
+                    }
+                    tb.syscall(SyscallKind::Io);
+                }
+                tb.barrier(frame_sync);
+            });
+        } else if w == 2 {
+            // Lookahead: structurally identical stream to the encoder's,
+            // so fair scheduling keeps the row accesses position-aligned
+            // and every pair overlaps.
+            tb.loop_n(WRITER_ROUNDS, |tb| {
+                for (j, &row) in rows.iter().enumerate() {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                    for a in 0..12 {
+                        tb.read(elem(scratch, a));
+                    }
+                    tb.read_l(row, &format!("row_r_{j}"));
+                    for a in 0..12 {
+                        tb.read(elem(scratch, a % 12));
+                    }
+                    tb.syscall(SyscallKind::Io);
+                }
+                tb.barrier(frame_sync);
+            });
+        } else {
+            tb.loop_n(WRITER_ROUNDS, |tb| {
+                tb.loop_n(2 * RACE_PAIRS as u32, |tb| {
+                    body.emit(tb);
+                    tb.syscall(SyscallKind::Io);
+                });
+                tb.barrier(frame_sync);
+            });
+        }
+        // One reconstructed-frame flush per worker overflows the write
+        // structure in a straight line.
+        straight_capacity_region(&mut tb, recon, 70, 8);
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 6.45);
+    Workload {
+        name: "x264",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.001, 0.0003, workers),
+        sched: SchedKind::Fair { jitter: 0.0, slack: 8 },
+        planted,
+        scale: "transactions 1:100 vs paper",
+    }
+}

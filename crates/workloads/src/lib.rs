@@ -1,0 +1,77 @@
+//! # txrace-workloads
+//!
+//! Synthetic analogues of the paper's evaluation workloads: the 13 PARSEC
+//! applications (simlarge) plus the Apache web server.
+//!
+//! The real benchmarks cannot run on the simulator, so each app here is a
+//! *parameterized concurrent program* matched to what the paper's Table 1
+//! measures about the original: transaction counts (scaled down, see each
+//! app's `scale` note), the rough mix of conflict/capacity/unknown aborts,
+//! the number and character of its true data races (hot overlapping races,
+//! bodytrack/facesim's init-idiom races TxRace misses, vips's large
+//! scheduler-sensitive race population), syscall density, and the TSan
+//! overhead level (via the shadow-cost factor, auto-calibrated so the TSan
+//! baseline lands on the paper's per-app overhead).
+//!
+//! ```
+//! use txrace_workloads::{all_workloads, by_name};
+//! let w = by_name("streamcluster", 4).expect("known app");
+//! assert_eq!(w.name, "streamcluster");
+//! assert!(!w.planted.is_empty());
+//! assert_eq!(all_workloads(4).len(), 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod genprog;
+pub mod patterns;
+pub mod spec;
+
+pub use genprog::{random_program, GenConfig};
+pub use spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Builds every workload at the given worker-thread count, in the paper's
+/// Table 1 order.
+pub fn all_workloads(workers: usize) -> Vec<Workload> {
+    vec![
+        apps::blackscholes::build(workers),
+        apps::fluidanimate::build(workers),
+        apps::swaptions::build(workers),
+        apps::freqmine::build(workers),
+        apps::vips::build(workers),
+        apps::raytrace::build(workers),
+        apps::ferret::build(workers),
+        apps::x264::build(workers),
+        apps::bodytrack::build(workers),
+        apps::facesim::build(workers),
+        apps::streamcluster::build(workers),
+        apps::dedup::build(workers),
+        apps::canneal::build(workers),
+        apps::apache::build(workers),
+    ]
+}
+
+/// Builds one workload by its paper name.
+pub fn by_name(name: &str, workers: usize) -> Option<Workload> {
+    let f: fn(usize) -> Workload = match name {
+        "blackscholes" => apps::blackscholes::build,
+        "fluidanimate" => apps::fluidanimate::build,
+        "swaptions" => apps::swaptions::build,
+        "freqmine" => apps::freqmine::build,
+        "vips" => apps::vips::build,
+        "raytrace" => apps::raytrace::build,
+        "ferret" => apps::ferret::build,
+        "x264" => apps::x264::build,
+        "bodytrack" => apps::bodytrack::build,
+        "facesim" => apps::facesim::build,
+        "streamcluster" => apps::streamcluster::build,
+        "dedup" => apps::dedup::build,
+        "canneal" => apps::canneal::build,
+        "apache" => apps::apache::build,
+        _ => return None,
+    };
+    Some(f(workers))
+}

@@ -1,0 +1,93 @@
+//! A web-server-shaped workload (the paper evaluates Apache under
+//! ApacheBench): worker threads accept connections under a lock, parse
+//! and respond with I/O system calls (which cut transactions), and flush
+//! a big log buffer that overflows the HTM write set (capacity aborts →
+//! per-thread slow path, Figure 5 behaviour). A response-cache bug races
+//! between two workers.
+//!
+//! ```text
+//! cargo run --release --example webserver_race
+//! ```
+
+use txrace::{Detector, RunConfig, Scheme};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+const WORKERS: usize = 4;
+const REQUESTS: u32 = 40;
+
+fn main() {
+    let mut b = ProgramBuilder::new(WORKERS);
+    let accept_lock = b.lock_id("accept");
+    let conn_queue = b.array("conn_queue", 8);
+    let response_cache = b.var("response_cache");
+    let log_buf = b.array("log_buf", 80 * 8 * 8);
+
+    for t in 0..WORKERS {
+        let req_buf = b.array(&format!("req_{t}"), 32);
+        b.thread(t).loop_n(REQUESTS, |tb| {
+            // Accept under the lock (a tiny critical section).
+            tb.lock(accept_lock);
+            tb.read(elem(conn_queue, 0)).write(elem(conn_queue, 1), 1);
+            tb.unlock(accept_lock);
+            // Parse request; respond with I/O.
+            for i in 0..10 {
+                tb.read(elem(req_buf, i));
+            }
+            tb.compute(25);
+            tb.syscall(SyscallKind::Io);
+            // The bug: workers 0 and 1 update the shared response cache
+            // without synchronization.
+            if t == 0 {
+                tb.write_l(response_cache, 1, "cache_fill");
+            } else if t == 1 {
+                tb.read_l(response_cache, "cache_probe");
+            } else {
+                tb.compute(2);
+            }
+            for i in 0..6 {
+                tb.write(elem(req_buf, i), 1);
+            }
+            tb.syscall(SyscallKind::Io);
+        });
+    }
+    // Worker 0 periodically flushes the access log: 80 cache lines in one
+    // region overflow the transactional write buffer.
+    b.thread(0).loop_n(3, |tb| {
+        tb.loop_n(80, |tb| {
+            tb.write_arr(log_buf, 8 * 64, 1);
+        });
+        tb.syscall(SyscallKind::Io);
+    });
+    let program = b.build();
+
+    let outcome = Detector::new(RunConfig::new(Scheme::txrace(), 3)).run(&program);
+    assert!(outcome.completed());
+    let htm = outcome.htm.unwrap();
+    let es = outcome.engine.unwrap();
+
+    println!("== webserver race hunt ==");
+    println!("committed transactions:   {}", htm.committed);
+    println!("conflict aborts:          {}", htm.conflict_aborts);
+    println!("capacity aborts:          {} (log flushes)", htm.capacity_aborts);
+    println!("slow-path regions:        {} total", es.slow_total());
+    println!(
+        "  small regions (K < 5):  {} (the accept critical sections)",
+        es.slow_small
+    );
+    println!("races found:              {}", outcome.races.distinct_count());
+    for r in outcome.races.reports() {
+        let label = |site| program.label_of(site).unwrap_or("<unlabeled>");
+        println!(
+            "  {} vs {}",
+            label(r.prior.site),
+            label(r.current.site)
+        );
+    }
+    println!("overhead:                 {:.2}x", outcome.overhead);
+    assert!(outcome
+        .races
+        .contains(
+            program.site("cache_fill").unwrap(),
+            program.site("cache_probe").unwrap()
+        ));
+}

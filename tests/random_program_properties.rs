@@ -1,0 +1,132 @@
+//! Property tests over randomly generated concurrent programs: the
+//! detectors must uphold their contracts on programs nobody hand-tuned.
+//!
+//! DESIGN.md invariants exercised here: engine liveness (8), TxRace
+//! completeness against TSan ground truth (4), and final-state
+//! correctness for data-race-free programs.
+
+use proptest::prelude::*;
+use txrace::{Detector, RunConfig, Scheme};
+use txrace_sim::{
+    DirectRuntime, InterruptModel, Machine, ProgramBuilder, RoundRobin, RunStatus,
+};
+use txrace_workloads::{random_program, GenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness on arbitrary generated programs, including under
+    /// interrupt injection: TxRace always terminates and does at least the
+    /// original program's work. (Report-level comparison against a TSan
+    /// run is only valid for sync-free programs — see the next test —
+    /// because with locks, *which* pairs race is itself
+    /// schedule-dependent.)
+    #[test]
+    fn txrace_terminates_on_random_programs(
+        gen_seed in 0u64..500,
+        sched_seed in 0u64..50,
+        interrupts in prop_oneof![Just(0.0), Just(0.01)],
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let model = InterruptModel { context_switch_p: interrupts, transient_p: interrupts / 2.0 };
+        let tx = Detector::new(
+            RunConfig::new(Scheme::txrace(), sched_seed).with_interrupts(model),
+        )
+        .run(&p);
+        prop_assert!(tx.completed(), "TxRace run did not finish: {:?}", tx.run);
+        prop_assert!(tx.overhead >= 1.0);
+        // Structural soundness of every report: different threads, and at
+        // least one side wrote.
+        for r in tx.races.reports() {
+            prop_assert!(r.prior.thread != r.current.thread);
+            prop_assert!(
+                r.prior.kind == txrace_hb::AccessKind::Write
+                    || r.current.kind == txrace_hb::AccessKind::Write
+            );
+        }
+    }
+
+    /// On synchronization-free programs the happens-before relation is
+    /// schedule-independent (there are no edges), so TxRace's racy
+    /// *addresses* must be a subset of TSan's on any seed pair.
+    #[test]
+    fn txrace_racy_addresses_subset_of_tsan_without_sync(
+        gen_seed in 0u64..300,
+        tx_seed in 0u64..20,
+        ts_seed in 0u64..20,
+    ) {
+        let cfg = GenConfig { locks: 0, conds: 0, ..GenConfig::default() };
+        let p = random_program(&cfg, gen_seed);
+        let tx = Detector::new(RunConfig::new(Scheme::txrace(), tx_seed)).run(&p);
+        let ts = Detector::new(RunConfig::new(Scheme::Tsan, ts_seed)).run(&p);
+        prop_assert!(tx.completed() && ts.completed());
+        use std::collections::BTreeSet;
+        let tx_addrs: BTreeSet<_> = tx.races.reports().iter().map(|r| r.addr).collect();
+        let ts_addrs: BTreeSet<_> = ts.races.reports().iter().map(|r| r.addr).collect();
+        prop_assert!(
+            tx_addrs.is_subset(&ts_addrs),
+            "TxRace flagged non-racy addresses: {:?} vs {:?}",
+            tx_addrs,
+            ts_addrs
+        );
+    }
+
+    /// A fully lock-disciplined program: no detector reports anything and
+    /// the final counter value is exact despite aborts and re-execution.
+    #[test]
+    fn race_free_counter_program_is_clean_and_correct(
+        threads in 2usize..5,
+        iters in 5u32..40,
+        sched_seed in 0u64..100,
+    ) {
+        let mut b = ProgramBuilder::new(threads);
+        let counter = b.var("counter");
+        let l = b.lock_id("l");
+        for t in 0..threads {
+            b.thread(t).loop_n(iters, |tb| {
+                tb.lock(l).rmw(counter, 1).read(counter).unlock(l).compute(3);
+            });
+        }
+        let p = b.build();
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            let out = Detector::new(RunConfig::new(scheme, sched_seed)).run(&p);
+            prop_assert!(out.completed());
+            prop_assert!(out.races.is_empty(), "false positive: {:?}", out.races.reports());
+            prop_assert_eq!(out.memory.load(counter), u64::from(iters) * threads as u64);
+        }
+    }
+
+    /// The uninstrumented machine and the TxRace-instrumented run agree on
+    /// the final state of lock-protected memory.
+    #[test]
+    fn locked_state_survives_instrumentation(
+        gen_seed in 0u64..200,
+    ) {
+        // Deterministic schedule (round-robin) for a meaningful final-state
+        // comparison on the *same* interleaving skeleton.
+        let mut b = ProgramBuilder::new(3);
+        let cells = b.array("cells", 8);
+        let l = b.lock_id("l");
+        let mut rng_like = gen_seed;
+        for t in 0..3 {
+            b.thread(t).loop_n(10 + (gen_seed % 7) as u32, |tb| {
+                rng_like = rng_like.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let idx = (rng_like >> 33) as usize % 8;
+                tb.lock(l);
+                tb.rmw(txrace_sim::elem(cells, idx), 1);
+                tb.unlock(l);
+            });
+        }
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let mut rt = DirectRuntime::default();
+        let mut s = RoundRobin::new();
+        prop_assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        let direct_total: u64 = m.memory().iter().map(|(_, v)| v).sum();
+
+        let out = Detector::new(RunConfig::new(Scheme::txrace(), 1)).run(&p);
+        prop_assert!(out.completed());
+        let tx_total: u64 = out.memory.iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(direct_total, tx_total, "lost or duplicated increments");
+    }
+}

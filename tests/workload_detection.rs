@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: every synthetic workload, run under both
+//! detectors, must behave exactly as its ground-truth manifest promises.
+//!
+//! These tests guard the whole stack at once — instrumentation, HTM
+//! semantics, the two-phase engine, FastTrack, and the workload
+//! construction itself (e.g., a scratch-array overflow that silently
+//! introduces unplanned sharing shows up here as an unexpected TSan race).
+
+use txrace::{Detector, Scheme};
+use txrace_hb::RacePair;
+use txrace_workloads::{all_workloads, by_name, RaceKind};
+
+/// TSan (sound + complete on the analyzed trace) must report exactly the
+/// planted races: no more (nothing else in the program is racy), no fewer
+/// (every planted race's accesses execute in every run).
+#[test]
+fn tsan_reports_exactly_the_planted_races() {
+    for w in all_workloads(4) {
+        let out = Detector::new(w.config(Scheme::Tsan, 42)).run(&w.program);
+        assert!(out.completed(), "{}", w.name);
+        let planted: Vec<RacePair> = w.planted_pairs().iter().map(|&(p, _)| p).collect();
+        for p in &planted {
+            assert!(
+                out.races.contains(p.a, p.b),
+                "{}: planted race {p} not reported by TSan",
+                w.name
+            );
+        }
+        assert_eq!(
+            out.races.distinct_count(),
+            planted.len(),
+            "{}: TSan reported unplanned races: {:?}",
+            w.name,
+            out.races
+                .pairs()
+                .filter(|p| !planted.contains(p))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Completeness: everything TxRace reports must be in TSan's report for
+/// the same seed (no false positives from cache-line granularity).
+#[test]
+fn txrace_is_complete_on_every_workload() {
+    for w in all_workloads(4) {
+        let tsan = Detector::new(w.config(Scheme::Tsan, 42)).run(&w.program);
+        let tx = Detector::new(w.config(Scheme::txrace(), 42)).run(&w.program);
+        assert!(tx.completed(), "{}", w.name);
+        for p in tx.races.pairs() {
+            assert!(
+                tsan.races.contains(p.a, p.b),
+                "{}: TxRace reported {p}, which TSan does not consider a race",
+                w.name
+            );
+        }
+    }
+}
+
+/// The init-idiom races (bodytrack, facesim) are never detected by
+/// TxRace: their accesses cannot overlap in concurrent transactions.
+#[test]
+fn init_idiom_races_are_missed_by_txrace() {
+    for name in ["bodytrack", "facesim"] {
+        let w = by_name(name, 4).expect("known app");
+        for seed in [1, 42] {
+            let tx = Detector::new(w.config(Scheme::txrace(), seed)).run(&w.program);
+            for (pair, kind) in w.planted_pairs() {
+                if kind == RaceKind::InitIdiom {
+                    assert!(
+                        !tx.races.contains(pair.a, pair.b),
+                        "{name} seed {seed}: init-idiom race {pair} should be missed"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Hot (overlapping) races are found reliably across seeds for the apps
+/// whose Table 1 row says TxRace finds everything TSan finds.
+#[test]
+fn hot_races_are_found_across_seeds() {
+    for name in ["fluidanimate", "raytrace", "ferret", "streamcluster", "canneal"] {
+        let w = by_name(name, 4).expect("known app");
+        let expected = w.expected_txrace_reliable_races();
+        let mut best = 0;
+        for seed in [1, 2, 3] {
+            let tx = Detector::new(w.config(Scheme::txrace(), seed)).run(&w.program);
+            let found = w
+                .planted_pairs()
+                .iter()
+                .filter(|&&(p, k)| k == RaceKind::Overlapping && tx.races.contains(p.a, p.b))
+                .count();
+            best = best.max(found);
+            assert!(
+                found * 2 >= expected,
+                "{name} seed {seed}: only {found}/{expected} hot races found"
+            );
+        }
+        assert_eq!(best, expected, "{name}: never found all hot races");
+    }
+}
+
+/// vips: scheduler-sensitive detection — some but not all races per run,
+/// accumulating across seeds (Figure 10 behaviour).
+#[test]
+fn vips_detection_is_partial_and_accumulates() {
+    let w = by_name("vips", 4).expect("vips");
+    let mut union = txrace_hb::RaceSet::new();
+    let mut per_run = Vec::new();
+    for seed in 1..=4 {
+        let tx = Detector::new(w.config(Scheme::txrace(), seed)).run(&w.program);
+        per_run.push(tx.races.distinct_count());
+        union.merge(&tx.races);
+    }
+    assert!(
+        per_run.iter().all(|&n| n > 0 && n < 112),
+        "per-run counts should be partial: {per_run:?}"
+    );
+    assert!(
+        union.distinct_count() > *per_run.iter().max().unwrap(),
+        "different seeds should find different subsets: {per_run:?} union {}",
+        union.distinct_count()
+    );
+}
+
+/// TxRace must beat TSan on overhead for every app (the headline claim).
+#[test]
+fn txrace_is_cheaper_than_tsan_everywhere() {
+    for w in all_workloads(4) {
+        let tsan = Detector::new(w.config(Scheme::Tsan, 42)).run(&w.program);
+        let tx = Detector::new(w.config(Scheme::txrace(), 42)).run(&w.program);
+        assert!(
+            tx.overhead < tsan.overhead * 1.05,
+            "{}: TxRace {:.2}x vs TSan {:.2}x",
+            w.name,
+            tx.overhead,
+            tsan.overhead
+        );
+    }
+}
+
+/// Runs are deterministic: same seed, same races, same cycle counts.
+#[test]
+fn workload_runs_are_deterministic() {
+    let w = by_name("streamcluster", 4).expect("known app");
+    let a = Detector::new(w.config(Scheme::txrace(), 9)).run(&w.program);
+    let b = Detector::new(w.config(Scheme::txrace(), 9)).run(&w.program);
+    assert_eq!(a.races.pairs().collect::<Vec<_>>(), b.races.pairs().collect::<Vec<_>>());
+    assert_eq!(a.breakdown, b.breakdown);
+    assert_eq!(a.htm, b.htm);
+    assert_eq!(a.run.steps, b.run.steps);
+}
+
+/// Every workload also runs clean at 2 and 8 workers (Figure 8 inputs).
+#[test]
+fn workloads_scale_across_thread_counts() {
+    for workers in [2, 8] {
+        for w in all_workloads(workers) {
+            let tx = Detector::new(w.config(Scheme::txrace(), 5)).run(&w.program);
+            assert!(tx.completed(), "{} at {workers} workers", w.name);
+        }
+    }
+}
