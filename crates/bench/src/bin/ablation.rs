@@ -13,15 +13,21 @@
 //! 4. **TSan shadow cells** (paper §5): with the default bounded cells,
 //!    reader eviction loses races; the paper configures "enough cells to
 //!    be sound" — our `ShadowMode::Exact`.
+//! 5. **Static race-freedom pruning** (DESIGN.md §6): classify every
+//!    static site with the sound `sa` analyses before instrumenting, and
+//!    measure how much overhead each pruning depth buys without changing
+//!    the race set.
 //!
 //! ```text
 //! cargo run --release -p txrace-bench --bin ablation [workers] [seed]
 //! ```
 
-use txrace::{recall, Detector, InstrumentConfig, Scheme, TxRaceOpts};
+use txrace::{
+    recall, Detector, InstrumentConfig, Scheme, SiteClassTable, StaticPruneMode, TxRaceOpts,
+};
+use txrace_bench::{fmt_x, geomean, run_scheme, Table};
 use txrace_hb::ShadowMode;
 use txrace_htm::HtmConfig;
-use txrace_bench::{fmt_x, geomean, Table, run_scheme};
 use txrace_workloads::{all_workloads, by_name};
 
 fn main() {
@@ -33,11 +39,17 @@ fn main() {
     ideal_htm_ablation(workers, seed);
     k_threshold_ablation(workers, seed);
     shadow_cells_ablation(workers, seed);
+    static_prune_ablation(workers, seed);
 }
 
 fn fast_sync_ablation(workers: usize, seed: u64) {
     println!("== ablation 1: fast-path happens-before tracking (§5, Fig. 6) ==\n");
-    let mut t = Table::new(&["application", "tracked: races", "untracked: races", "false positives"]);
+    let mut t = Table::new(&[
+        "application",
+        "tracked: races",
+        "untracked: races",
+        "false positives",
+    ]);
     for name in ["fluidanimate", "ferret", "apache", "streamcluster"] {
         let w = by_name(name, workers).expect("known app");
         let truth = run_scheme(&w, Scheme::Tsan, seed);
@@ -47,8 +59,16 @@ fn fast_sync_ablation(workers: usize, seed: u64) {
             ..TxRaceOpts::default()
         };
         let off = run_scheme(&w, Scheme::TxRace(off_opts), seed);
-        let fp_on = on.races.pairs().filter(|p| !truth.races.contains(p.a, p.b)).count();
-        let fp_off = off.races.pairs().filter(|p| !truth.races.contains(p.a, p.b)).count();
+        let fp_on = on
+            .races
+            .pairs()
+            .filter(|p| !truth.races.contains(p.a, p.b))
+            .count();
+        let fp_off = off
+            .races
+            .pairs()
+            .filter(|p| !truth.races.contains(p.a, p.b))
+            .count();
         t.row(vec![
             name.to_string(),
             format!("{} ({fp_on} fp)", on.races.distinct_count()),
@@ -114,8 +134,10 @@ fn k_threshold_ablation(workers: usize, seed: u64) {
         t.row(cells);
     }
     println!("{}", t.render());
-    println!("small K turns tiny regions into transactions (management cost);\n\
-              large K software-checks bigger regions (check cost).\n");
+    println!(
+        "small K turns tiny regions into transactions (management cost);\n\
+              large K software-checks bigger regions (check cost).\n"
+    );
 }
 
 fn shadow_cells_ablation(_workers: usize, seed: u64) {
@@ -147,9 +169,27 @@ fn shadow_cells_ablation(_workers: usize, seed: u64) {
     let truth = Detector::new(truth_cfg).run(&p);
     let mut t = Table::new(&["shadow mode", "races", "recall vs sound"]);
     for (name, mode) in [
-        ("cells=1", ShadowMode::Cells { per_granule: 1, seed }),
-        ("cells=2", ShadowMode::Cells { per_granule: 2, seed }),
-        ("cells=4 (TSan default)", ShadowMode::Cells { per_granule: 4, seed }),
+        (
+            "cells=1",
+            ShadowMode::Cells {
+                per_granule: 1,
+                seed,
+            },
+        ),
+        (
+            "cells=2",
+            ShadowMode::Cells {
+                per_granule: 2,
+                seed,
+            },
+        ),
+        (
+            "cells=4 (TSan default)",
+            ShadowMode::Cells {
+                per_granule: 4,
+                seed,
+            },
+        ),
         ("exact (paper config)", ShadowMode::Exact),
     ] {
         let mut cfg = txrace::RunConfig::new(Scheme::Tsan, seed);
@@ -162,6 +202,80 @@ fn shadow_cells_ablation(_workers: usize, seed: u64) {
         ]);
     }
     println!("{}", t.render());
-    println!("bounded cells evict readers and miss races, which is why the\n\
-              paper configures enough shadow cells to be sound.");
+    println!(
+        "bounded cells evict readers and miss races, which is why the\n\
+              paper configures enough shadow cells to be sound.\n"
+    );
+}
+
+fn static_prune_ablation(workers: usize, seed: u64) {
+    println!("== ablation 5: static race-freedom pruning (DESIGN.md §6) ==\n");
+    let mut t = Table::new(&[
+        "application",
+        "pruned sites",
+        "off",
+        "checks-only",
+        "full",
+        "races (off/full)",
+    ]);
+    let mut off_ovh = Vec::new();
+    let mut checks_ovh = Vec::new();
+    let mut full_ovh = Vec::new();
+    for w in all_workloads(workers) {
+        let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
+        let mut runs = [
+            StaticPruneMode::Off,
+            StaticPruneMode::ChecksOnly,
+            StaticPruneMode::Full,
+        ]
+        .into_iter()
+        .map(|mode| {
+            let cfg = w.config(Scheme::txrace(), seed).with_prune(mode);
+            let out = Detector::new(cfg).run(&w.program);
+            assert!(out.completed(), "{}: {mode:?} run did not complete", w.name);
+            out
+        });
+        let (off, checks, full) = (
+            runs.next().unwrap(),
+            runs.next().unwrap(),
+            runs.next().unwrap(),
+        );
+        // ChecksOnly is schedule-preserving, so its race set must match
+        // exactly; checking it here keeps the ablation honest.
+        let same: Vec<_> = off.races.pairs().collect();
+        assert!(
+            checks.races.pairs().eq(same.iter().copied()),
+            "{}: checks-only pruning changed the race set",
+            w.name
+        );
+        t.row(vec![
+            w.name.to_string(),
+            format!(
+                "{}/{} ({:.0}%)",
+                stats.race_free,
+                stats.data_sites,
+                stats.pruned_fraction() * 100.0
+            ),
+            fmt_x(off.overhead),
+            fmt_x(checks.overhead),
+            fmt_x(full.overhead),
+            format!(
+                "{}/{}",
+                off.races.distinct_count(),
+                full.races.distinct_count()
+            ),
+        ]);
+        off_ovh.push(off.overhead);
+        checks_ovh.push(checks.overhead);
+        full_ovh.push(full.overhead);
+    }
+    println!("{}", t.render());
+    println!(
+        "geo.mean: off {} -> checks-only {} -> full {}\n\
+         checks-only skips FastTrack checks at provably race-free sites;\n\
+         full also strips the transaction markers around fully-pruned regions.",
+        fmt_x(geomean(&off_ovh)),
+        fmt_x(geomean(&checks_ovh)),
+        fmt_x(geomean(&full_ovh)),
+    );
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use txrace::{CostModel, LocksetRuntime, SchedKind, Scheme};
-use txrace_bench::{fmt_x, Table, run_scheme};
+use txrace_bench::{fmt_x, run_scheme, Table};
 use txrace_sim::{FairSched, Machine};
 use txrace_workloads::all_workloads;
 
@@ -46,7 +46,11 @@ fn main() {
         };
         let mut sched = FairSched::new(seed, jitter).with_slack(slack);
         let run = m.run(&mut ls, &mut sched);
-        assert!(matches!(run.status, txrace_sim::RunStatus::Done), "{}", w.name);
+        assert!(
+            matches!(run.status, txrace_sim::RunStatus::Done),
+            "{}",
+            w.name
+        );
         let base = CostModel::default().baseline_cycles(&w.program);
         let ls_ovh = ls.breakdown().overhead_vs(base);
 

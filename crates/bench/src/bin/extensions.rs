@@ -12,7 +12,7 @@
 //! ```
 
 use txrace::{recall, Detector, Scheme, TxRaceOpts};
-use txrace_bench::{fmt_x, geomean, Table, run_scheme};
+use txrace_bench::{fmt_x, geomean, run_scheme, Table};
 use txrace_htm::HtmConfig;
 use txrace_workloads::all_workloads;
 
@@ -45,10 +45,8 @@ fn main() {
             report_conflict_address: true,
             ..HtmConfig::default()
         };
-        let hints = Detector::new(
-            w.config(Scheme::TxRace(hint_opts), seed).with_htm(hint_htm),
-        )
-        .run(&w.program);
+        let hints = Detector::new(w.config(Scheme::TxRace(hint_opts), seed).with_htm(hint_htm))
+            .run(&w.program);
 
         let samp_opts = TxRaceOpts {
             slow_sampling: Some(0.5),
@@ -68,7 +66,10 @@ fn main() {
             format!("{r1:.2}"),
             format!("{r2:.2}"),
         ]);
-        for (i, v) in [base.overhead, hints.overhead, samp.overhead].into_iter().enumerate() {
+        for (i, v) in [base.overhead, hints.overhead, samp.overhead]
+            .into_iter()
+            .enumerate()
+        {
             cols[i].push(v);
         }
         for (i, v) in [r0, r1, r2].into_iter().enumerate() {

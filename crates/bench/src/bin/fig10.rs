@@ -18,7 +18,9 @@ fn main() {
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let runs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
 
-    println!("TxRace reproduction — Figure 10: vips distinct races across runs (workers={workers})\n");
+    println!(
+        "TxRace reproduction — Figure 10: vips distinct races across runs (workers={workers})\n"
+    );
     let w = by_name("vips", workers).expect("vips exists");
     let tsan = run_scheme(&w, Scheme::Tsan, 1);
     println!(

@@ -29,13 +29,7 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 
     println!("TxRace reproduction — Figure 11: cost-effectiveness vs sampling (workers={workers}, seed={seed})\n");
-    let mut t = Table::new(&[
-        "application",
-        "TSan+10%",
-        "TSan+50%",
-        "TSan+100%",
-        "TxRace",
-    ]);
+    let mut t = Table::new(&["application", "TSan+10%", "TSan+50%", "TSan+100%", "TxRace"]);
     for w in all_workloads(workers) {
         if !RACY_APPS.contains(&w.name) {
             continue;

@@ -28,7 +28,13 @@ fn main() {
         "total",
     ]);
     for w in all_workloads(workers) {
-        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let r = evaluate_app(
+            &w,
+            EvalOptions {
+                seed,
+                ..Default::default()
+            },
+        );
         let bd = r.txrace.breakdown;
         let base = r.txrace.baseline_cycles.max(1) as f64;
         let frac = |v: u64| format!("{:.2}", v as f64 / base);

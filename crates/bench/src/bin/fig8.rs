@@ -9,9 +9,9 @@
 //! cargo run --release -p txrace-bench --bin fig8 [seed]
 //! ```
 
+use txrace::Scheme;
 use txrace_bench::{fmt_x, geomean, run_scheme, Table};
 use txrace_workloads::all_workloads;
-use txrace::Scheme;
 
 fn main() {
     let seed: u64 = std::env::args()

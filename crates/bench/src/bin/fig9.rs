@@ -16,7 +16,9 @@ fn main() {
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 
-    println!("TxRace reproduction — Figure 9: loop-cut effectiveness (workers={workers}, seed={seed})\n");
+    println!(
+        "TxRace reproduction — Figure 9: loop-cut effectiveness (workers={workers}, seed={seed})\n"
+    );
     let mut t = Table::new(&["application", "TSan", "NoOpt", "DynLoopcut", "ProfLoopcut"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for w in all_workloads(workers) {

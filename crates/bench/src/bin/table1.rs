@@ -9,10 +9,21 @@
 //! runs are 10^2–10^4 larger); overheads are directly comparable. Paper
 //! values are shown in parentheses.
 
-use txrace_bench::{
-    evaluate_app, fmt_x, geomean, json_rows, paper, EvalOptions, JsonValue, Table,
-};
-use txrace_workloads::all_workloads;
+use txrace::{Detector, RunOutcome, Scheme, SiteClassTable, StaticPruneMode};
+use txrace_bench::{evaluate_app, fmt_x, geomean, json_rows, paper, EvalOptions, JsonValue, Table};
+use txrace_workloads::{all_workloads, Workload};
+
+/// The "TxRace+SA" run: Full static pruning on top of the default
+/// TxRace configuration (race-free regions lose their transaction
+/// markers entirely; surviving slow paths skip race-free sites).
+fn run_pruned(w: &Workload, seed: u64) -> RunOutcome {
+    let cfg = w
+        .config(Scheme::txrace(), seed)
+        .with_prune(StaticPruneMode::Full);
+    let out = Detector::new(cfg).run(&w.program);
+    assert!(out.completed(), "{}: pruned run did not complete", w.name);
+    out
+}
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -38,12 +49,23 @@ fn main() {
         "TxRace races",
         "TSan ovh",
         "TxRace ovh",
+        "pruned",
+        "TxRace+SA ovh",
     ]);
     let mut tsan_ovh = Vec::new();
     let mut tx_ovh = Vec::new();
+    let mut sa_ovh = Vec::new();
 
     for w in all_workloads(workers) {
-        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let r = evaluate_app(
+            &w,
+            EvalOptions {
+                seed,
+                ..Default::default()
+            },
+        );
+        let sa = run_pruned(&w, seed);
+        let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
         let htm = r.txrace.htm.expect("txrace stats");
         let p = paper::row(w.name).expect("paper row");
         t.row(vec![
@@ -55,10 +77,17 @@ fn main() {
             format!("{} ({})", r.tsan.races.distinct_count(), p.tsan_races),
             format!("{} ({})", r.txrace.races.distinct_count(), p.txrace_races),
             format!("{} ({})", fmt_x(r.tsan.overhead), fmt_x(p.tsan_overhead)),
-            format!("{} ({})", fmt_x(r.txrace.overhead), fmt_x(p.txrace_overhead)),
+            format!(
+                "{} ({})",
+                fmt_x(r.txrace.overhead),
+                fmt_x(p.txrace_overhead)
+            ),
+            format!("{:.0}%", stats.pruned_fraction() * 100.0),
+            fmt_x(sa.overhead),
         ]);
         tsan_ovh.push(r.tsan.overhead);
         tx_ovh.push(r.txrace.overhead);
+        sa_ovh.push(sa.overhead);
     }
     println!("{}", t.render());
     println!(
@@ -69,13 +98,28 @@ fn main() {
         fmt_x(paper::GEOMEAN_TXRACE_OVERHEAD),
         fmt_x(paper::GEOMEAN_TXRACE_DYN_OVERHEAD),
     );
+    let tx = geomean(&tx_ovh);
+    let sa = geomean(&sa_ovh);
+    println!(
+        "with static pruning (TxRace+SA): {} geo.mean ({:.0}% of TxRace's extra overhead elided)",
+        fmt_x(sa),
+        (1.0 - (sa - 1.0) / (tx - 1.0).max(1e-9)) * 100.0,
+    );
 }
 
 /// Machine-readable output: `table1 --json [workers] [seed]`.
 fn print_json(workers: usize, seed: u64) {
     let mut rows = Vec::new();
     for w in all_workloads(workers) {
-        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let r = evaluate_app(
+            &w,
+            EvalOptions {
+                seed,
+                ..Default::default()
+            },
+        );
+        let sa = run_pruned(&w, seed);
+        let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
         let h = r.txrace.htm.expect("txrace stats");
         rows.push(vec![
             ("app", JsonValue::Str(w.name.to_string())),
@@ -83,11 +127,23 @@ fn print_json(workers: usize, seed: u64) {
             ("conflict_aborts", JsonValue::Int(h.conflict_aborts)),
             ("capacity_aborts", JsonValue::Int(h.capacity_aborts)),
             ("unknown_aborts", JsonValue::Int(h.unknown_aborts)),
-            ("tsan_races", JsonValue::Int(r.tsan.races.distinct_count() as u64)),
-            ("txrace_races", JsonValue::Int(r.txrace.races.distinct_count() as u64)),
+            (
+                "tsan_races",
+                JsonValue::Int(r.tsan.races.distinct_count() as u64),
+            ),
+            (
+                "txrace_races",
+                JsonValue::Int(r.txrace.races.distinct_count() as u64),
+            ),
             ("tsan_overhead", JsonValue::Num(r.tsan.overhead)),
             ("txrace_overhead", JsonValue::Num(r.txrace.overhead)),
             ("recall", JsonValue::Num(r.recall)),
+            ("pruned_fraction", JsonValue::Num(stats.pruned_fraction())),
+            (
+                "txrace_sa_races",
+                JsonValue::Int(sa.races.distinct_count() as u64),
+            ),
+            ("txrace_sa_overhead", JsonValue::Num(sa.overhead)),
         ]);
     }
     println!("{}", json_rows(&rows));

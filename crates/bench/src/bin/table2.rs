@@ -21,12 +21,22 @@ fn main() {
     let mut t = Table::new(&["application", "overhead", "recall", "cost-effectiveness"]);
     let (mut ovs, mut recs, mut ces) = (Vec::new(), Vec::new(), Vec::new());
     for w in all_workloads(workers) {
-        let r = evaluate_app(&w, EvalOptions { seed, ..Default::default() });
+        let r = evaluate_app(
+            &w,
+            EvalOptions {
+                seed,
+                ..Default::default()
+            },
+        );
         let p = paper::row(w.name).expect("paper row");
         let norm = r.normalized_overhead();
         t.row(vec![
             w.name.to_string(),
-            format!("{:.2} ({:.2})", norm, p.txrace_overhead.max(1.0) / p.tsan_overhead.max(1.0)),
+            format!(
+                "{:.2} ({:.2})",
+                norm,
+                p.txrace_overhead.max(1.0) / p.tsan_overhead.max(1.0)
+            ),
             format!("{:.2} ({:.2})", r.recall, p.recall),
             format!("{:.2} ({:.2})", r.cost_effectiveness, p.cost_effectiveness),
         ]);

@@ -15,9 +15,7 @@
 //! cargo run --release -p txrace-bench --bin txrace-cli -- run bodytrack --scheme tsan
 //! ```
 
-use txrace::{
-    CostModel, Detector, LocksetRuntime, LoopcutMode, SchedKind, Scheme, TxRaceOpts,
-};
+use txrace::{CostModel, Detector, LocksetRuntime, LoopcutMode, SchedKind, Scheme, TxRaceOpts};
 use txrace_sim::{FairSched, Machine};
 use txrace_workloads::{all_workloads, by_name};
 
@@ -58,9 +56,7 @@ fn run_command(args: &[String]) {
 
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
-        let val = |it: &mut std::slice::Iter<String>| {
-            it.next().cloned().unwrap_or_else(|| usage())
-        };
+        let val = |it: &mut std::slice::Iter<String>| it.next().cloned().unwrap_or_else(|| usage());
         match a.as_str() {
             "--scheme" => scheme = val(&mut it),
             "--seed" => seed = val(&mut it).parse().unwrap_or_else(|_| usage()),
@@ -96,7 +92,10 @@ fn run_command(args: &[String]) {
         };
         let mut sched = FairSched::new(seed, jitter).with_slack(slack);
         let r = m.run(&mut ls, &mut sched);
-        println!("{app} (lockset, seed {seed}, {workers} workers): {:?}", r.status);
+        println!(
+            "{app} (lockset, seed {seed}, {workers} workers): {:?}",
+            r.status
+        );
         println!("lockset violations: {}", ls.reports().len());
         if verbose {
             for rep in ls.reports() {
@@ -123,7 +122,10 @@ fn run_command(args: &[String]) {
         "{app} (seed {seed}, {workers} workers): {:?} in {} steps",
         out.run.status, out.run.steps
     );
-    println!("races:    {} distinct static pair(s)", out.races.distinct_count());
+    println!(
+        "races:    {} distinct static pair(s)",
+        out.races.distinct_count()
+    );
     if verbose {
         for r in out.races.reports() {
             let label = |s| w.program.label_of(s).unwrap_or("<unlabeled>");

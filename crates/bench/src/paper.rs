@@ -30,20 +30,188 @@ pub struct PaperRow {
 
 /// Table 1 + Table 2 of the paper, row per application.
 pub const TABLE1: &[PaperRow] = &[
-    PaperRow { name: "blackscholes",  committed: 131_105,     conflict: 2,       capacity: 0,       unknown: 7,         tsan_races: 0,   txrace_races: 0,  tsan_overhead: 1.85,   txrace_overhead: 1.82,  recall: 1.0,  cost_effectiveness: 1.02 },
-    PaperRow { name: "fluidanimate",  committed: 17_778_944,  conflict: 696_789, capacity: 10_321,  unknown: 36_614,    tsan_races: 1,   txrace_races: 1,  tsan_overhead: 15.23,  txrace_overhead: 6.9,   recall: 1.0,  cost_effectiveness: 2.21 },
-    PaperRow { name: "swaptions",     committed: 160_640_076, conflict: 2_599,   capacity: 557_497, unknown: 54_317,    tsan_races: 0,   txrace_races: 0,  tsan_overhead: 6.77,   txrace_overhead: 3.97,  recall: 1.0,  cost_effectiveness: 1.7 },
-    PaperRow { name: "freqmine",      committed: 84,          conflict: 0,       capacity: 3,       unknown: 26,        tsan_races: 0,   txrace_races: 0,  tsan_overhead: 14.0,   txrace_overhead: 1.15,  recall: 1.0,  cost_effectiveness: 12.17 },
-    PaperRow { name: "vips",          committed: 707_547,     conflict: 16_793,  capacity: 23_403,  unknown: 14_985,    tsan_races: 112, txrace_races: 79, tsan_overhead: 1195.0, txrace_overhead: 63.28, recall: 0.71, cost_effectiveness: 13.32 },
-    PaperRow { name: "raytrace",      committed: 143,         conflict: 12,      capacity: 0,       unknown: 14,        tsan_races: 2,   txrace_races: 2,  tsan_overhead: 5.09,   txrace_overhead: 2.68,  recall: 1.0,  cost_effectiveness: 1.9 },
-    PaperRow { name: "ferret",        committed: 208_052,     conflict: 379,     capacity: 2_413,   unknown: 4_263,     tsan_races: 1,   txrace_races: 1,  tsan_overhead: 10.74,  txrace_overhead: 5.52,  recall: 1.0,  cost_effectiveness: 1.95 },
-    PaperRow { name: "x264",          committed: 36_808,      conflict: 245,     capacity: 423,     unknown: 5_358,     tsan_races: 64,  txrace_races: 64, tsan_overhead: 6.45,   txrace_overhead: 5.6,   recall: 1.0,  cost_effectiveness: 1.15 },
-    PaperRow { name: "bodytrack",     committed: 9_950_991,   conflict: 36_004,  capacity: 47_050,  unknown: 2_004_723, tsan_races: 8,   txrace_races: 6,  tsan_overhead: 12.78,  txrace_overhead: 8.9,   recall: 0.75, cost_effectiveness: 1.08 },
-    PaperRow { name: "facesim",       committed: 12_827_334,  conflict: 1_611,   capacity: 3_372,   unknown: 38_563,    tsan_races: 9,   txrace_races: 8,  tsan_overhead: 36.59,  txrace_overhead: 11.49, recall: 0.89, cost_effectiveness: 2.83 },
-    PaperRow { name: "streamcluster", committed: 756_908,     conflict: 170_805, capacity: 230,     unknown: 832,       tsan_races: 4,   txrace_races: 4,  tsan_overhead: 25.9,   txrace_overhead: 2.97,  recall: 1.0,  cost_effectiveness: 8.71 },
-    PaperRow { name: "dedup",         committed: 2_185_219,   conflict: 106_618, capacity: 13_889,  unknown: 40_177,    tsan_races: 0,   txrace_races: 0,  tsan_overhead: 4.84,   txrace_overhead: 4.19,  recall: 1.0,  cost_effectiveness: 1.15 },
-    PaperRow { name: "canneal",       committed: 3_200_570,   conflict: 25_187,  capacity: 2_896,   unknown: 106_419,   tsan_races: 1,   txrace_races: 1,  tsan_overhead: 4.39,   txrace_overhead: 2.97,  recall: 1.0,  cost_effectiveness: 1.48 },
-    PaperRow { name: "apache",        committed: 310_781,     conflict: 227,     capacity: 446,     unknown: 9_793,     tsan_races: 0,   txrace_races: 0,  tsan_overhead: 3.05,   txrace_overhead: 1.97,  recall: 1.0,  cost_effectiveness: 1.55 },
+    PaperRow {
+        name: "blackscholes",
+        committed: 131_105,
+        conflict: 2,
+        capacity: 0,
+        unknown: 7,
+        tsan_races: 0,
+        txrace_races: 0,
+        tsan_overhead: 1.85,
+        txrace_overhead: 1.82,
+        recall: 1.0,
+        cost_effectiveness: 1.02,
+    },
+    PaperRow {
+        name: "fluidanimate",
+        committed: 17_778_944,
+        conflict: 696_789,
+        capacity: 10_321,
+        unknown: 36_614,
+        tsan_races: 1,
+        txrace_races: 1,
+        tsan_overhead: 15.23,
+        txrace_overhead: 6.9,
+        recall: 1.0,
+        cost_effectiveness: 2.21,
+    },
+    PaperRow {
+        name: "swaptions",
+        committed: 160_640_076,
+        conflict: 2_599,
+        capacity: 557_497,
+        unknown: 54_317,
+        tsan_races: 0,
+        txrace_races: 0,
+        tsan_overhead: 6.77,
+        txrace_overhead: 3.97,
+        recall: 1.0,
+        cost_effectiveness: 1.7,
+    },
+    PaperRow {
+        name: "freqmine",
+        committed: 84,
+        conflict: 0,
+        capacity: 3,
+        unknown: 26,
+        tsan_races: 0,
+        txrace_races: 0,
+        tsan_overhead: 14.0,
+        txrace_overhead: 1.15,
+        recall: 1.0,
+        cost_effectiveness: 12.17,
+    },
+    PaperRow {
+        name: "vips",
+        committed: 707_547,
+        conflict: 16_793,
+        capacity: 23_403,
+        unknown: 14_985,
+        tsan_races: 112,
+        txrace_races: 79,
+        tsan_overhead: 1195.0,
+        txrace_overhead: 63.28,
+        recall: 0.71,
+        cost_effectiveness: 13.32,
+    },
+    PaperRow {
+        name: "raytrace",
+        committed: 143,
+        conflict: 12,
+        capacity: 0,
+        unknown: 14,
+        tsan_races: 2,
+        txrace_races: 2,
+        tsan_overhead: 5.09,
+        txrace_overhead: 2.68,
+        recall: 1.0,
+        cost_effectiveness: 1.9,
+    },
+    PaperRow {
+        name: "ferret",
+        committed: 208_052,
+        conflict: 379,
+        capacity: 2_413,
+        unknown: 4_263,
+        tsan_races: 1,
+        txrace_races: 1,
+        tsan_overhead: 10.74,
+        txrace_overhead: 5.52,
+        recall: 1.0,
+        cost_effectiveness: 1.95,
+    },
+    PaperRow {
+        name: "x264",
+        committed: 36_808,
+        conflict: 245,
+        capacity: 423,
+        unknown: 5_358,
+        tsan_races: 64,
+        txrace_races: 64,
+        tsan_overhead: 6.45,
+        txrace_overhead: 5.6,
+        recall: 1.0,
+        cost_effectiveness: 1.15,
+    },
+    PaperRow {
+        name: "bodytrack",
+        committed: 9_950_991,
+        conflict: 36_004,
+        capacity: 47_050,
+        unknown: 2_004_723,
+        tsan_races: 8,
+        txrace_races: 6,
+        tsan_overhead: 12.78,
+        txrace_overhead: 8.9,
+        recall: 0.75,
+        cost_effectiveness: 1.08,
+    },
+    PaperRow {
+        name: "facesim",
+        committed: 12_827_334,
+        conflict: 1_611,
+        capacity: 3_372,
+        unknown: 38_563,
+        tsan_races: 9,
+        txrace_races: 8,
+        tsan_overhead: 36.59,
+        txrace_overhead: 11.49,
+        recall: 0.89,
+        cost_effectiveness: 2.83,
+    },
+    PaperRow {
+        name: "streamcluster",
+        committed: 756_908,
+        conflict: 170_805,
+        capacity: 230,
+        unknown: 832,
+        tsan_races: 4,
+        txrace_races: 4,
+        tsan_overhead: 25.9,
+        txrace_overhead: 2.97,
+        recall: 1.0,
+        cost_effectiveness: 8.71,
+    },
+    PaperRow {
+        name: "dedup",
+        committed: 2_185_219,
+        conflict: 106_618,
+        capacity: 13_889,
+        unknown: 40_177,
+        tsan_races: 0,
+        txrace_races: 0,
+        tsan_overhead: 4.84,
+        txrace_overhead: 4.19,
+        recall: 1.0,
+        cost_effectiveness: 1.15,
+    },
+    PaperRow {
+        name: "canneal",
+        committed: 3_200_570,
+        conflict: 25_187,
+        capacity: 2_896,
+        unknown: 106_419,
+        tsan_races: 1,
+        txrace_races: 1,
+        tsan_overhead: 4.39,
+        txrace_overhead: 2.97,
+        recall: 1.0,
+        cost_effectiveness: 1.48,
+    },
+    PaperRow {
+        name: "apache",
+        committed: 310_781,
+        conflict: 227,
+        capacity: 446,
+        unknown: 9_793,
+        tsan_races: 0,
+        txrace_races: 0,
+        tsan_overhead: 3.05,
+        txrace_overhead: 1.97,
+        recall: 1.0,
+        cost_effectiveness: 1.55,
+    },
 ];
 
 /// Paper geometric means (Table 1 / Table 2 bottom rows).

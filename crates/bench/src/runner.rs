@@ -55,7 +55,11 @@ pub fn evaluate_app(w: &Workload, opts: EvalOptions) -> AppResult {
     };
     let txrace = Detector::new(w.config(Scheme::TxRace(txopts), opts.seed)).run(&w.program);
     assert!(tsan.completed(), "{}: TSan run did not complete", w.name);
-    assert!(txrace.completed(), "{}: TxRace run did not complete", w.name);
+    assert!(
+        txrace.completed(),
+        "{}: TxRace run did not complete",
+        w.name
+    );
     let rec = recall(&txrace.races, &tsan.races);
     let mut result = AppResult {
         name: w.name,

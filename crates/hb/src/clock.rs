@@ -13,9 +13,7 @@ pub struct VectorClock {
 impl VectorClock {
     /// The all-zero clock over `n` threads.
     pub fn zero(n: usize) -> Self {
-        VectorClock {
-            clocks: vec![0; n],
-        }
+        VectorClock { clocks: vec![0; n] }
     }
 
     /// The initial clock of thread `t` in a universe of `n`: everything 0
@@ -59,10 +57,7 @@ impl VectorClock {
 
     /// Pointwise comparison: true if `self[u] <= other[u]` for all `u`.
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.clocks
-            .iter()
-            .zip(&other.clocks)
-            .all(|(a, b)| a <= b)
+        self.clocks.iter().zip(&other.clocks).all(|(a, b)| a <= b)
     }
 
     /// The epoch of thread `t` under this clock.

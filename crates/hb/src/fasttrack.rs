@@ -550,7 +550,10 @@ mod tests {
             per_granule: 1,
             seed: 42,
         });
-        assert!(cells < readers as usize, "eviction should lose races, found {cells}");
+        assert!(
+            cells < readers as usize,
+            "eviction should lose races, found {cells}"
+        );
     }
 
     #[test]

@@ -108,11 +108,7 @@ impl Lockset {
                 if owner == t {
                     // Still exclusive; refine candidates only once shared.
                 } else {
-                    state.candidates = state
-                        .candidates
-                        .intersection(held)
-                        .copied()
-                        .collect();
+                    state.candidates = state.candidates.intersection(held).copied().collect();
                     state.phase = if is_write {
                         VarPhase::SharedModified
                     } else {
@@ -121,21 +117,13 @@ impl Lockset {
                 }
             }
             VarPhase::Shared => {
-                state.candidates = state
-                    .candidates
-                    .intersection(held)
-                    .copied()
-                    .collect();
+                state.candidates = state.candidates.intersection(held).copied().collect();
                 if is_write {
                     state.phase = VarPhase::SharedModified;
                 }
             }
             VarPhase::SharedModified => {
-                state.candidates = state
-                    .candidates
-                    .intersection(held)
-                    .copied()
-                    .collect();
+                state.candidates = state.candidates.intersection(held).copied().collect();
             }
         }
         if state.phase == VarPhase::SharedModified && state.candidates.is_empty() && !state.reported

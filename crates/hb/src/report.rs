@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn pairs_are_normalized() {
-        assert_eq!(RacePair::new(SiteId(5), SiteId(2)), RacePair::new(SiteId(2), SiteId(5)));
+        assert_eq!(
+            RacePair::new(SiteId(5), SiteId(2)),
+            RacePair::new(SiteId(2), SiteId(5))
+        );
     }
 
     #[test]

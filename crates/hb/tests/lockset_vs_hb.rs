@@ -37,8 +37,7 @@ fn ev_strategy(threads: u32, addrs: u64, locks: u32) -> impl Strategy<Value = Ev
         prop_oneof![
             (t.clone(), 0..addrs).prop_map(|(t, a)| Ev::Read(t, a)),
             (t.clone(), 0..addrs).prop_map(|(t, a)| Ev::Write(t, a)),
-            (t, 0..locks, 0..addrs, any::<bool>())
-                .prop_map(|(t, l, a, w)| Ev::Locked(t, l, a, w)),
+            (t, 0..locks, 0..addrs, any::<bool>()).prop_map(|(t, l, a, w)| Ev::Locked(t, l, a, w)),
         ]
         .boxed()
     }
@@ -104,7 +103,6 @@ proptest! {
         );
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]

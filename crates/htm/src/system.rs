@@ -203,7 +203,9 @@ impl HtmSystem {
         if !self.cfg.report_conflict_address {
             return None;
         }
-        self.slots[t.index()].as_ref().and_then(|txn| txn.conflict_line)
+        self.slots[t.index()]
+            .as_ref()
+            .and_then(|txn| txn.conflict_line)
     }
 
     /// Data accesses performed inside `t`'s current transaction.
@@ -312,9 +314,7 @@ impl HtmSystem {
                 // Active transaction: requester-wins against others' writes.
                 self.conflict_scan(t, line, false, true);
                 let cap = self.cfg.read_set_max_lines;
-                let txn = self.slots[t.index()]
-                    .as_mut()
-                    .expect("checked above");
+                let txn = self.slots[t.index()].as_mut().expect("checked above");
                 txn.accesses += 1;
                 if !txn.read_lines.contains(&line) {
                     if txn.read_lines.len() >= cap {
@@ -434,7 +434,9 @@ impl HtmSystem {
     /// L1-shaped structure overflows. Returns false on doom.
     fn reserve_write_line(&mut self, t: ThreadId, line: CacheLine) -> bool {
         let (sets, ways) = (self.cfg.write_sets, self.cfg.write_ways);
-        let txn = self.slots[t.index()].as_mut().expect("txn checked by caller");
+        let txn = self.slots[t.index()]
+            .as_mut()
+            .expect("txn checked by caller");
         if txn.write_lines.contains(&line) {
             return true;
         }
@@ -453,7 +455,13 @@ impl HtmSystem {
 
     /// Requester-wins conflict detection: dooms every *other* active
     /// transaction whose tracked lines conflict with this access.
-    fn conflict_scan(&mut self, requester: ThreadId, line: CacheLine, is_write: bool, in_txn: bool) {
+    fn conflict_scan(
+        &mut self,
+        requester: ThreadId,
+        line: CacheLine,
+        is_write: bool,
+        in_txn: bool,
+    ) {
         // Fast exit for the overwhelmingly common case: no *other*
         // transaction is in flight, so nothing can conflict.
         let others = self.active - usize::from(self.slots[requester.index()].is_some());
@@ -562,7 +570,10 @@ mod tests {
         assert!(htm.is_doomed(T0).unwrap().contains(AbortStatus::CONFLICT));
         assert!(htm.is_doomed(T0).unwrap().contains(AbortStatus::RETRY));
         assert!(htm.xend(T1, &mut mem).is_ok());
-        assert_eq!(htm.xend(T0, &mut mem).unwrap_err().reason(), AbortReason::Conflict);
+        assert_eq!(
+            htm.xend(T0, &mut mem).unwrap_err().reason(),
+            AbortReason::Conflict
+        );
         assert_eq!(mem.load(line_addr(3)), 2);
     }
 
@@ -584,7 +595,10 @@ mod tests {
         htm.xbegin(T1).unwrap();
         htm.write(T0, &mut mem, line_addr(4), 1);
         let _ = htm.read(T1, &mem, line_addr(4));
-        assert!(htm.is_doomed(T0).is_some(), "writer loses to reader-requester");
+        assert!(
+            htm.is_doomed(T0).is_some(),
+            "writer loses to reader-requester"
+        );
         assert!(htm.is_doomed(T1).is_none());
     }
 

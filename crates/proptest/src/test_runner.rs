@@ -1,0 +1,136 @@
+//! The case loop: deterministic per-test seeding, rejection accounting,
+//! and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than the real crate's 256: these tests run full
+        // detector pipelines per case, and the seed is deterministic, so
+        // breadth comes from explicitly raising `cases` where it pays.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this case out; try another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives the case loop for one `proptest!` test.
+pub struct Runner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl Runner {
+    /// `name` should be the fully-qualified test name; it determines the
+    /// generator seed.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Runner { config, name }
+    }
+
+    /// Runs cases until `config.cases` pass; panics on the first failure
+    /// or when rejections make the test vacuous.
+    pub fn run(&mut self, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+        let mut rng = StdRng::seed_from_u64(fnv1a(self.name.as_bytes()));
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u32;
+        while passed < self.config.cases {
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest {} is vacuous: {} consecutive-or-total rejections \
+                             with only {}/{} cases passed",
+                            self.name, rejected, passed, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {} (deterministic seed; rerun reproduces): {}",
+                        self.name, attempt, msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test's qualified name: stable across runs and
+/// platforms, distinct per test.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(fnv1a(b"mod::a"), fnv1a(b"mod::b"));
+    }
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        let mut r = Runner::new(ProptestConfig::with_cases(10), "trivial");
+        let mut calls = 0;
+        r.run(|_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic seed")]
+    fn runner_reports_failure_with_case_number() {
+        let mut r = Runner::new(ProptestConfig::with_cases(10), "failing");
+        r.run(|_| Err(TestCaseError::fail("boom".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn all_rejections_is_vacuous_failure() {
+        let mut r = Runner::new(ProptestConfig::with_cases(2), "vacuous");
+        r.run(|_| Err(TestCaseError::Reject));
+    }
+}

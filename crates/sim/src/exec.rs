@@ -56,9 +56,7 @@ pub fn flat_iteration_index(stack: &[LoopFrame]) -> u64 {
 /// buffer walk re-walks the same addresses on every execution of its loop
 /// — re-wrapping a walk in an outer loop never escapes the array.
 pub fn innermost_iteration_index(stack: &[LoopFrame]) -> u64 {
-    stack
-        .last()
-        .map_or(0, |f| u64::from(f.trips - f.remaining))
+    stack.last().map_or(0, |f| u64::from(f.trips - f.remaining))
 }
 
 /// A restorable point in one thread's control flow: program counter plus
@@ -385,21 +383,18 @@ impl Machine {
         let ti = t.index();
         // Blocking check happens before any hook fires.
         match op {
-            Op::Lock(l)
-                if self.locks[l.index()].is_some() => {
-                    self.states[ti] = TState::BlockedLock(l);
-                    return Ok(());
-                }
-            Op::Wait(c)
-                if self.sems[c.index()] == 0 => {
-                    self.states[ti] = TState::BlockedWait(c);
-                    return Ok(());
-                }
-            Op::Join(u)
-                if self.states[u.index()] != TState::Done => {
-                    self.states[ti] = TState::BlockedJoin(u);
-                    return Ok(());
-                }
+            Op::Lock(l) if self.locks[l.index()].is_some() => {
+                self.states[ti] = TState::BlockedLock(l);
+                return Ok(());
+            }
+            Op::Wait(c) if self.sems[c.index()] == 0 => {
+                self.states[ti] = TState::BlockedWait(c);
+                return Ok(());
+            }
+            Op::Join(u) if self.states[u.index()] != TState::Done => {
+                self.states[ti] = TState::BlockedJoin(u);
+                return Ok(());
+            }
             _ => {}
         }
 
@@ -493,8 +488,7 @@ impl Machine {
             }
             Op::Barrier(b) => {
                 self.barriers[b.index()].arrived.push((t, site));
-                if self.barriers[b.index()].arrived.len() as u32 == self.barrier_widths[b.index()]
-                {
+                if self.barriers[b.index()].arrived.len() as u32 == self.barrier_widths[b.index()] {
                     barrier_release = Some(b);
                 } else {
                     advance = false; // stays at the barrier op, blocked below
@@ -931,7 +925,7 @@ mod tests {
         assert_eq!(flat_iteration_index(&[]), 0);
         assert_eq!(flat_iteration_index(&[f(10, 10, 0)]), 0); // first iter
         assert_eq!(flat_iteration_index(&[f(10, 1, 0)]), 9); // last iter
-        // outer iter 2 of 4, inner iter 1 of 3 -> 2*3 + 1 = 7
+                                                             // outer iter 2 of 4, inner iter 1 of 3 -> 2*3 + 1 = 7
         assert_eq!(flat_iteration_index(&[f(4, 2, 0), f(3, 2, 1)]), 7);
         // innermost index ignores outer frames
         assert_eq!(innermost_iteration_index(&[]), 0);

@@ -45,8 +45,10 @@ pub mod explore;
 pub mod flat;
 pub mod ids;
 pub mod ir;
+pub mod lint;
 pub mod mem;
 pub mod sched;
+pub mod summary;
 pub mod trace;
 
 pub use addr::{elem, Addr, CacheLine, VarLayout, LINE_BYTES};
@@ -57,8 +59,10 @@ pub use exec::{
 pub use flat::{FlatProgram, FlatThread, Instr};
 pub use ids::{BarrierId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
+pub use lint::{lint, LintIssue};
 pub use mem::Memory;
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
+pub use summary::{summarize, Phase, ProgramSummary, SiteAccess};
 
 /// A runtime that executes memory operations directly against memory with
 /// no detection or transactional machinery. Used to establish uninstrumented

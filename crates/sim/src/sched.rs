@@ -397,10 +397,7 @@ mod tests {
         for _ in 0..4000 {
             counts[s.next(&r).0 as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(max - min < 40, "drift too large: {counts:?}");
     }
 

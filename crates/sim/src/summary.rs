@@ -1,0 +1,411 @@
+//! Static per-site access summaries over the IR.
+//!
+//! [`summarize`] walks a [`Program`]'s statement trees once (no
+//! execution) and produces one [`SiteAccess`] record per data-access site:
+//! which thread issues it, whether it writes, the set of addresses it can
+//! touch (its *footprint*), the locks provably held around every dynamic
+//! occurrence, and the single-threaded-ness of its program phase.
+//!
+//! This is the IR-visitor half of the static race-freedom analysis; the
+//! classification rules that consume these records live in the `txrace`
+//! crate (`txrace::sa`). Everything here is deliberately *conservative*:
+//! when a property cannot be established from the statement tree alone
+//! (for example, a loop body with a net lock-depth change), the summary
+//! under-approximates — it claims fewer locks held and a wider footprint
+//! never a narrower one — so downstream pruning stays sound.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::addr::Addr;
+use crate::ids::{LockId, SiteId, ThreadId};
+use crate::ir::{Op, Program, Stmt};
+
+/// Where an access sits relative to the main thread's spawn/join
+/// structure. Accesses in a single-threaded phase are globally
+/// happens-before-ordered with respect to every other access in the
+/// program (via the spawn and join edges), so they can never race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// On the main thread, before the first `Spawn`, while every other
+    /// thread is still parked (also: anywhere in a program that never
+    /// spawns and whose other threads never run).
+    PreSpawn,
+    /// Potentially concurrent with another thread.
+    Concurrent,
+    /// On the main thread, after every spawned thread has provably been
+    /// joined.
+    PostJoin,
+}
+
+/// The static summary of one data-access site.
+#[derive(Debug, Clone)]
+pub struct SiteAccess {
+    /// The site this record describes.
+    pub site: SiteId,
+    /// The thread whose body contains the site.
+    pub thread: ThreadId,
+    /// True for `Write`, `WriteArr`, and `Rmw`.
+    pub writes: bool,
+    /// True for `Rmw` (an atomic access; never checked by the detectors).
+    pub atomic: bool,
+    /// Every address a dynamic occurrence of this site can touch. Scalar
+    /// accesses have a one-element footprint; indexed accesses cover
+    /// `base + stride * i` for each iteration `i` of the innermost
+    /// enclosing loop (mirroring the interpreter's addressing).
+    pub addrs: Vec<Addr>,
+    /// Locks held at *every* dynamic occurrence of this site.
+    pub locks: BTreeSet<LockId>,
+    /// Single-threaded-phase classification.
+    pub phase: Phase,
+}
+
+/// All access records of a program, in walk order.
+#[derive(Debug, Clone)]
+pub struct ProgramSummary {
+    accesses: Vec<SiteAccess>,
+}
+
+impl ProgramSummary {
+    /// The records, one per data-access site that can execute. Sites
+    /// inside zero-trip loops have no record (they are dead code).
+    pub fn accesses(&self) -> &[SiteAccess] {
+        &self.accesses
+    }
+}
+
+/// Builds the access summary of `p`.
+pub fn summarize(p: &Program) -> ProgramSummary {
+    let mut w = Walker {
+        out: Vec::new(),
+        held: BTreeMap::new(),
+    };
+    for t in 0..p.thread_count() {
+        let tid = ThreadId(t as u32);
+        w.held.clear();
+        let stmts = p.thread(tid);
+        if t == 0 {
+            if let Some((pre_end, post_start)) = main_phase_split(p, stmts) {
+                w.walk(tid, &stmts[..pre_end], None, Phase::PreSpawn);
+                let mid_end = post_start.min(stmts.len());
+                w.walk(tid, &stmts[pre_end..mid_end], None, Phase::Concurrent);
+                w.walk(tid, &stmts[mid_end..], None, Phase::PostJoin);
+                continue;
+            }
+        }
+        w.walk(tid, stmts, None, Phase::Concurrent);
+    }
+    ProgramSummary { accesses: w.out }
+}
+
+/// If every non-main thread starts parked, splits the main thread's
+/// top-level statements into `[..pre_end]` (single-threaded prologue),
+/// `[pre_end..post_start]` (concurrent middle), and `[post_start..]`
+/// (single-threaded epilogue). Returns `None` when other threads run from
+/// the start (no single-threaded phase exists).
+///
+/// The epilogue begins only after the main thread has joined *every*
+/// thread it could have spawned — a per-thread joined-set check, stricter
+/// than the instrumentation pass's join-count heuristic, because here a
+/// wrong answer would unsoundly prune checks rather than merely instrument
+/// a dead region.
+fn main_phase_split(p: &Program, stmts: &[Stmt]) -> Option<(usize, usize)> {
+    let spawned: BTreeSet<u32> = (1..p.thread_count() as u32)
+        .filter(|&t| p.starts_parked(ThreadId(t)))
+        .collect();
+    if spawned.len() != p.thread_count() - 1 {
+        return None;
+    }
+    let has_spawn = |s: &Stmt| contains_op(s, &|op| matches!(op, Op::Spawn(_)));
+    let Some(pre_end) = stmts.iter().position(has_spawn) else {
+        // Main never spawns anyone and nobody else can run: the whole
+        // program is single-threaded.
+        return Some((stmts.len(), stmts.len()));
+    };
+    let mut joined: BTreeSet<u32> = BTreeSet::new();
+    let mut post_start = stmts.len();
+    for (i, s) in stmts.iter().enumerate() {
+        collect_executed_joins(s, &mut joined);
+        if i >= pre_end && joined.is_superset(&spawned) {
+            // Everything *after* this statement is single-threaded.
+            post_start = i + 1;
+            break;
+        }
+    }
+    Some((pre_end, post_start))
+}
+
+fn contains_op(s: &Stmt, pred: &impl Fn(&Op) -> bool) -> bool {
+    match s {
+        Stmt::Op { op, .. } => pred(op),
+        Stmt::Loop { body, .. } => body.iter().any(|s| contains_op(s, pred)),
+    }
+}
+
+/// Collects `Join` targets that are guaranteed to execute (subtrees under
+/// zero-trip loops never run and must not count).
+fn collect_executed_joins(s: &Stmt, joined: &mut BTreeSet<u32>) {
+    match s {
+        Stmt::Op {
+            op: Op::Join(u), ..
+        } => {
+            joined.insert(u.0);
+        }
+        Stmt::Op { .. } => {}
+        Stmt::Loop { trips, body, .. } if *trips > 0 => {
+            for s in body {
+                collect_executed_joins(s, joined);
+            }
+        }
+        Stmt::Loop { .. } => {}
+    }
+}
+
+struct Walker {
+    out: Vec<SiteAccess>,
+    /// Current lock-hold depth (a multiset; re-entrant depth tracked).
+    held: BTreeMap<LockId, u32>,
+}
+
+impl Walker {
+    fn walk(&mut self, t: ThreadId, stmts: &[Stmt], innermost_trips: Option<u32>, phase: Phase) {
+        for s in stmts {
+            match s {
+                Stmt::Op { site, op } => self.op(t, *site, op, innermost_trips, phase),
+                Stmt::Loop { trips, body, .. } => {
+                    if *trips == 0 {
+                        // Dead code: nothing inside ever executes, so it
+                        // contributes no records (and no footprint for
+                        // other sites to conflict with).
+                        continue;
+                    }
+                    let before = self.held.clone();
+                    let start = self.out.len();
+                    self.walk(t, body, Some(*trips), phase);
+                    // A body with a net lock-depth change makes the lock
+                    // state iteration-dependent; the single walk above saw
+                    // only the first iteration's state. Be conservative:
+                    // strip every drifting lock both from the records made
+                    // inside the loop and from the state carried past it
+                    // (claiming a lock is NOT held is always sound).
+                    let drifting: Vec<LockId> = before
+                        .keys()
+                        .chain(self.held.keys())
+                        .copied()
+                        .filter(|l| {
+                            before.get(l).copied().unwrap_or(0)
+                                != self.held.get(l).copied().unwrap_or(0)
+                        })
+                        .collect();
+                    for l in &drifting {
+                        for r in &mut self.out[start..] {
+                            r.locks.remove(l);
+                        }
+                        self.held.remove(l);
+                    }
+                }
+            }
+        }
+    }
+
+    fn op(
+        &mut self,
+        t: ThreadId,
+        site: SiteId,
+        op: &Op,
+        innermost_trips: Option<u32>,
+        phase: Phase,
+    ) {
+        match op {
+            Op::Lock(l) => {
+                *self.held.entry(*l).or_insert(0) += 1;
+            }
+            Op::Unlock(l) => {
+                // Unbalanced unlocks (flagged by the lint) saturate at
+                // zero rather than corrupting the map.
+                if let Some(d) = self.held.get_mut(l) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+            op if op.is_data_access() => {
+                let addrs = footprint(op, innermost_trips);
+                let locks = self
+                    .held
+                    .iter()
+                    .filter(|&(_, &d)| d > 0)
+                    .map(|(&l, _)| l)
+                    .collect();
+                self.out.push(SiteAccess {
+                    site,
+                    thread: t,
+                    writes: op.is_write_access(),
+                    atomic: matches!(op, Op::Rmw(_, _)),
+                    addrs,
+                    locks,
+                    phase,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The addresses one site can touch, mirroring the interpreter: indexed
+/// accesses use the innermost enclosing loop's iteration index (0 outside
+/// any loop).
+fn footprint(op: &Op, innermost_trips: Option<u32>) -> Vec<Addr> {
+    match op {
+        Op::Read(a) | Op::Write(a, _) | Op::Rmw(a, _) => vec![*a],
+        Op::ReadArr { base, stride } | Op::WriteArr { base, stride, .. } => {
+            let n = innermost_trips.unwrap_or(1).max(1);
+            (0..u64::from(n)).map(|i| base.offset(stride * i)).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    fn record<'a>(s: &'a ProgramSummary, p: &Program, label: &str) -> &'a SiteAccess {
+        let site = p.site(label).expect("label exists");
+        s.accesses()
+            .iter()
+            .find(|r| r.site == site)
+            .expect("record exists")
+    }
+
+    #[test]
+    fn scalar_footprint_and_kind() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0)
+            .read_l(x, "r")
+            .write_l(x, 1, "w")
+            .rmw_l(x, 1, "a");
+        b.thread(1).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        let r = record(&s, &p, "r");
+        assert!(!r.writes && !r.atomic && r.addrs == vec![x]);
+        let w = record(&s, &p, "w");
+        assert!(w.writes && !w.atomic);
+        let a = record(&s, &p, "a");
+        assert!(a.writes && a.atomic);
+    }
+
+    #[test]
+    fn array_footprint_covers_innermost_loop() {
+        let mut b = ProgramBuilder::new(2);
+        let arr = b.array("arr", 16);
+        b.thread(0).loop_n(3, |tb| {
+            tb.loop_n(4, |tb| {
+                tb.read_arr_l(arr, 8, "inner");
+            });
+            tb.write_arr_l(arr, 8, 1, "outer");
+        });
+        b.thread(1).read(arr);
+        let p = b.build();
+        let s = summarize(&p);
+        // Innermost loop has 4 trips: footprint is 4 addresses.
+        assert_eq!(record(&s, &p, "inner").addrs.len(), 4);
+        // The outer access's innermost enclosing loop has 3 trips.
+        assert_eq!(record(&s, &p, "outer").addrs.len(), 3);
+        assert_eq!(record(&s, &p, "inner").addrs[2], arr.offset(16));
+    }
+
+    #[test]
+    fn locks_tracked_through_balanced_loops() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).lock(l).loop_n(5, |tb| {
+            tb.write_l(x, 1, "locked");
+        });
+        b.thread(0).unlock(l).read_l(x, "unlocked");
+        b.thread(1).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        assert!(record(&s, &p, "locked").locks.contains(&l));
+        assert!(record(&s, &p, "unlocked").locks.is_empty());
+    }
+
+    #[test]
+    fn lock_drifting_loop_body_loses_credit() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        // The body net-acquires `l`: the state differs per iteration, so
+        // neither the inner access nor anything after may claim it.
+        b.thread(0).loop_n(3, |tb| {
+            tb.lock(l).write_l(x, 1, "inside");
+        });
+        b.thread(0).read_l(x, "after");
+        b.thread(1).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        assert!(record(&s, &p, "inside").locks.is_empty());
+        assert!(record(&s, &p, "after").locks.is_empty());
+    }
+
+    #[test]
+    fn phases_split_around_spawn_and_join() {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        b.thread(0)
+            .write_l(x, 1, "pre")
+            .spawn(ThreadId(1))
+            .spawn(ThreadId(2))
+            .read_l(x, "mid")
+            .join(ThreadId(1))
+            .read_l(x, "mid2")
+            .join(ThreadId(2))
+            .write_l(x, 2, "post");
+        b.thread(1).read(x);
+        b.thread(2).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        assert_eq!(record(&s, &p, "pre").phase, Phase::PreSpawn);
+        assert_eq!(record(&s, &p, "mid").phase, Phase::Concurrent);
+        // Only one of the two spawned threads is joined yet.
+        assert_eq!(record(&s, &p, "mid2").phase, Phase::Concurrent);
+        assert_eq!(record(&s, &p, "post").phase, Phase::PostJoin);
+    }
+
+    #[test]
+    fn unparked_siblings_suppress_phases() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write_l(x, 1, "w");
+        b.thread(1).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        assert_eq!(record(&s, &p, "w").phase, Phase::Concurrent);
+    }
+
+    #[test]
+    fn single_threaded_program_is_all_prespawn() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write_l(x, 1, "w");
+        let p = b.build();
+        let s = summarize(&p);
+        assert_eq!(record(&s, &p, "w").phase, Phase::PreSpawn);
+    }
+
+    #[test]
+    fn zero_trip_loops_leave_no_records() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).loop_n(0, |tb| {
+            tb.write_l(x, 1, "dead");
+        });
+        b.thread(1).read(x);
+        let p = b.build();
+        let s = summarize(&p);
+        let site = p.site("dead").unwrap();
+        assert!(s.accesses().iter().all(|r| r.site != site));
+    }
+}

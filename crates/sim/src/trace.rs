@@ -268,7 +268,10 @@ mod tests {
         m.run(&mut rt, &mut s);
         assert!(rt.events().iter().any(|e| matches!(
             e,
-            Event::BarrierRelease { participants: 2, .. }
+            Event::BarrierRelease {
+                participants: 2,
+                ..
+            }
         )));
         let (_inner, events) = rt.into_parts();
         assert!(!events.is_empty());

@@ -5,11 +5,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use txrace_hb::{FastTrack, Lockset, LocksetReport, RaceSet, ShadowMode};
-use txrace_sim::{
-    Addr, BarrierId, Directive, Memory, Op, OpEvent, Runtime, SiteId, ThreadId,
-};
+use txrace_sim::{Addr, BarrierId, Directive, Memory, Op, OpEvent, Runtime, SiteId, ThreadId};
 
 use crate::cost::{CostModel, CycleBreakdown};
+use crate::sa::SiteClassTable;
 
 /// The always-on software detector: FastTrack checks on every shared
 /// access (the paper's "TSan" baseline), optionally sampling accesses at a
@@ -21,8 +20,10 @@ pub struct TsanRuntime {
     eff_check: u64,
     breakdown: CycleBreakdown,
     sampler: Option<(f64, StdRng)>,
+    prune: Option<SiteClassTable>,
     checked: u64,
     skipped: u64,
+    elided: u64,
 }
 
 impl TsanRuntime {
@@ -34,9 +35,19 @@ impl TsanRuntime {
             cost,
             breakdown: CycleBreakdown::default(),
             sampler: None,
+            prune: None,
             checked: 0,
             skipped: 0,
+            elided: 0,
         }
+    }
+
+    /// Installs a static race-freedom table: accesses at sites the table
+    /// proves race-free skip the shadow-memory check entirely (their
+    /// would-be cost is recorded in [`CycleBreakdown::elided`]).
+    pub fn with_prune(mut self, table: SiteClassTable) -> Self {
+        self.prune = Some(table);
+        self
     }
 
     /// Sampled checking: each dynamic access is checked with probability
@@ -78,6 +89,23 @@ impl TsanRuntime {
         self.skipped
     }
 
+    /// Accesses elided by the static race-freedom analysis.
+    pub fn elided(&self) -> u64 {
+        self.elided
+    }
+
+    /// True when the prune table elides the check at `site`; records the
+    /// avoided cost.
+    fn prune_elides(&mut self, site: SiteId) -> bool {
+        if self.prune.as_ref().is_some_and(|t| t.is_race_free(site)) {
+            self.elided += 1;
+            self.breakdown.elided += self.eff_check;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Decides whether this access is checked; charges accordingly.
     fn sample(&mut self) -> bool {
         let take = match &mut self.sampler {
@@ -101,14 +129,14 @@ impl Runtime for TsanRuntime {
     }
 
     fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
-        if self.sample() {
+        if !self.prune_elides(ev.site) && self.sample() {
             self.ft.read(ev.thread, ev.site, addr);
         }
         mem.load(addr)
     }
 
     fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
-        if self.sample() {
+        if !self.prune_elides(ev.site) && self.sample() {
             self.ft.write(ev.thread, ev.site, addr);
         }
         mem.store(addr, val);
@@ -171,8 +199,7 @@ mod tests {
         b.thread(0).write(x, 1);
         b.thread(1).write(x, 2);
         let p = b.build();
-        let mut rt =
-            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.0, 7);
+        let mut rt = TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.0, 7);
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
@@ -189,8 +216,7 @@ mod tests {
             t.read(x);
         });
         let p = b.build();
-        let mut rt =
-            TsanRuntime::sampling(1, CostModel::default(), 1.0, ShadowMode::Exact, 0.3, 9);
+        let mut rt = TsanRuntime::sampling(1, CostModel::default(), 1.0, ShadowMode::Exact, 0.3, 9);
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
@@ -200,8 +226,7 @@ mod tests {
 
     #[test]
     fn full_rate_sampling_equals_full() {
-        let mut rt =
-            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 1.0, 7);
+        let mut rt = TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 1.0, 7);
         assert!(rt.sample());
         assert_eq!(rt.skipped(), 0);
     }
@@ -221,6 +246,44 @@ mod tests {
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
         assert!(rt.races().is_empty(), "ordered accesses misreported");
+    }
+
+    #[test]
+    fn prune_table_elides_race_free_checks_only() {
+        use crate::sa::SiteClassTable;
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        for t in 0..2 {
+            let mine = b.var(&format!("mine{t}"));
+            b.thread(t).write(x, t as u64).read(mine).read(mine);
+        }
+        let p = b.build();
+        let table = SiteClassTable::analyze(&p);
+        let mk = |prune: bool| {
+            let rt = TsanRuntime::full(2, CostModel::default(), 1.0, ShadowMode::Exact);
+            if prune {
+                rt.with_prune(table.clone())
+            } else {
+                rt
+            }
+        };
+        let run = |mut rt: TsanRuntime| {
+            let mut m = Machine::new(&p);
+            let mut s = RandomSched::new(5);
+            assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+            rt
+        };
+        let off = run(mk(false));
+        let on = run(mk(true));
+        // Two racy writes checked, four private reads elided.
+        assert_eq!(on.checked(), 2);
+        assert_eq!(on.elided(), 4);
+        assert_eq!(off.checked(), 6);
+        assert_eq!(on.races().distinct_count(), off.races().distinct_count());
+        assert_eq!(
+            off.breakdown().total(),
+            on.breakdown().total() + on.breakdown().elided
+        );
     }
 }
 

@@ -108,6 +108,12 @@ pub struct CycleBreakdown {
     pub unknown: u64,
     /// Software check cost for always-on detectors (TSan baselines).
     pub checks: u64,
+    /// Check cost *avoided* by the static race-freedom pruning analysis:
+    /// every elided check records here what it would have cost. Not part
+    /// of [`CycleBreakdown::total`] — the run never paid these cycles —
+    /// so `total_unpruned == total_pruned + elided` for a
+    /// schedule-identical pair of runs.
+    pub elided: u64,
 }
 
 impl CycleBreakdown {
@@ -172,7 +178,9 @@ mod tests {
             capacity: 0,
             unknown: 0,
             checks: 0,
+            elided: 40,
         };
+        // Elided cycles were never paid: they do not count toward total.
         assert_eq!(bd.total(), 150);
         assert!((bd.overhead_vs(100) - 1.5).abs() < 1e-9);
         assert_eq!(bd.overhead_vs(0), 1.0);

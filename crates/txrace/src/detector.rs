@@ -12,8 +12,9 @@ use txrace_sim::{
 use crate::baselines::TsanRuntime;
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::engine::{EngineConfig, EngineStats, TxRaceEngine};
-use crate::instrument::{instrument, InstrumentConfig, InstrumentedProgram};
+use crate::instrument::{instrument, instrument_pruned, InstrumentConfig, InstrumentedProgram};
 use crate::loopcut::{LoopcutMode, LoopcutProfile};
+use crate::sa::{SiteClassTable, StaticPruneMode};
 
 /// TxRace-specific options.
 #[derive(Debug, Clone)]
@@ -122,6 +123,8 @@ pub struct RunConfig {
     pub shadow: ShadowMode,
     /// Optional interpreter step limit.
     pub step_limit: Option<u64>,
+    /// Static race-freedom pruning (see [`StaticPruneMode`]).
+    pub prune: StaticPruneMode,
 }
 
 impl RunConfig {
@@ -141,6 +144,7 @@ impl RunConfig {
             shadow_factor: 1.0,
             shadow: ShadowMode::Exact,
             step_limit: None,
+            prune: StaticPruneMode::Off,
         }
     }
 
@@ -165,6 +169,12 @@ impl RunConfig {
     /// Sets the scheduler policy.
     pub fn with_sched(mut self, s: SchedKind) -> Self {
         self.sched = s;
+        self
+    }
+
+    /// Sets the static race-freedom pruning mode.
+    pub fn with_prune(mut self, p: StaticPruneMode) -> Self {
+        self.prune = p;
         self
     }
 }
@@ -233,33 +243,67 @@ impl Detector {
     }
 
     fn limit(&self) -> StepLimit {
-        self.cfg
-            .step_limit
-            .map(StepLimit)
-            .unwrap_or_default()
+        self.cfg.step_limit.map(StepLimit).unwrap_or_default()
+    }
+
+    /// The prune table for `p`, when pruning is enabled.
+    fn prune_table(&self, p: &Program) -> Option<SiteClassTable> {
+        match self.cfg.prune {
+            StaticPruneMode::Off => None,
+            StaticPruneMode::ChecksOnly | StaticPruneMode::Full => Some(SiteClassTable::analyze(p)),
+        }
     }
 
     /// Runs the configured scheme on `program`. TxRace schemes instrument
     /// internally; to reuse an instrumented program across runs, use
     /// [`Detector::run_instrumented`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails the structural IR lint
+    /// ([`txrace_sim::lint`]): unbalanced locking, joins of never-spawned
+    /// threads, or disagreeing barrier arrival counts would make both the
+    /// static analyses and the run itself meaningless.
     pub fn run(&self, program: &Program) -> RunOutcome {
+        let issues = txrace_sim::lint(program);
+        assert!(
+            issues.is_empty(),
+            "program failed the IR lint:\n{}",
+            issues
+                .iter()
+                .map(|i| format!("  - {i}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let table = self.prune_table(program);
         match &self.cfg.scheme {
-            Scheme::Tsan | Scheme::TsanSampling { .. } => self.run_tsan(program),
+            Scheme::Tsan | Scheme::TsanSampling { .. } => self.run_tsan(program, table),
             Scheme::TxRace(opts) => {
-                let ip = instrument(program, &opts.instrument);
-                self.run_txrace(&ip, opts)
+                let ip = match self.cfg.prune {
+                    StaticPruneMode::Full => {
+                        instrument_pruned(program, &opts.instrument, table.as_ref())
+                    }
+                    _ => instrument(program, &opts.instrument),
+                };
+                self.run_txrace(&ip, opts, table)
             }
         }
     }
 
-    /// Runs a TxRace scheme on an already instrumented program.
+    /// Runs a TxRace scheme on an already instrumented program. With
+    /// pruning enabled the class table is derived from the instrumented
+    /// program (original sites are preserved by the pass, so the verdicts
+    /// match the uninstrumented analysis).
     ///
     /// # Panics
     ///
     /// Panics if the configured scheme is not [`Scheme::TxRace`].
     pub fn run_instrumented(&self, ip: &InstrumentedProgram) -> RunOutcome {
         match &self.cfg.scheme {
-            Scheme::TxRace(opts) => self.run_txrace(ip, opts),
+            Scheme::TxRace(opts) => {
+                let table = self.prune_table(&ip.program);
+                self.run_txrace(ip, opts, table)
+            }
             other => panic!("run_instrumented requires a TxRace scheme, got {other:?}"),
         }
     }
@@ -283,6 +327,7 @@ impl Detector {
             track_fast_sync: opts.track_fast_sync,
             conflict_hints: opts.conflict_hints,
             slow_sampling: opts.slow_sampling,
+            prune: None,
         };
         let mut engine = TxRaceEngine::new(ip, cfg);
         let mut machine = Machine::new(&ip.program);
@@ -291,7 +336,12 @@ impl Detector {
         engine.loopcut_profile()
     }
 
-    fn run_txrace(&self, ip: &InstrumentedProgram, opts: &TxRaceOpts) -> RunOutcome {
+    fn run_txrace(
+        &self,
+        ip: &InstrumentedProgram,
+        opts: &TxRaceOpts,
+        prune: Option<SiteClassTable>,
+    ) -> RunOutcome {
         let profile = match (opts.loopcut, &opts.profile) {
             (LoopcutMode::Prof, Some(p)) => Some(p.clone()),
             (LoopcutMode::Prof, None) => {
@@ -312,6 +362,7 @@ impl Detector {
             track_fast_sync: opts.track_fast_sync,
             conflict_hints: opts.conflict_hints,
             slow_sampling: opts.slow_sampling,
+            prune,
         };
         let mut engine = TxRaceEngine::new(ip, cfg);
         let mut machine = Machine::new(&ip.program);
@@ -332,15 +383,12 @@ impl Detector {
         }
     }
 
-    fn run_tsan(&self, program: &Program) -> RunOutcome {
+    fn run_tsan(&self, program: &Program, prune: Option<SiteClassTable>) -> RunOutcome {
         let n = program.thread_count();
         let mut rt = match &self.cfg.scheme {
-            Scheme::Tsan => TsanRuntime::full(
-                n,
-                self.cfg.cost,
-                self.cfg.shadow_factor,
-                self.cfg.shadow,
-            ),
+            Scheme::Tsan => {
+                TsanRuntime::full(n, self.cfg.cost, self.cfg.shadow_factor, self.cfg.shadow)
+            }
             Scheme::TsanSampling { rate } => TsanRuntime::sampling(
                 n,
                 self.cfg.cost,
@@ -351,6 +399,9 @@ impl Detector {
             ),
             Scheme::TxRace(_) => unreachable!("dispatched in run()"),
         };
+        if let Some(table) = prune {
+            rt = rt.with_prune(table);
+        }
         let mut machine = Machine::new(program);
         let mut sched = self.make_sched(self.cfg.seed);
         let run = machine.run_with_limit(&mut rt, sched.as_mut(), self.limit());
@@ -377,10 +428,7 @@ pub fn recall(found: &RaceSet, truth: &RaceSet) -> f64 {
     if truth.distinct_count() == 0 {
         return 1.0;
     }
-    let hit = truth
-        .pairs()
-        .filter(|p| found.contains(p.a, p.b))
-        .count();
+    let hit = truth.pairs().filter(|p| found.contains(p.a, p.b)).count();
     hit as f64 / truth.distinct_count() as f64
 }
 

@@ -25,8 +25,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use txrace_htm::{AbortReason, AbortStatus, HtmConfig, HtmStats, HtmSystem, XbeginError};
 use txrace_hb::{FastTrack, RaceSet, ShadowMode};
+use txrace_htm::{AbortReason, AbortStatus, HtmConfig, HtmStats, HtmSystem, XbeginError};
 use txrace_sim::CacheLine;
 use txrace_sim::{
     Addr, BarrierId, Directive, LoopId, Memory, Op, OpEvent, RegionId, Runtime, SiteId, Snapshot,
@@ -36,6 +36,7 @@ use txrace_sim::{
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::instrument::{InstrumentedProgram, RegionInfo, RegionKind};
 use crate::loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
+use crate::sa::SiteClassTable;
 
 /// The shared `TxFail` flag lives at address 0; the variable layout
 /// reserves the low cache lines for runtime-internal state.
@@ -79,6 +80,9 @@ pub struct EngineStats {
     pub fast_retries: u64,
     /// Transactions split by the loop-cut optimization.
     pub loop_cuts: u64,
+    /// Slow-path checks elided because the static race-freedom analysis
+    /// proved the site race-free.
+    pub elided_checks: u64,
 }
 
 impl EngineStats {
@@ -133,6 +137,11 @@ pub struct EngineConfig {
     /// slow-path access checks at this rate in `(0, 1]`; `None` checks
     /// everything (the paper's configuration).
     pub slow_sampling: Option<f64>,
+    /// Static race-freedom classification: slow-path checks at sites the
+    /// table proves race-free are elided (their would-be cost is recorded
+    /// in [`CycleBreakdown::elided`]). `None` checks every site (the
+    /// paper's configuration).
+    pub prune: Option<SiteClassTable>,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +157,7 @@ impl Default for EngineConfig {
             track_fast_sync: true,
             conflict_hints: false,
             slow_sampling: None,
+            prune: None,
         }
     }
 }
@@ -180,6 +190,7 @@ pub struct TxRaceEngine {
     slow_hint: Vec<Option<CacheLine>>,
     episode_hint: Option<CacheLine>,
     sampler: Option<(f64, StdRng)>,
+    prune: Option<SiteClassTable>,
     stats: EngineStats,
 }
 
@@ -212,6 +223,7 @@ impl TxRaceEngine {
             sampler: cfg
                 .slow_sampling
                 .map(|rate| (rate.clamp(0.0, 1.0), StdRng::seed_from_u64(0x7852_11e5))),
+            prune: cfg.prune,
             stats: EngineStats::default(),
         }
     }
@@ -329,7 +341,13 @@ impl TxRaceEngine {
         }
     }
 
-    fn end_region(&mut self, t: ThreadId, r: RegionId, mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+    fn end_region(
+        &mut self,
+        t: ThreadId,
+        r: RegionId,
+        mem: &mut Memory,
+        ev: &OpEvent<'_>,
+    ) -> Directive {
         let ti = t.index();
         match self.mode[ti] {
             Mode::Fast(cur) => {
@@ -538,6 +556,18 @@ impl TxRaceEngine {
         *self.bucket_of(trigger) += c;
     }
 
+    /// True when the static prune table elides this slow-path check;
+    /// records the avoided cost in the `elided` breakdown category.
+    fn prune_elides(&mut self, site: SiteId) -> bool {
+        if self.prune.as_ref().is_some_and(|t| t.is_race_free(site)) {
+            self.stats.elided_checks += 1;
+            self.breakdown.elided += self.eff_check;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether a slow-path access at `addr` should be software-checked,
     /// honouring the conflict-hint and sampling extensions.
     fn slow_check_decision(&mut self, ti: usize, addr: Addr) -> bool {
@@ -606,7 +636,7 @@ impl Runtime for TxRaceEngine {
     fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
         let t = ev.thread;
         if let Mode::Slow(_, trigger) = self.mode[t.index()] {
-            if self.slow_check_decision(t.index(), addr) {
+            if !self.prune_elides(ev.site) && self.slow_check_decision(t.index(), addr) {
                 self.ft.read(t, ev.site, addr);
                 self.charge_check(trigger);
             }
@@ -619,7 +649,7 @@ impl Runtime for TxRaceEngine {
     fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
         let t = ev.thread;
         if let Mode::Slow(_, trigger) = self.mode[t.index()] {
-            if self.slow_check_decision(t.index(), addr) {
+            if !self.prune_elides(ev.site) && self.slow_check_decision(t.index(), addr) {
                 self.ft.write(t, ev.site, addr);
                 self.charge_check(trigger);
             }
@@ -667,7 +697,7 @@ mod tests {
     use super::*;
     use crate::instrument::{instrument, InstrumentConfig};
     use txrace_sim::{
-        FairSched, InterruptModel, Machine, ProgramBuilder, Program, RoundRobin, RunStatus,
+        FairSched, InterruptModel, Machine, Program, ProgramBuilder, RoundRobin, RunStatus,
     };
 
     fn instrumented(p: &Program) -> InstrumentedProgram {
@@ -731,7 +761,11 @@ mod tests {
             transient_p: 0.9,
         });
         let r = m.run(&mut engine, &mut s);
-        assert_eq!(r.status, RunStatus::Done, "forward progress despite retries");
+        assert_eq!(
+            r.status,
+            RunStatus::Done,
+            "forward progress despite retries"
+        );
         let es = engine.stats();
         assert!(es.fast_retries > 0, "{es:?}");
         assert!(es.slow_retry > 0, "{es:?}");
@@ -780,7 +814,10 @@ mod tests {
         let r = m.run(&mut engine, &mut s);
         assert_eq!(r.status, RunStatus::Done);
         let es = engine.stats();
-        assert!(es.slow_conflict >= 2, "origin and victims re-run slow: {es:?}");
+        assert!(
+            es.slow_conflict >= 2,
+            "origin and victims re-run slow: {es:?}"
+        );
         assert_eq!(es.txfail_writes, 1, "only the episode origin writes TxFail");
     }
 
@@ -858,5 +895,50 @@ mod tests {
             "capacity aborts should have taught thresholds"
         );
         assert!(engine.stats().loop_cuts > 0);
+    }
+
+    #[test]
+    fn prune_table_elides_slow_path_checks_without_losing_races() {
+        use crate::sa::SiteClassTable;
+        // Tiny regions (SlowOnly) so every access runs on the slow path:
+        // the racy accesses to x must still be checked and reported, the
+        // race-free accesses to each thread's private variable must be
+        // elided and charged to the elided bucket.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        for t in 0..2 {
+            let mine = b.var(&format!("mine{t}"));
+            b.thread(t).loop_n(10, |tb| {
+                tb.write(x, t as u64).read(mine);
+                tb.syscall(txrace_sim::SyscallKind::Io);
+            });
+        }
+        let p = b.build();
+        let table = SiteClassTable::analyze(&p);
+        let ip = instrumented(&p);
+        let run_with = |prune: Option<SiteClassTable>| {
+            let cfg = EngineConfig {
+                prune,
+                ..EngineConfig::default()
+            };
+            let mut engine = TxRaceEngine::new(&ip, cfg);
+            let mut m = Machine::new(&ip.program);
+            let mut s = FairSched::new(11, 0.1);
+            assert_eq!(m.run(&mut engine, &mut s).status, RunStatus::Done);
+            engine
+        };
+        let off = run_with(None);
+        let on = run_with(Some(table));
+        assert!(on.stats().elided_checks > 0, "private reads elided");
+        assert_eq!(on.races().distinct_count(), off.races().distinct_count());
+        assert_eq!(off.stats().elided_checks, 0);
+        assert_eq!(off.breakdown().elided, 0);
+        // Identical schedule, so the pruned run's paid cycles plus its
+        // elided cycles reproduce the unpruned total exactly.
+        assert_eq!(
+            off.breakdown().total(),
+            on.breakdown().total() + on.breakdown().elided
+        );
+        assert_eq!(on.checks() + on.stats().elided_checks, off.checks());
     }
 }

@@ -21,6 +21,8 @@
 
 use txrace_sim::{LoopId, Op, Program, RegionId, SiteId, Stmt, ThreadId};
 
+use crate::sa::SiteClassTable;
+
 /// Pass configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstrumentConfig {
@@ -63,6 +65,10 @@ pub struct RegionInfo {
     pub kind: RegionKind,
     /// Dynamic shared-memory accesses in one execution of the region.
     pub mem_ops: u64,
+    /// Dynamic accesses the slow path would actually check: `mem_ops`
+    /// minus accesses at sites the static race-freedom analysis pruned.
+    /// Equal to `mem_ops` when instrumenting without a prune table.
+    pub checked_ops: u64,
     /// Loops contained in the region (loop-cut candidates), innermost
     /// loops included.
     pub loops: Vec<LoopId>,
@@ -91,8 +97,24 @@ impl InstrumentedProgram {
 
 /// Runs the transactionalization pass over `p`.
 pub fn instrument(p: &Program, cfg: &InstrumentConfig) -> InstrumentedProgram {
+    instrument_pruned(p, cfg, None)
+}
+
+/// Runs the transactionalization pass with an optional static prune
+/// table ([`crate::StaticPruneMode::Full`]). Accesses at race-free sites
+/// still execute, but no longer count toward region sizing: a region
+/// whose checkable ops all prune away keeps no `TxBegin`/`TxEnd` markers
+/// at all (the HTM never sees it), and the `K` small-region threshold is
+/// applied to the *pruned* op count. With `prune = None` the output is
+/// byte-identical to [`instrument`].
+pub fn instrument_pruned(
+    p: &Program,
+    cfg: &InstrumentConfig,
+    prune: Option<&SiteClassTable>,
+) -> InstrumentedProgram {
     let mut pass = Pass {
         cfg,
+        prune,
         next_site: p.site_count(),
         regions: Vec::new(),
     };
@@ -146,11 +168,13 @@ fn strip_probes(s: Stmt) -> Option<Stmt> {
 struct RegionBuf {
     stmts: Vec<Stmt>,
     mem_ops: u64,
+    checked_ops: u64,
     loops: Vec<LoopId>,
 }
 
 struct Pass<'c> {
     cfg: &'c InstrumentConfig,
+    prune: Option<&'c SiteClassTable>,
     next_site: u32,
     regions: Vec<RegionInfo>,
 }
@@ -162,11 +186,19 @@ impl Pass<'_> {
         s
     }
 
+    /// Whether the slow path would check an access at `site` (1) or the
+    /// prune table proves it race-free (0).
+    fn checked(&self, site: SiteId) -> u64 {
+        match self.prune {
+            Some(t) if t.is_race_free(site) => 0,
+            _ => 1,
+        }
+    }
+
     /// Main thread: uninstrumented single-threaded prologue/epilogue
     /// around the instrumented concurrent middle.
     fn xform_main(&mut self, p: &Program, stmts: &[Stmt]) -> Vec<Stmt> {
-        let others_parked =
-            (1..p.thread_count()).all(|t| p.starts_parked(ThreadId(t as u32)));
+        let others_parked = (1..p.thread_count()).all(|t| p.starts_parked(ThreadId(t as u32)));
         if !others_parked {
             // Concurrency from the start: no single-threaded mode.
             return self.xform_instrumented(ThreadId(0), stmts);
@@ -231,10 +263,12 @@ impl Pass<'_> {
                     self.close(t, out, buf);
                     out.push(s.clone());
                 }
-                Stmt::Op { op, .. } => {
+                Stmt::Op { site, op } => {
+                    let checked = self.checked(*site);
                     let b = buf.get_or_insert_with(RegionBuf::default);
                     if op.is_data_access() {
                         b.mem_ops += 1;
+                        b.checked_ops += checked;
                     }
                     b.stmts.push(s.clone());
                 }
@@ -253,9 +287,10 @@ impl Pass<'_> {
                             body: inner_out,
                         });
                     } else {
-                        let (new_loop, ops, mut loops) = self.pure_loop(*id, *trips, body);
+                        let (new_loop, ops, checked, mut loops) = self.pure_loop(*id, *trips, body);
                         let b = buf.get_or_insert_with(RegionBuf::default);
                         b.mem_ops += ops;
+                        b.checked_ops += checked;
                         b.loops.append(&mut loops);
                         b.stmts.push(new_loop);
                     }
@@ -265,17 +300,25 @@ impl Pass<'_> {
     }
 
     /// Instruments a boundary-free loop: adds probes (recursively) and
-    /// returns `(loop, dynamic_mem_ops, contained_loop_ids)`.
-    fn pure_loop(&mut self, id: LoopId, trips: u32, body: &[Stmt]) -> (Stmt, u64, Vec<LoopId>) {
+    /// returns `(loop, dynamic_mem_ops, dynamic_checked_ops,
+    /// contained_loop_ids)`.
+    fn pure_loop(
+        &mut self,
+        id: LoopId,
+        trips: u32,
+        body: &[Stmt],
+    ) -> (Stmt, u64, u64, Vec<LoopId>) {
         let mut new_body = Vec::with_capacity(body.len() + 1);
         let mut ops_per_iter = 0u64;
+        let mut checked_per_iter = 0u64;
         let mut loops = vec![id];
         for s in body {
             match s {
-                Stmt::Op { op, .. } => {
+                Stmt::Op { site, op } => {
                     debug_assert!(!is_boundary(op), "pure loop contains a boundary");
                     if op.is_data_access() {
                         ops_per_iter += 1;
+                        checked_per_iter += self.checked(*site);
                     }
                     new_body.push(s.clone());
                 }
@@ -284,8 +327,9 @@ impl Pass<'_> {
                     trips: ntrips,
                     body: nbody,
                 } => {
-                    let (nl, nops, mut nloops) = self.pure_loop(*nid, *ntrips, nbody);
+                    let (nl, nops, nchecked, mut nloops) = self.pure_loop(*nid, *ntrips, nbody);
                     ops_per_iter += nops;
+                    checked_per_iter += nchecked;
                     loops.append(&mut nloops);
                     new_body.push(nl);
                 }
@@ -304,6 +348,7 @@ impl Pass<'_> {
                 body: new_body,
             },
             u64::from(trips) * ops_per_iter,
+            u64::from(trips) * checked_per_iter,
             loops,
         )
     }
@@ -315,14 +360,18 @@ impl Pass<'_> {
         if b.stmts.is_empty() {
             return;
         }
-        if b.mem_ops == 0 {
-            // Nothing a race detector cares about: leave unmonitored —
-            // after stripping any loop-cut probes, which are meaningless
-            // (and would be orphaned) outside a region.
+        if b.checked_ops == 0 {
+            // Nothing a race detector cares about (no accesses at all, or
+            // every access proved race-free by the prune table): leave
+            // unmonitored — after stripping any loop-cut probes, which are
+            // meaningless (and would be orphaned) outside a region.
             out.extend(b.stmts.into_iter().filter_map(strip_probes));
             return;
         }
-        let kind = if b.mem_ops < self.cfg.k_min_ops {
+        // The K threshold compares against the ops the slow path would
+        // actually check: a region of 20 accesses of which 18 prune away
+        // is a tiny region, not a transaction candidate.
+        let kind = if b.checked_ops < self.cfg.k_min_ops {
             RegionKind::SlowOnly
         } else {
             RegionKind::Fast
@@ -333,6 +382,7 @@ impl Pass<'_> {
             thread: t,
             kind,
             mem_ops: b.mem_ops,
+            checked_ops: b.checked_ops,
             loops: b.loops,
         });
         out.push(Stmt::Op {
@@ -350,9 +400,7 @@ impl Pass<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txrace_sim::{
-        DirectRuntime, Machine, ProgramBuilder, RoundRobin, RunStatus, SyscallKind,
-    };
+    use txrace_sim::{DirectRuntime, Machine, ProgramBuilder, RoundRobin, RunStatus, SyscallKind};
 
     fn ops_of(stmts: &[Stmt]) -> Vec<Op> {
         let mut v = Vec::new();
@@ -376,11 +424,15 @@ mod tests {
             fn walk(stmts: &[Stmt], open: &mut Option<RegionId>) {
                 for s in stmts {
                     match s {
-                        Stmt::Op { op: Op::TxBegin(r), .. } => {
+                        Stmt::Op {
+                            op: Op::TxBegin(r), ..
+                        } => {
                             assert!(open.is_none(), "nested TxBegin");
                             *open = Some(*r);
                         }
-                        Stmt::Op { op: Op::TxEnd(r), .. } => {
+                        Stmt::Op {
+                            op: Op::TxEnd(r), ..
+                        } => {
                             assert_eq!(*open, Some(*r), "mismatched TxEnd");
                             *open = None;
                         }
@@ -417,12 +469,7 @@ mod tests {
         let mut b = ProgramBuilder::new(2);
         let x = b.var("x");
         for t in 0..2 {
-            b.thread(t)
-                .read(x)
-                .write(x, 1)
-                .read(x)
-                .write(x, 2)
-                .read(x);
+            b.thread(t).read(x).write(x, 1).read(x).write(x, 2).read(x);
         }
         let ip = instrument(&b.build(), &cfg_plain());
         assert_balanced(&ip);
@@ -441,11 +488,23 @@ mod tests {
         let l = b.lock_id("l");
         for t in 0..2 {
             b.thread(t)
-                .read(x).read(x).read(x).read(x).read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
                 .lock(l)
-                .write(x, 1).write(x, 2).write(x, 3).write(x, 4).write(x, 5)
+                .write(x, 1)
+                .write(x, 2)
+                .write(x, 3)
+                .write(x, 4)
+                .write(x, 5)
                 .unlock(l)
-                .read(x).read(x).read(x).read(x).read(x);
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x);
         }
         let ip = instrument(&b.build(), &cfg_plain());
         assert_balanced(&ip);
@@ -460,9 +519,17 @@ mod tests {
         let x = b.var("x");
         for t in 0..2 {
             b.thread(t)
-                .read(x).read(x).read(x).read(x).read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
                 .syscall(SyscallKind::Io)
-                .read(x).read(x).read(x).read(x).read(x);
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x);
         }
         let ip = instrument(&b.build(), &cfg_plain());
         assert_balanced(&ip);
@@ -492,7 +559,9 @@ mod tests {
         let ip = instrument(&b.build(), &cfg_plain());
         assert_eq!(ip.region_count(), 0, "no accesses, no regions");
         let ops = ops_of(ip.program.thread(ThreadId(0)));
-        assert!(ops.iter().all(|o| !matches!(o, Op::TxBegin(_) | Op::TxEnd(_))));
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o, Op::TxBegin(_) | Op::TxEnd(_))));
     }
 
     #[test]
@@ -519,9 +588,17 @@ mod tests {
         let x = b.var("x");
         for t in 0..2 {
             b.thread(t).loop_n(10, |tb| {
-                tb.read(x).read(x).read(x).read(x).read(x)
+                tb.read(x)
+                    .read(x)
+                    .read(x)
+                    .read(x)
+                    .read(x)
                     .syscall(SyscallKind::Io)
-                    .write(x, 1).write(x, 2).write(x, 3).write(x, 4).write(x, 5);
+                    .write(x, 1)
+                    .write(x, 2)
+                    .write(x, 3)
+                    .write(x, 4)
+                    .write(x, 5);
             });
         }
         let ip = instrument(&b.build(), &cfg_plain());
@@ -559,12 +636,29 @@ mod tests {
         let mut b = ProgramBuilder::new(2);
         let x = b.var("x");
         b.thread(0)
-            .write(x, 1).write(x, 2).write(x, 3).write(x, 4).write(x, 5) // prologue
+            .write(x, 1)
+            .write(x, 2)
+            .write(x, 3)
+            .write(x, 4)
+            .write(x, 5) // prologue
             .spawn(ThreadId(1))
-            .read(x).read(x).read(x).read(x).read(x) // concurrent
+            .read(x)
+            .read(x)
+            .read(x)
+            .read(x)
+            .read(x) // concurrent
             .join(ThreadId(1))
-            .write(x, 9).write(x, 9).write(x, 9).write(x, 9).write(x, 9); // epilogue
-        b.thread(1).write(x, 7).write(x, 7).write(x, 7).write(x, 7).write(x, 7);
+            .write(x, 9)
+            .write(x, 9)
+            .write(x, 9)
+            .write(x, 9)
+            .write(x, 9); // epilogue
+        b.thread(1)
+            .write(x, 7)
+            .write(x, 7)
+            .write(x, 7)
+            .write(x, 7)
+            .write(x, 7);
         let ip = instrument(&b.build(), &cfg_plain());
         assert_balanced(&ip);
         // Regions: main concurrent middle (1) + thread 1 (1).
@@ -582,7 +676,12 @@ mod tests {
     fn no_elision_when_threads_start_concurrent() {
         let mut b = ProgramBuilder::new(2);
         let x = b.var("x");
-        b.thread(0).write(x, 1).write(x, 2).write(x, 3).write(x, 4).write(x, 5);
+        b.thread(0)
+            .write(x, 1)
+            .write(x, 2)
+            .write(x, 3)
+            .write(x, 4)
+            .write(x, 5);
         b.thread(1).read(x).read(x).read(x).read(x).read(x);
         let ip = instrument(&b.build(), &cfg_plain());
         assert_eq!(ip.region_count(), 2, "both threads instrumented");
@@ -623,8 +722,12 @@ mod tests {
         let mut b = ProgramBuilder::new(3);
         let x = b.var("x");
         let l = b.lock_id("l");
-        b.thread(0).spawn(ThreadId(1)).spawn(ThreadId(2))
-            .join(ThreadId(1)).join(ThreadId(2)).read(x);
+        b.thread(0)
+            .spawn(ThreadId(1))
+            .spawn(ThreadId(2))
+            .join(ThreadId(1))
+            .join(ThreadId(2))
+            .read(x);
         for t in 1..3 {
             b.thread(t).loop_n(20, |tb| {
                 tb.lock(l).rmw(x, 1).unlock(l);
@@ -658,5 +761,84 @@ mod tests {
         let ip = instrument(&b.build(), &cfg);
         assert!(ip.regions.iter().all(|r| r.kind == RegionKind::Fast));
     }
-}
 
+    #[test]
+    fn full_prune_strips_markers_for_race_free_regions() {
+        use crate::sa::SiteClassTable;
+        // Each thread only touches its own variable: the whole program is
+        // race-free, so Full pruning leaves nothing instrumented.
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2 {
+            let v = b.var(&format!("v{t}"));
+            b.thread(t).loop_n(10, |tb| {
+                tb.read(v).write(v, 1);
+            });
+        }
+        let p = b.build();
+        let table = SiteClassTable::analyze(&p);
+        let plain = instrument(&p, &cfg_plain());
+        assert_eq!(plain.region_count(), 2, "unpruned: everything wrapped");
+        let pruned = instrument_pruned(&p, &cfg_plain(), Some(&table));
+        assert_eq!(pruned.region_count(), 0, "pruned: no regions survive");
+        for t in 0..2 {
+            let ops = ops_of(pruned.program.thread(ThreadId(t)));
+            assert!(
+                ops.iter()
+                    .all(|o| !matches!(o, Op::TxBegin(_) | Op::TxEnd(_) | Op::LoopCutProbe(_))),
+                "markers must be stripped"
+            );
+        }
+    }
+
+    #[test]
+    fn k_threshold_reapplies_to_pruned_counts() {
+        use crate::sa::SiteClassTable;
+        // Six accesses per region, but only the three on the shared
+        // variable survive pruning: below K = 5, so the region demotes
+        // from Fast to SlowOnly.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        for t in 0..2 {
+            let mine = b.var(&format!("mine{t}"));
+            b.thread(t)
+                .write(x, 1)
+                .write(x, 2)
+                .write(x, 3)
+                .write(mine, 1)
+                .write(mine, 2)
+                .write(mine, 3);
+        }
+        let p = b.build();
+        let table = SiteClassTable::analyze(&p);
+        let plain = instrument(&p, &cfg_plain());
+        assert!(plain.regions.iter().all(|r| r.kind == RegionKind::Fast));
+        let pruned = instrument_pruned(&p, &cfg_plain(), Some(&table));
+        assert_eq!(pruned.region_count(), 2);
+        for r in &pruned.regions {
+            assert_eq!(r.mem_ops, 6);
+            assert_eq!(r.checked_ops, 3);
+            assert_eq!(r.kind, RegionKind::SlowOnly, "K applies to pruned count");
+        }
+    }
+
+    #[test]
+    fn no_prune_table_is_identity() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        for t in 0..2 {
+            b.thread(t).loop_n(8, |tb| {
+                tb.read(x).write(x, 1);
+            });
+        }
+        let p = b.build();
+        let a = instrument(&p, &cfg_plain());
+        let c = instrument_pruned(&p, &cfg_plain(), None);
+        assert_eq!(a.region_count(), c.region_count());
+        for (ra, rc) in a.regions.iter().zip(&c.regions) {
+            assert_eq!(ra.mem_ops, rc.mem_ops);
+            assert_eq!(ra.checked_ops, rc.checked_ops);
+            assert_eq!(ra.mem_ops, ra.checked_ops);
+            assert_eq!(ra.kind, rc.kind);
+        }
+    }
+}

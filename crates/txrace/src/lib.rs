@@ -55,12 +55,16 @@ pub mod detector;
 pub mod engine;
 pub mod instrument;
 pub mod loopcut;
+pub mod sa;
 
-pub use cost::{CostModel, CycleBreakdown};
 pub use baselines::{LocksetRuntime, TsanRuntime};
+pub use cost::{CostModel, CycleBreakdown};
 pub use detector::{recall, Detector, RunConfig, RunOutcome, SchedKind, Scheme, TxRaceOpts};
 pub use engine::EngineConfig;
-pub use instrument::instrument;
 pub use engine::{EngineStats, SlowTrigger, TxRaceEngine, TXFAIL_ADDR};
-pub use instrument::{InstrumentConfig, InstrumentedProgram, RegionInfo, RegionKind};
+pub use instrument::instrument;
+pub use instrument::{
+    instrument_pruned, InstrumentConfig, InstrumentedProgram, RegionInfo, RegionKind,
+};
 pub use loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
+pub use sa::{PruneStats, RaceFreeReason, SiteClass, SiteClassTable, StaticPruneMode};

@@ -1,0 +1,541 @@
+//! Static race-freedom analysis: prune provably race-free sites before
+//! transactionalization.
+//!
+//! The paper's pass transactionalizes *every* synchronization-free region
+//! and lets the HTM sort out which accesses actually conflict. A lot of
+//! that work is provably unnecessary at compile time: accesses whose
+//! address set is touched by one thread only, accesses in the
+//! single-threaded prologue/epilogue of the main thread, read-only shared
+//! data, and accesses consistently guarded by a common lock can never be
+//! part of a data race. This module classifies every static [`SiteId`]
+//! with three sound analyses over the [`txrace_sim::summary`] records:
+//!
+//! * **thread-escape / phase**: an address touched by one thread, or an
+//!   access in a single-threaded phase, cannot race
+//!   ([`RaceFreeReason::ThreadLocal`], [`RaceFreeReason::SinglePhase`]);
+//! * **read-only**: addresses never written concurrently cannot race
+//!   ([`RaceFreeReason::ReadOnly`]);
+//! * **static lockset**: if every concurrent access to an address holds a
+//!   common lock, mutual exclusion orders them
+//!   ([`RaceFreeReason::Lockset`]).
+//!
+//! The resulting [`SiteClassTable`] feeds four consumers: the
+//! instrumentation pass (skip transactions around fully race-free
+//! regions and re-apply the `K` threshold to the pruned op counts), the
+//! slow-path engine and the TSan baselines (skip FastTrack checks at
+//! race-free sites), the cost model (an `elided` breakdown category), and
+//! the benchmark ablations.
+//!
+//! Soundness bar: a site the table calls race-free must never appear in a
+//! race report of an unpruned run. Everything conservative lives in the
+//! summary pass (footprints widen, locksets shrink, phases default to
+//! concurrent); this module only combines the records. Atomic RMW sites
+//! are deliberately classified [`SiteClass::PotentiallyRacy`] even though
+//! detectors never check them: pruning them would also strip their HTM
+//! conflict footprint (e.g. shared-counter lines), changing the paper's
+//! Table 1 abort counts rather than just eliding redundant checks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use txrace_sim::summary::{summarize, Phase};
+use txrace_sim::{Addr, Op, Program, SiteId};
+
+/// How much of the pruning analysis a run applies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StaticPruneMode {
+    /// No pruning (the paper's configuration).
+    #[default]
+    Off,
+    /// Keep instrumentation identical, but skip the software
+    /// happens-before check at race-free sites. Schedule-preserving, so
+    /// the race set is *exactly* the unpruned one.
+    ChecksOnly,
+    /// Additionally re-run the transactionalization pass against the
+    /// pruned op counts: regions whose checked ops all prune away lose
+    /// their transaction markers, and the `K` small-region threshold is
+    /// applied to the pruned counts.
+    Full,
+}
+
+/// Why a site is provably race-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceFreeReason {
+    /// Executes in a single-threaded phase of the main thread (before the
+    /// first spawn or after all threads are joined).
+    SinglePhase,
+    /// Every address it touches is touched by at most one thread.
+    ThreadLocal,
+    /// Every address it touches is never concurrently written.
+    ReadOnly,
+    /// Every address it touches has a common lock across all concurrent
+    /// accesses.
+    Lockset,
+    /// The site sits in dead code (a zero-trip loop) and never executes.
+    Dead,
+}
+
+impl fmt::Display for RaceFreeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceFreeReason::SinglePhase => "single-phase",
+            RaceFreeReason::ThreadLocal => "thread-local",
+            RaceFreeReason::ReadOnly => "read-only",
+            RaceFreeReason::Lockset => "lockset",
+            RaceFreeReason::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict for one static site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteClass {
+    /// Provably not part of any data race; its check may be elided.
+    RaceFree(RaceFreeReason),
+    /// Not provably race-free (includes sync ops, markers, and atomics).
+    PotentiallyRacy,
+}
+
+/// Aggregate classification counts (for reports and ablation tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Data-access sites in the program.
+    pub data_sites: u64,
+    /// Data sites classified race-free, total.
+    pub race_free: u64,
+    /// Race-free via a single-threaded phase.
+    pub single_phase: u64,
+    /// Race-free via thread-locality.
+    pub thread_local: u64,
+    /// Race-free via read-only-ness.
+    pub read_only: u64,
+    /// Race-free via a common lock.
+    pub lockset: u64,
+    /// Race-free because the code is dead.
+    pub dead: u64,
+}
+
+impl PruneStats {
+    /// Fraction of data sites pruned, in `[0, 1]`.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.data_sites == 0 {
+            return 0.0;
+        }
+        self.race_free as f64 / self.data_sites as f64
+    }
+}
+
+/// Per-site classification for one program. Indexed by the *original*
+/// program's sites; marker sites minted later by the instrumentation pass
+/// are out of range and always report potentially-racy.
+#[derive(Debug, Clone)]
+pub struct SiteClassTable {
+    classes: Vec<SiteClass>,
+}
+
+impl SiteClassTable {
+    /// Runs the analysis over `p` (the uninstrumented program).
+    pub fn analyze(p: &Program) -> Self {
+        let summary = summarize(p);
+        let records = summary.accesses();
+
+        // Conflict sets: for every address, the concurrent-phase,
+        // non-atomic records whose footprint covers it. Atomics are
+        // excluded because detectors neither check nor record them — an
+        // RMW can never appear on either side of a race report.
+        let mut by_addr: BTreeMap<Addr, Vec<usize>> = BTreeMap::new();
+        for (i, r) in records.iter().enumerate() {
+            if r.phase != Phase::Concurrent || r.atomic {
+                continue;
+            }
+            for &a in &r.addrs {
+                by_addr.entry(a).or_default().push(i);
+            }
+        }
+
+        let addr_safety = |a: Addr| -> AddrSafety {
+            let set = by_addr.get(&a).map(Vec::as_slice).unwrap_or(&[]);
+            let single_thread = set
+                .windows(2)
+                .all(|w| records[w[0]].thread == records[w[1]].thread);
+            let write_free = set.iter().all(|&i| !records[i].writes);
+            let common_lock = match set {
+                [] => true,
+                [first, rest @ ..] => {
+                    let mut locks = records[*first].locks.clone();
+                    for &i in rest {
+                        locks = locks.intersection(&records[i].locks).copied().collect();
+                    }
+                    !locks.is_empty()
+                }
+            };
+            AddrSafety {
+                safe: single_thread || write_free || common_lock,
+                single_thread,
+                write_free,
+            }
+        };
+
+        // Which sites are data accesses at all (and their record, if any).
+        let mut is_data = vec![false; p.site_count() as usize];
+        p.visit_static(&mut |_, site, op| {
+            // Sync ops, compute, and syscalls are never checked; their
+            // class stays PotentiallyRacy, which is vacuously sound.
+            if op.is_data_access() {
+                is_data[site.index()] = true;
+            }
+        });
+        let mut record_of: Vec<Option<usize>> = vec![None; p.site_count() as usize];
+        for (i, r) in records.iter().enumerate() {
+            record_of[r.site.index()] = Some(i);
+        }
+
+        let classes = (0..p.site_count() as usize)
+            .map(|s| {
+                if !is_data[s] {
+                    return SiteClass::PotentiallyRacy;
+                }
+                let Some(ri) = record_of[s] else {
+                    // A data site with no record sits under a zero-trip
+                    // loop: it never executes.
+                    return SiteClass::RaceFree(RaceFreeReason::Dead);
+                };
+                let r = &records[ri];
+                if r.atomic {
+                    return SiteClass::PotentiallyRacy;
+                }
+                if r.phase != Phase::Concurrent {
+                    return SiteClass::RaceFree(RaceFreeReason::SinglePhase);
+                }
+                let safety: Vec<AddrSafety> = r.addrs.iter().map(|&a| addr_safety(a)).collect();
+                if safety.iter().any(|s| !s.safe) {
+                    return SiteClass::PotentiallyRacy;
+                }
+                let reason = if safety.iter().all(|s| s.single_thread) {
+                    RaceFreeReason::ThreadLocal
+                } else if safety.iter().all(|s| s.write_free) {
+                    RaceFreeReason::ReadOnly
+                } else {
+                    RaceFreeReason::Lockset
+                };
+                SiteClass::RaceFree(reason)
+            })
+            .collect();
+        SiteClassTable { classes }
+    }
+
+    /// The verdict for `site`. Sites outside the analyzed program (e.g.
+    /// instrumentation markers) are potentially racy.
+    pub fn class(&self, site: SiteId) -> SiteClass {
+        self.classes
+            .get(site.index())
+            .copied()
+            .unwrap_or(SiteClass::PotentiallyRacy)
+    }
+
+    /// True iff the site's check can be soundly elided.
+    pub fn is_race_free(&self, site: SiteId) -> bool {
+        matches!(self.class(site), SiteClass::RaceFree(_))
+    }
+
+    /// Aggregate counts over `p`'s data sites (pass the same program the
+    /// table was built from).
+    pub fn stats(&self, p: &Program) -> PruneStats {
+        let mut st = PruneStats::default();
+        p.visit_static(&mut |_, site, op| {
+            if !op.is_data_access() {
+                return;
+            }
+            // visit_static walks each static site exactly once.
+            st.data_sites += 1;
+            if let SiteClass::RaceFree(reason) = self.class(site) {
+                st.race_free += 1;
+                match reason {
+                    RaceFreeReason::SinglePhase => st.single_phase += 1,
+                    RaceFreeReason::ThreadLocal => st.thread_local += 1,
+                    RaceFreeReason::ReadOnly => st.read_only += 1,
+                    RaceFreeReason::Lockset => st.lockset += 1,
+                    RaceFreeReason::Dead => st.dead += 1,
+                }
+            }
+        });
+        st
+    }
+}
+
+struct AddrSafety {
+    safe: bool,
+    single_thread: bool,
+    write_free: bool,
+}
+
+/// Convenience: true when an op kind is subject to slow-path checking at
+/// all (plain reads/writes; atomics are never checked).
+pub fn op_is_checkable(op: &Op) -> bool {
+    op.is_data_access() && !matches!(op, Op::Rmw(_, _))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_sim::{ProgramBuilder, ThreadId};
+
+    fn class_of(p: &Program, t: &SiteClassTable, label: &str) -> SiteClass {
+        t.class(p.site(label).expect("label exists"))
+    }
+
+    #[test]
+    fn unlocked_shared_write_is_racy() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write_l(x, 1, "w0");
+        b.thread(1).write_l(x, 2, "w1");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "w0"), SiteClass::PotentiallyRacy);
+        assert_eq!(class_of(&p, &t, "w1"), SiteClass::PotentiallyRacy);
+    }
+
+    #[test]
+    fn common_lock_proves_race_freedom() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        for t in 0..2 {
+            b.thread(t)
+                .lock(l)
+                .write_l(x, 1, &format!("w{t}"))
+                .unlock(l);
+        }
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "w0"),
+            SiteClass::RaceFree(RaceFreeReason::Lockset)
+        );
+    }
+
+    #[test]
+    fn lock_held_in_only_one_thread_gives_no_credit() {
+        // Adversarial: a lock protects nothing if the other thread skips it.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).lock(l).write_l(x, 1, "locked").unlock(l);
+        b.thread(1).write_l(x, 2, "unlocked");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "locked"), SiteClass::PotentiallyRacy);
+        assert_eq!(class_of(&p, &t, "unlocked"), SiteClass::PotentiallyRacy);
+    }
+
+    #[test]
+    fn different_locks_give_no_credit() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        let m = b.lock_id("m");
+        b.thread(0).lock(l).write_l(x, 1, "wl").unlock(l);
+        b.thread(1).lock(m).write_l(x, 2, "wm").unlock(m);
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "wl"), SiteClass::PotentiallyRacy);
+    }
+
+    #[test]
+    fn false_sharing_is_race_free_despite_shared_line() {
+        // Two threads write distinct words of the same cache line: the
+        // HTM aborts on this, but no data race exists and the analysis
+        // proves it (the measurable win of Full pruning).
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var_sharing_line(x, 8);
+        assert_eq!(x.line(), y.line());
+        b.thread(0).write_l(x, 1, "wx");
+        b.thread(1).write_l(y, 2, "wy");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "wx"),
+            SiteClass::RaceFree(RaceFreeReason::ThreadLocal)
+        );
+        assert_eq!(
+            class_of(&p, &t, "wy"),
+            SiteClass::RaceFree(RaceFreeReason::ThreadLocal)
+        );
+    }
+
+    #[test]
+    fn read_only_sharing_is_race_free() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).read_l(x, "r0");
+        b.thread(1).read_l(x, "r1");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "r0"),
+            SiteClass::RaceFree(RaceFreeReason::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn prespawn_write_then_concurrent_reads() {
+        // Adversarial ordering: the address is *written*, but only before
+        // any other thread exists; the concurrent accesses are all reads.
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        b.thread(0)
+            .write_l(x, 7, "init")
+            .spawn(ThreadId(1))
+            .spawn(ThreadId(2))
+            .join(ThreadId(1))
+            .join(ThreadId(2));
+        b.thread(1).read_l(x, "r1");
+        b.thread(2).read_l(x, "r2");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "init"),
+            SiteClass::RaceFree(RaceFreeReason::SinglePhase)
+        );
+        assert_eq!(
+            class_of(&p, &t, "r1"),
+            SiteClass::RaceFree(RaceFreeReason::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn concurrent_write_poisons_concurrent_readers() {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        b.thread(0)
+            .spawn(ThreadId(1))
+            .spawn(ThreadId(2))
+            .join(ThreadId(1))
+            .join(ThreadId(2));
+        b.thread(1).write_l(x, 1, "w");
+        b.thread(2).read_l(x, "r");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "w"), SiteClass::PotentiallyRacy);
+        assert_eq!(class_of(&p, &t, "r"), SiteClass::PotentiallyRacy);
+    }
+
+    #[test]
+    fn rmw_is_never_race_free() {
+        // Even a thread-local RMW stays unpruned: its HTM conflict
+        // footprint must survive Full-mode re-instrumentation.
+        let mut b = ProgramBuilder::new(2);
+        let c = b.var("counter");
+        b.thread(0).rmw_l(c, 1, "inc0");
+        b.thread(1).rmw_l(c, 1, "inc1");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "inc0"), SiteClass::PotentiallyRacy);
+        // But the RMWs do not poison plain accesses: detectors never
+        // check or record atomics, so a read beside them is still safe.
+        let mut b = ProgramBuilder::new(2);
+        let c = b.var("counter");
+        b.thread(0).rmw(c, 1).read_l(c, "peek0");
+        b.thread(1).rmw(c, 1).read_l(c, "peek1");
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "peek0"),
+            SiteClass::RaceFree(RaceFreeReason::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn overlapping_array_footprints_are_racy_disjoint_are_not() {
+        let mut b = ProgramBuilder::new(2);
+        let arr = b.array("arr", 16);
+        // Thread 0 writes elements 0..4, thread 1 writes elements 4..8:
+        // element 4 overlaps.
+        b.thread(0).loop_n(5, |tb| {
+            tb.write_arr_l(arr, 8, 1, "lo");
+        });
+        b.thread(1).loop_n(4, |tb| {
+            tb.write_arr_l(arr.offset(4 * 8), 8, 2, "hi");
+        });
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "lo"), SiteClass::PotentiallyRacy);
+        assert_eq!(class_of(&p, &t, "hi"), SiteClass::PotentiallyRacy);
+
+        // Truly disjoint halves: race-free.
+        let mut b = ProgramBuilder::new(2);
+        let arr = b.array("arr", 16);
+        b.thread(0).loop_n(4, |tb| {
+            tb.write_arr_l(arr, 8, 1, "lo");
+        });
+        b.thread(1).loop_n(4, |tb| {
+            tb.write_arr_l(arr.offset(4 * 8), 8, 2, "hi");
+        });
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "lo"),
+            SiteClass::RaceFree(RaceFreeReason::ThreadLocal)
+        );
+        assert_eq!(
+            class_of(&p, &t, "hi"),
+            SiteClass::RaceFree(RaceFreeReason::ThreadLocal)
+        );
+    }
+
+    #[test]
+    fn lock_drifting_loop_disables_lockset_credit() {
+        // Adversarial: thread 0's lock depth drifts across iterations, so
+        // the summary drops the lock and the classifier must not prune.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(3, |tb| {
+            tb.lock(l).write_l(x, 1, "drift");
+        });
+        b.thread(1).lock(l).write_l(x, 2, "clean").unlock(l);
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(class_of(&p, &t, "drift"), SiteClass::PotentiallyRacy);
+        assert_eq!(class_of(&p, &t, "clean"), SiteClass::PotentiallyRacy);
+    }
+
+    #[test]
+    fn dead_code_and_marker_sites() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).loop_n(0, |tb| {
+            tb.write_l(x, 1, "dead");
+        });
+        b.thread(1).write(x, 2);
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        assert_eq!(
+            class_of(&p, &t, "dead"),
+            SiteClass::RaceFree(RaceFreeReason::Dead)
+        );
+        // Out-of-range (marker) sites are never pruned.
+        assert!(!t.is_race_free(SiteId(p.site_count() + 3)));
+    }
+
+    #[test]
+    fn stats_count_by_reason() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let l = b.lock_id("l");
+        b.thread(0).read_l(x, "rx").lock(l).write(y, 1).unlock(l);
+        b.thread(1).read(x).lock(l).write(y, 2).unlock(l);
+        let p = b.build();
+        let t = SiteClassTable::analyze(&p);
+        let st = t.stats(&p);
+        assert_eq!(st.data_sites, 4);
+        assert_eq!(st.race_free, 4);
+        assert_eq!(st.read_only, 2);
+        assert_eq!(st.lockset, 2);
+        assert!((st.pruned_fraction() - 1.0).abs() < 1e-12);
+    }
+}

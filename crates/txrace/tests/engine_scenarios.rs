@@ -7,7 +7,7 @@
 
 use txrace::{recall, Detector, LoopcutMode, RunConfig, SchedKind, Scheme, TxRaceOpts};
 use txrace_htm::HtmConfig;
-use txrace_sim::{InterruptModel, ProgramBuilder, Program, ThreadId};
+use txrace_sim::{InterruptModel, Program, ProgramBuilder, ThreadId};
 
 fn txrace_cfg(seed: u64) -> RunConfig {
     RunConfig::new(Scheme::txrace(), seed)
@@ -48,8 +48,8 @@ fn racy_program() -> Program {
 #[test]
 fn conflict_abort_triggers_slow_path_and_pinpoints_race() {
     let p = racy_program();
-    let out = Detector::new(txrace_cfg(7).with_sched(SchedKind::Random { stickiness: 0.5 }))
-        .run(&p);
+    let out =
+        Detector::new(txrace_cfg(7).with_sched(SchedKind::Random { stickiness: 0.5 })).run(&p);
     assert!(out.completed());
     let htm = out.htm.expect("txrace run has HTM stats");
     assert!(htm.conflict_aborts > 0, "expected conflict aborts: {htm:?}");
@@ -80,8 +80,8 @@ fn false_sharing_conflicts_are_filtered_by_slow_path() {
         });
     }
     let p = b.build();
-    let out = Detector::new(txrace_cfg(3).with_sched(SchedKind::Random { stickiness: 0.3 }))
-        .run(&p);
+    let out =
+        Detector::new(txrace_cfg(3).with_sched(SchedKind::Random { stickiness: 0.3 })).run(&p);
     assert!(out.completed());
     let htm = out.htm.unwrap();
     assert!(
@@ -208,7 +208,10 @@ fn loopcut_dyn_reduces_capacity_aborts() {
     );
     assert!(n_cap > 0);
     assert!(d_cap < n_cap, "Dyn should cut: {d_cap} vs {n_cap}");
-    assert!(p_cap <= d_cap, "Prof avoids early aborts: {p_cap} vs {d_cap}");
+    assert!(
+        p_cap <= d_cap,
+        "Prof avoids early aborts: {p_cap} vs {d_cap}"
+    );
     assert!(dynr.engine.unwrap().loop_cuts > 0);
     assert!(
         dynr.overhead < noopt.overhead,
@@ -239,10 +242,13 @@ fn fast_slow_concurrent_detection_via_strong_isolation() {
         tb.syscall(txrace_sim::SyscallKind::Io); // keeps regions tiny (SlowOnly)
     });
     let p = b.build();
-    let out = Detector::new(txrace_cfg(21).with_sched(SchedKind::Random { stickiness: 0.4 }))
-        .run(&p);
+    let out =
+        Detector::new(txrace_cfg(21).with_sched(SchedKind::Random { stickiness: 0.4 })).run(&p);
     assert!(out.completed());
-    assert!(out.engine.unwrap().slow_small > 0, "thread 1 regions are SlowOnly");
+    assert!(
+        out.engine.unwrap().slow_small > 0,
+        "thread 1 regions are SlowOnly"
+    );
     let w = p.site("fast_write").unwrap();
     let r = p.site("slow_read").unwrap();
     assert!(
@@ -506,9 +512,7 @@ fn transaction_length_controls_detection_figure4() {
         b.thread(1).read_l(x, "late_read");
         b.build()
     };
-    let run = |p: &Program| {
-        Detector::new(txrace_cfg(1).with_sched(SchedKind::RoundRobin)).run(p)
-    };
+    let run = |p: &Program| Detector::new(txrace_cfg(1).with_sched(SchedKind::RoundRobin)).run(p);
     let long = build(false);
     let short = build(true);
     let long_out = run(&long);

@@ -81,7 +81,11 @@ fn txrace_is_complete_and_live_on_every_interleaving() {
             max_steps: 10_000,
         },
     );
-    assert!(stats.complete, "schedule space not covered ({} paths)", stats.paths);
+    assert!(
+        stats.complete,
+        "schedule space not covered ({} paths)",
+        stats.paths
+    );
     assert!(stats.paths > 100, "suspiciously few paths: {}", stats.paths);
     assert!(
         detected > 0,

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use txrace::{instrument, InstrumentConfig, RegionKind};
-use txrace_sim::{
-    DirectRuntime, Machine, Op, Program, RandomSched, RunStatus, Stmt, ThreadId,
-};
+use txrace_sim::{DirectRuntime, Machine, Op, Program, RandomSched, RunStatus, Stmt, ThreadId};
 use txrace_workloads::{random_program, GenConfig};
 
 /// Walks one thread checking TxBegin/TxEnd alternation, no nesting, no
@@ -16,17 +14,19 @@ fn check_markers(p: &Program) {
         fn walk(stmts: &[Stmt], open: &mut Option<txrace_sim::RegionId>) {
             for s in stmts {
                 match s {
-                    Stmt::Op { op: Op::TxBegin(r), .. } => {
+                    Stmt::Op {
+                        op: Op::TxBegin(r), ..
+                    } => {
                         assert!(open.is_none(), "nested TxBegin");
                         *open = Some(*r);
                     }
-                    Stmt::Op { op: Op::TxEnd(r), .. } => {
+                    Stmt::Op {
+                        op: Op::TxEnd(r), ..
+                    } => {
                         assert_eq!(*open, Some(*r), "mismatched TxEnd");
                         *open = None;
                     }
-                    Stmt::Op { op, .. }
-                        if op.is_sync() || matches!(op, Op::Syscall(_)) =>
-                    {
+                    Stmt::Op { op, .. } if op.is_sync() || matches!(op, Op::Syscall(_)) => {
                         assert!(open.is_none(), "boundary op inside a region");
                     }
                     Stmt::Loop { body, .. } => {

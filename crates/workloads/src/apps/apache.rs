@@ -54,7 +54,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.001, 0.0003, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: Vec::new(),
         scale: "requests 1:1000 vs ab run",
     }

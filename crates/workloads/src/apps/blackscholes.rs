@@ -34,7 +34,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.005, 0.001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: Vec::new(),
         scale: "transactions 1:1000 vs paper",
     }

@@ -21,7 +21,9 @@ pub fn build(workers: usize) -> Workload {
     assert!(workers >= 2);
     let mut b = ProgramBuilder::new(workers + 1);
     main_scaffold(&mut b, workers, 25, 10);
-    let weights: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("weight_{j}"))).collect();
+    let weights: Vec<_> = (0..HOT_RACES)
+        .map(|j| b.var(&format!("weight_{j}")))
+        .collect();
     let pose_model = b.var("pose_model");
     let edge_map = b.var("edge_map");
     let iters = (TOTAL_ITERS / workers as u32).max(40);
@@ -123,7 +125,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.03, 0.006, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted,
         scale: "transactions 1:1000 vs paper",
     }

@@ -48,7 +48,7 @@ pub fn build(workers: usize) -> Workload {
         if w <= 2 {
             let label = if w == 1 { "cache_write" } else { "cache_read" };
             let mut tb = b.thread(w);
-            woven_racy_iters(&mut tb, blocks / 2, 4, &body, cost_cache, label, w == 1);
+            woven_racy_iters(&mut tb, blocks, 4, &body, cost_cache, label, w == 1);
         }
         if w <= 3 {
             let netlist = b.array(&format!("netlist_{w}"), 70 * 8 * 8);
@@ -63,7 +63,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.004, 0.001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: vec![PlantedRace::new(
             "cache_write",
             "cache_read",

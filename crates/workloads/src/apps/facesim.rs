@@ -24,7 +24,9 @@ pub fn build(workers: usize) -> Workload {
     assert!(workers >= 2);
     let mut b = ProgramBuilder::new(workers + 1);
     main_scaffold(&mut b, workers, 30, 10);
-    let cells: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("cell_{j}"))).collect();
+    let cells: Vec<_> = (0..HOT_RACES)
+        .map(|j| b.var(&format!("cell_{j}")))
+        .collect();
     let pool_state = b.var("pool_state");
     let iters = (TOTAL_ITERS / workers as u32).max(40);
 
@@ -115,7 +117,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.0003, 0.0001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted,
         scale: "transactions 1:1000 vs paper",
     }

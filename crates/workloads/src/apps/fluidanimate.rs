@@ -9,8 +9,7 @@ use txrace::{CostModel, SchedKind};
 use txrace_sim::{ProgramBuilder, SyscallKind};
 
 use crate::patterns::{
-    hot_rmw, main_scaffold, scaled_interrupts, straight_capacity_region, woven_racy_iters,
-    IterBody,
+    hot_rmw, main_scaffold, scaled_interrupts, straight_capacity_region, woven_racy_iters, IterBody,
 };
 use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
 
@@ -90,7 +89,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.0002, 0.00005, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: vec![PlantedRace::new(
             "boundary_write",
             "boundary_read",

@@ -79,7 +79,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod structure_tests {
     //! Cheap structural assertions pinning each app's modeling intent,
@@ -126,9 +125,19 @@ mod structure_tests {
         let sf = |name: &str| crate::by_name(name, 4).unwrap().shadow_factor;
         let vips = sf("vips");
         for other in [
-            "blackscholes", "fluidanimate", "swaptions", "freqmine", "raytrace",
-            "ferret", "x264", "bodytrack", "facesim", "streamcluster", "dedup",
-            "canneal", "apache",
+            "blackscholes",
+            "fluidanimate",
+            "swaptions",
+            "freqmine",
+            "raytrace",
+            "ferret",
+            "x264",
+            "bodytrack",
+            "facesim",
+            "streamcluster",
+            "dedup",
+            "canneal",
+            "apache",
         ] {
             assert!(vips > 5.0 * sf(other), "{other}");
         }
@@ -138,7 +147,13 @@ mod structure_tests {
     fn bodytrack_is_the_interrupt_pathological_app() {
         let p = |name: &str| crate::by_name(name, 4).unwrap().interrupts.context_switch_p;
         let bt = p("bodytrack");
-        for other in ["blackscholes", "fluidanimate", "swaptions", "freqmine", "facesim"] {
+        for other in [
+            "blackscholes",
+            "fluidanimate",
+            "swaptions",
+            "freqmine",
+            "facesim",
+        ] {
             assert!(bt > 4.0 * p(other), "{other}");
         }
     }
@@ -170,7 +185,13 @@ mod structure_tests {
     fn atomic_conflict_apps_use_rmw() {
         // dedup/canneal/streamcluster/fluidanimate model benign atomic
         // contention (conflicts with no races).
-        for name in ["dedup", "canneal", "streamcluster", "fluidanimate", "apache"] {
+        for name in [
+            "dedup",
+            "canneal",
+            "streamcluster",
+            "fluidanimate",
+            "apache",
+        ] {
             let w = crate::by_name(name, 4).unwrap();
             assert!(
                 dynamic_count(&w.program, |op| matches!(op, Op::Rmw(_, _))) > 0,
@@ -199,7 +220,15 @@ mod structure_tests {
     fn capacity_apps_have_big_footprint_regions() {
         // The straight-line flush / strided walk signature: WriteArr with
         // a full cache-line stride, or >= 32 distinct static write lines.
-        for name in ["swaptions", "freqmine", "vips", "bodytrack", "dedup", "ferret", "x264"] {
+        for name in [
+            "swaptions",
+            "freqmine",
+            "vips",
+            "bodytrack",
+            "dedup",
+            "ferret",
+            "x264",
+        ] {
             let w = crate::by_name(name, 4).unwrap();
             let mut strided = 0u64;
             let mut lines = std::collections::BTreeSet::new();

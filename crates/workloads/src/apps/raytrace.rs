@@ -77,7 +77,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.005, 0.001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: vec![
             PlantedRace::new("hits_write", "hits_read", RaceKind::Overlapping),
             PlantedRace::new("depth_write", "depth_read", RaceKind::Overlapping),

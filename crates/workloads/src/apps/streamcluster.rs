@@ -24,7 +24,9 @@ pub fn build(workers: usize) -> Workload {
     let mut b = ProgramBuilder::new(workers + 1);
     main_scaffold(&mut b, workers, 20, 10);
     let bar = b.barrier_id("phase");
-    let centers: Vec<_> = (0..HOT_RACES).map(|j| b.var(&format!("center_{j}"))).collect();
+    let centers: Vec<_> = (0..HOT_RACES)
+        .map(|j| b.var(&format!("center_{j}")))
+        .collect();
     let cost_acc = b.var("global_cost");
     let points = (POINTS_PER_PHASE_AT4 * 4 / workers as u32).max(8);
 
@@ -108,7 +110,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.00002, 0.00001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted,
         scale: "transactions 1:1000 vs paper",
     }

@@ -67,7 +67,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.00003, 0.00001, workers),
-        sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
         planted: Vec::new(),
         scale: "transactions 1:10000 vs paper",
     }

@@ -142,7 +142,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.0001, 0.00003, workers),
-        sched: SchedKind::Fair { jitter: 0.0, slack: 140 },
+        sched: SchedKind::Fair {
+            jitter: 0.0,
+            slack: 140,
+        },
         planted,
         scale: "transactions 1:1000 vs paper",
     }

@@ -26,7 +26,9 @@ pub fn build(workers: usize) -> Workload {
     assert!(workers >= 2);
     let mut b = ProgramBuilder::new(workers + 1);
     main_scaffold(&mut b, workers, 20, 10);
-    let rows: Vec<_> = (0..RACE_PAIRS).map(|j| b.var(&format!("row_{j}"))).collect();
+    let rows: Vec<_> = (0..RACE_PAIRS)
+        .map(|j| b.var(&format!("row_{j}")))
+        .collect();
     // Per-frame synchronization (as in the real encoder): threads realign
     // at every frame boundary, so racy row accesses at the same in-frame
     // position reliably overlap.
@@ -107,7 +109,10 @@ pub fn build(workers: usize) -> Workload {
         program,
         shadow_factor,
         interrupts: scaled_interrupts(0.001, 0.0003, workers),
-        sched: SchedKind::Fair { jitter: 0.0, slack: 8 },
+        sched: SchedKind::Fair {
+            jitter: 0.0,
+            slack: 8,
+        },
         planted,
         scale: "transactions 1:100 vs paper",
     }

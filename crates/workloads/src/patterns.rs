@@ -198,7 +198,11 @@ pub fn main_scaffold(
 /// paper's 4-worker baseline; 2 workers see slightly fewer OS events and
 /// 8 workers (hyperthread-saturated) dramatically more — the paper
 /// measured 5–9x more unknown aborts at 8 threads (§8.2, Figure 8).
-pub fn scaled_interrupts(context_switch_p: f64, transient_p: f64, workers: usize) -> InterruptModel {
+pub fn scaled_interrupts(
+    context_switch_p: f64,
+    transient_p: f64,
+    workers: usize,
+) -> InterruptModel {
     let f = match workers {
         0..=2 => 0.7,
         3..=4 => 1.0,

@@ -161,11 +161,7 @@ mod tests {
             let cfg = RunConfig::new(Scheme::Tsan, 1).with_shadow_factor(sf);
             let out = Detector::new(cfg).run(&p);
             let rel = (out.overhead - target).abs() / target;
-            assert!(
-                rel < 0.1,
-                "target {target}, got {} (sf {sf})",
-                out.overhead
-            );
+            assert!(rel < 0.1, "target {target}, got {} (sf {sf})", out.overhead);
         }
     }
 
@@ -187,7 +183,10 @@ mod tests {
             program: b.build(),
             shadow_factor: 1.0,
             interrupts: InterruptModel::NONE,
-            sched: SchedKind::Fair { jitter: 0.1, slack: 0 },
+            sched: SchedKind::Fair {
+                jitter: 0.1,
+                slack: 0,
+            },
             planted: vec![PlantedRace::new("wa", "rb", RaceKind::Overlapping)],
             scale: "1:1",
         };

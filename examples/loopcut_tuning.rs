@@ -32,7 +32,10 @@ fn main() {
     let program = b.build();
 
     println!("== loop-cut tuning ==");
-    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "scheme", "capacity", "cuts", "committed", "overhead");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "capacity", "cuts", "committed", "overhead"
+    );
     for (name, mode) in [
         ("NoOpt", LoopcutMode::NoOpt),
         ("DynLoopcut", LoopcutMode::Dyn),

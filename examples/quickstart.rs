@@ -22,7 +22,11 @@ fn main() {
     // thread 1 (the bug) without it.
     b.thread(0).loop_n(15, |t| {
         t.loop_n(3, |t| {
-            t.write(log0, 1).read(log0).write(log0, 2).read(log0).write(log0, 3);
+            t.write(log0, 1)
+                .read(log0)
+                .write(log0, 2)
+                .read(log0)
+                .write(log0, 3);
             t.compute(20);
             t.syscall(txrace_sim::SyscallKind::Io);
         });
@@ -35,7 +39,11 @@ fn main() {
     });
     b.thread(1).loop_n(15, |t| {
         t.loop_n(3, |t| {
-            t.write(log1, 1).read(log1).write(log1, 2).read(log1).write(log1, 3);
+            t.write(log1, 1)
+                .read(log1)
+                .write(log1, 2)
+                .read(log1)
+                .write(log1, 3);
             t.compute(20);
             t.syscall(txrace_sim::SyscallKind::Io);
         });
@@ -68,7 +76,10 @@ fn main() {
         "aborts: {} conflict / {} capacity / {} unknown",
         htm.conflict_aborts, htm.capacity_aborts, htm.unknown_aborts
     );
-    println!("runtime overhead vs uninstrumented: {:.2}x", outcome.overhead);
+    println!(
+        "runtime overhead vs uninstrumented: {:.2}x",
+        outcome.overhead
+    );
 
     // Compare with the always-on software detector.
     let tsan = Detector::new(RunConfig::new(Scheme::Tsan, 42)).run(&program);

@@ -68,26 +68,26 @@ fn main() {
     println!("== webserver race hunt ==");
     println!("committed transactions:   {}", htm.committed);
     println!("conflict aborts:          {}", htm.conflict_aborts);
-    println!("capacity aborts:          {} (log flushes)", htm.capacity_aborts);
+    println!(
+        "capacity aborts:          {} (log flushes)",
+        htm.capacity_aborts
+    );
     println!("slow-path regions:        {} total", es.slow_total());
     println!(
         "  small regions (K < 5):  {} (the accept critical sections)",
         es.slow_small
     );
-    println!("races found:              {}", outcome.races.distinct_count());
+    println!(
+        "races found:              {}",
+        outcome.races.distinct_count()
+    );
     for r in outcome.races.reports() {
         let label = |site| program.label_of(site).unwrap_or("<unlabeled>");
-        println!(
-            "  {} vs {}",
-            label(r.prior.site),
-            label(r.current.site)
-        );
+        println!("  {} vs {}", label(r.prior.site), label(r.current.site));
     }
     println!("overhead:                 {:.2}x", outcome.overhead);
-    assert!(outcome
-        .races
-        .contains(
-            program.site("cache_fill").unwrap(),
-            program.site("cache_probe").unwrap()
-        ));
+    assert!(outcome.races.contains(
+        program.site("cache_fill").unwrap(),
+        program.site("cache_probe").unwrap()
+    ));
 }

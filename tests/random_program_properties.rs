@@ -7,9 +7,7 @@
 
 use proptest::prelude::*;
 use txrace::{Detector, RunConfig, Scheme};
-use txrace_sim::{
-    DirectRuntime, InterruptModel, Machine, ProgramBuilder, RoundRobin, RunStatus,
-};
+use txrace_sim::{DirectRuntime, InterruptModel, Machine, ProgramBuilder, RoundRobin, RunStatus};
 use txrace_workloads::{random_program, GenConfig};
 
 proptest! {

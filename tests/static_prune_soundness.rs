@@ -1,0 +1,207 @@
+//! Soundness of the static race-freedom pruning analysis, end to end.
+//!
+//! The headline invariant: pruning must never change *which races are
+//! found*. `ChecksOnly` pruning is schedule-preserving, so its guarantee
+//! is exact — same race set, and the paid-plus-elided cycles reproduce
+//! the unpruned total to the cycle. `Full` pruning re-instruments (the
+//! schedule legitimately shifts), so its guarantee is the semantic one:
+//! planted races are still found, and no report ever involves a site the
+//! analysis called race-free.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use txrace::{Detector, RunConfig, Scheme, SiteClassTable, StaticPruneMode};
+use txrace_hb::RacePair;
+use txrace_workloads::{all_workloads, by_name, random_program, GenConfig, RaceKind};
+
+fn pairs_of(out: &txrace::RunOutcome) -> BTreeSet<RacePair> {
+    out.races.pairs().collect()
+}
+
+/// Asserts that no race report involves a site the table proved
+/// race-free — the definition of the analysis being sound.
+fn assert_no_pruned_site_reported(ctx: &str, out: &txrace::RunOutcome, table: &SiteClassTable) {
+    for r in out.races.reports() {
+        for site in [r.prior.site, r.current.site] {
+            assert!(
+                !table.is_race_free(site),
+                "{ctx}: race report {} -- {} involves site {site}, which the \
+                 analysis classified {:?}",
+                r.prior.site,
+                r.current.site,
+                table.class(site)
+            );
+        }
+    }
+}
+
+/// ChecksOnly pruning on every workload, under both detectors: the race
+/// set is identical and the cycle ledger balances exactly.
+#[test]
+fn checksonly_is_exact_on_all_workloads() {
+    let mut total_elided = 0u64;
+    for w in all_workloads(4) {
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            let off = Detector::new(w.config(scheme.clone(), 42)).run(&w.program);
+            let on = Detector::new(
+                w.config(scheme.clone(), 42)
+                    .with_prune(StaticPruneMode::ChecksOnly),
+            )
+            .run(&w.program);
+            assert!(off.completed() && on.completed(), "{}", w.name);
+            assert_eq!(
+                pairs_of(&off),
+                pairs_of(&on),
+                "{} ({scheme:?}): pruning changed the race set",
+                w.name
+            );
+            assert_eq!(
+                off.breakdown.total(),
+                on.breakdown.total() + on.breakdown.elided,
+                "{} ({scheme:?}): cycle ledger does not balance",
+                w.name
+            );
+            assert_eq!(off.breakdown.elided, 0, "{}: unpruned run elided", w.name);
+            total_elided += on.breakdown.elided;
+        }
+    }
+    assert!(
+        total_elided > 0,
+        "pruning never elided a single check across all workloads"
+    );
+}
+
+/// The strongest empirical soundness check: a full, unpruned TSan run
+/// (sound and complete on its trace) must never report a race involving
+/// a site the analysis classified race-free.
+#[test]
+fn unpruned_tsan_never_reports_a_pruned_site() {
+    for w in all_workloads(4) {
+        let table = SiteClassTable::analyze(&w.program);
+        for seed in [1, 42] {
+            let out = Detector::new(w.config(Scheme::Tsan, seed)).run(&w.program);
+            assert!(out.completed(), "{}", w.name);
+            assert_no_pruned_site_reported(w.name, &out, &table);
+        }
+    }
+}
+
+/// Full pruning re-instruments, so schedules shift — but the hot
+/// (overlapping) planted races must still be found, and nothing pruned
+/// may ever be reported.
+#[test]
+fn full_prune_still_finds_hot_races() {
+    for name in [
+        "fluidanimate",
+        "raytrace",
+        "ferret",
+        "streamcluster",
+        "canneal",
+    ] {
+        let w = by_name(name, 4).expect("known app");
+        let table = SiteClassTable::analyze(&w.program);
+        let expected = w.expected_txrace_reliable_races();
+        let mut best = 0;
+        for seed in [1, 2, 3] {
+            let tx = Detector::new(
+                w.config(Scheme::txrace(), seed)
+                    .with_prune(StaticPruneMode::Full),
+            )
+            .run(&w.program);
+            assert!(tx.completed(), "{name} seed {seed}");
+            assert_no_pruned_site_reported(name, &tx, &table);
+            let found = w
+                .planted_pairs()
+                .iter()
+                .filter(|&&(p, k)| k == RaceKind::Overlapping && tx.races.contains(p.a, p.b))
+                .count();
+            best = best.max(found);
+        }
+        assert_eq!(
+            best, expected,
+            "{name}: full pruning lost hot races ({best}/{expected})"
+        );
+    }
+}
+
+/// Full pruning must not cost detection coverage on any workload: TSan
+/// under Full pruning reports exactly the planted races, like unpruned
+/// TSan does (TSan does not re-instrument, so Full == ChecksOnly there,
+/// but this pins the public-config path end to end).
+#[test]
+fn full_prune_tsan_keeps_exact_detection() {
+    for w in all_workloads(4) {
+        let out = Detector::new(w.config(Scheme::Tsan, 42).with_prune(StaticPruneMode::Full))
+            .run(&w.program);
+        assert!(out.completed(), "{}", w.name);
+        let planted: Vec<RacePair> = w.planted_pairs().iter().map(|&(p, _)| p).collect();
+        for p in &planted {
+            assert!(
+                out.races.contains(p.a, p.b),
+                "{}: planted race {p} lost under Full pruning",
+                w.name
+            );
+        }
+        assert_eq!(out.races.distinct_count(), planted.len(), "{}", w.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On randomly generated programs, ChecksOnly pruning is invisible:
+    /// same races, balanced cycle ledger — for both detectors.
+    #[test]
+    fn checksonly_is_exact_on_random_programs(
+        gen_seed in 0u64..400,
+        sched_seed in 0u64..20,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            let off = Detector::new(RunConfig::new(scheme.clone(), sched_seed)).run(&p);
+            let on = Detector::new(
+                RunConfig::new(scheme.clone(), sched_seed)
+                    .with_prune(StaticPruneMode::ChecksOnly),
+            )
+            .run(&p);
+            prop_assert!(off.completed() && on.completed());
+            prop_assert_eq!(pairs_of(&off), pairs_of(&on));
+            prop_assert_eq!(
+                off.breakdown.total(),
+                on.breakdown.total() + on.breakdown.elided
+            );
+        }
+    }
+
+    /// Analysis soundness on random programs: unpruned TSan never blames
+    /// a site the table classified race-free.
+    #[test]
+    fn random_programs_never_report_pruned_sites(
+        gen_seed in 0u64..400,
+        sched_seed in 0u64..20,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let table = SiteClassTable::analyze(&p);
+        let out = Detector::new(RunConfig::new(Scheme::Tsan, sched_seed)).run(&p);
+        prop_assert!(out.completed());
+        assert_no_pruned_site_reported("random program", &out, &table);
+    }
+
+    /// Full pruning on random programs: still terminates, still sound.
+    #[test]
+    fn full_prune_terminates_and_stays_sound_on_random_programs(
+        gen_seed in 0u64..200,
+        sched_seed in 0u64..10,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let table = SiteClassTable::analyze(&p);
+        let tx = Detector::new(
+            RunConfig::new(Scheme::txrace(), sched_seed)
+                .with_prune(StaticPruneMode::Full),
+        )
+        .run(&p);
+        prop_assert!(tx.completed());
+        assert_no_pruned_site_reported("random program (full)", &tx, &table);
+    }
+}

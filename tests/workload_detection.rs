@@ -81,7 +81,13 @@ fn init_idiom_races_are_missed_by_txrace() {
 /// whose Table 1 row says TxRace finds everything TSan finds.
 #[test]
 fn hot_races_are_found_across_seeds() {
-    for name in ["fluidanimate", "raytrace", "ferret", "streamcluster", "canneal"] {
+    for name in [
+        "fluidanimate",
+        "raytrace",
+        "ferret",
+        "streamcluster",
+        "canneal",
+    ] {
         let w = by_name(name, 4).expect("known app");
         let expected = w.expected_txrace_reliable_races();
         let mut best = 0;
@@ -147,7 +153,10 @@ fn workload_runs_are_deterministic() {
     let w = by_name("streamcluster", 4).expect("known app");
     let a = Detector::new(w.config(Scheme::txrace(), 9)).run(&w.program);
     let b = Detector::new(w.config(Scheme::txrace(), 9)).run(&w.program);
-    assert_eq!(a.races.pairs().collect::<Vec<_>>(), b.races.pairs().collect::<Vec<_>>());
+    assert_eq!(
+        a.races.pairs().collect::<Vec<_>>(),
+        b.races.pairs().collect::<Vec<_>>()
+    );
     assert_eq!(a.breakdown, b.breakdown);
     assert_eq!(a.htm, b.htm);
     assert_eq!(a.run.steps, b.run.steps);
