@@ -25,7 +25,7 @@
 use txrace::{
     recall, Detector, InstrumentConfig, Scheme, SiteClassTable, StaticPruneMode, TxRaceOpts,
 };
-use txrace_bench::{fmt_x, geomean, run_scheme, Table};
+use txrace_bench::{fmt_x, geomean, map_cells, pool_width, run_scheme, Table};
 use txrace_hb::ShadowMode;
 use txrace_htm::HtmConfig;
 use txrace_workloads::{all_workloads, by_name};
@@ -50,7 +50,8 @@ fn fast_sync_ablation(workers: usize, seed: u64) {
         "untracked: races",
         "false positives",
     ]);
-    for name in ["fluidanimate", "ferret", "apache", "streamcluster"] {
+    let names = ["fluidanimate", "ferret", "apache", "streamcluster"];
+    let rows = map_cells(pool_width(), &names, |_, &name| {
         let w = by_name(name, workers).expect("known app");
         let truth = run_scheme(&w, Scheme::Tsan, seed);
         let on = run_scheme(&w, Scheme::txrace(), seed);
@@ -69,12 +70,15 @@ fn fast_sync_ablation(workers: usize, seed: u64) {
             .pairs()
             .filter(|p| !truth.races.contains(p.a, p.b))
             .count();
-        t.row(vec![
+        vec![
             name.to_string(),
             format!("{} ({fp_on} fp)", on.races.distinct_count()),
             format!("{}", off.races.distinct_count()),
             format!("{fp_off}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("without fast-path tracking the detector is no longer complete.\n");
@@ -91,12 +95,16 @@ fn ideal_htm_ablation(workers: usize, seed: u64) {
     };
     let mut t = Table::new(&["application", "best-effort HTM", "ideal HTM"]);
     let (mut real, mut idl) = (Vec::new(), Vec::new());
-    for w in all_workloads(workers) {
-        let out = run_scheme(&w, Scheme::txrace(), seed);
+    let apps = all_workloads(workers);
+    let outs = map_cells(pool_width(), &apps, |_, w| {
+        let out = run_scheme(w, Scheme::txrace(), seed);
         // Ideal hardware: unlimited capacity and an interrupt-free OS.
         let mut cfg = w.config(Scheme::txrace(), seed).with_htm(ideal);
         cfg.interrupts = txrace_sim::InterruptModel::NONE;
         let out_ideal = Detector::new(cfg).run(&w.program);
+        (out, out_ideal)
+    });
+    for (w, (out, out_ideal)) in apps.iter().zip(outs) {
         t.row(vec![
             w.name.to_string(),
             fmt_x(out.overhead),
@@ -117,20 +125,26 @@ fn ideal_htm_ablation(workers: usize, seed: u64) {
 fn k_threshold_ablation(workers: usize, seed: u64) {
     println!("== ablation 3: small-region threshold K (§4.3; paper uses K = 5) ==\n");
     let mut t = Table::new(&["K", "facesim", "apache", "ferret"]);
-    for k in [0u64, 2, 5, 10, 20] {
+    let ks = [0u64, 2, 5, 10, 20];
+    let names = ["facesim", "apache", "ferret"];
+    let grid: Vec<(u64, &'static str)> = ks
+        .iter()
+        .flat_map(|&k| names.iter().map(move |&name| (k, name)))
+        .collect();
+    let outs = map_cells(pool_width(), &grid, |_, &(k, name)| {
+        let w = by_name(name, workers).expect("known app");
+        let opts = TxRaceOpts {
+            instrument: InstrumentConfig {
+                k_min_ops: k,
+                ..InstrumentConfig::default()
+            },
+            ..TxRaceOpts::default()
+        };
+        run_scheme(&w, Scheme::TxRace(opts), seed)
+    });
+    for (k, row) in ks.iter().zip(outs.chunks(names.len())) {
         let mut cells = vec![format!("{k}")];
-        for name in ["facesim", "apache", "ferret"] {
-            let w = by_name(name, workers).expect("known app");
-            let opts = TxRaceOpts {
-                instrument: InstrumentConfig {
-                    k_min_ops: k,
-                    ..InstrumentConfig::default()
-                },
-                ..TxRaceOpts::default()
-            };
-            let out = run_scheme(&w, Scheme::TxRace(opts), seed);
-            cells.push(fmt_x(out.overhead));
-        }
+        cells.extend(row.iter().map(|out| fmt_x(out.overhead)));
         t.row(cells);
     }
     println!("{}", t.render());
@@ -168,7 +182,7 @@ fn shadow_cells_ablation(_workers: usize, seed: u64) {
     truth_cfg.shadow = ShadowMode::Exact;
     let truth = Detector::new(truth_cfg).run(&p);
     let mut t = Table::new(&["shadow mode", "races", "recall vs sound"]);
-    for (name, mode) in [
+    let modes = [
         (
             "cells=1",
             ShadowMode::Cells {
@@ -191,10 +205,13 @@ fn shadow_cells_ablation(_workers: usize, seed: u64) {
             },
         ),
         ("exact (paper config)", ShadowMode::Exact),
-    ] {
+    ];
+    let outs = map_cells(pool_width(), &modes, |_, (_, mode)| {
         let mut cfg = txrace::RunConfig::new(Scheme::Tsan, seed);
-        cfg.shadow = mode;
-        let out = Detector::new(cfg).run(&p);
+        cfg.shadow = *mode;
+        Detector::new(cfg).run(&p)
+    });
+    for ((name, _), out) in modes.iter().zip(outs) {
         t.row(vec![
             name.to_string(),
             out.races.distinct_count().to_string(),
@@ -221,7 +238,8 @@ fn static_prune_ablation(workers: usize, seed: u64) {
     let mut off_ovh = Vec::new();
     let mut checks_ovh = Vec::new();
     let mut full_ovh = Vec::new();
-    for w in all_workloads(workers) {
+    let apps = all_workloads(workers);
+    let results = map_cells(pool_width(), &apps, |_, w| {
         let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
         let mut runs = [
             StaticPruneMode::Off,
@@ -235,11 +253,14 @@ fn static_prune_ablation(workers: usize, seed: u64) {
             assert!(out.completed(), "{}: {mode:?} run did not complete", w.name);
             out
         });
-        let (off, checks, full) = (
+        (
+            stats,
             runs.next().unwrap(),
             runs.next().unwrap(),
             runs.next().unwrap(),
-        );
+        )
+    });
+    for (w, (stats, off, checks, full)) in apps.iter().zip(results) {
         // ChecksOnly is schedule-preserving, so its race set must match
         // exactly; checking it here keeps the ablation honest.
         let same: Vec<_> = off.races.pairs().collect();

@@ -1,0 +1,134 @@
+//! Measures the reproduction's own wall-clock on the Table 1 grid and
+//! emits the machine-readable perf trajectory `BENCH_table1.json`.
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin bench_table1 \
+//!     [--baseline BENCH_table1.json] [workers] [seed] > BENCH_table1.json
+//! ```
+//!
+//! One row per app: modeled cycles (deterministic), measured wall-clock
+//! for the app's Table 1 cell (TSan + TxRace runs, best of three), and —
+//! when `--baseline` points at a previously committed trajectory file —
+//! the per-app and geomean speedup against it.
+//!
+//! Cells are timed **serially** on purpose: wall-clock measured while
+//! sibling cells compete for cores would be noise. The table/figure
+//! binaries, which only need deterministic *results*, fan out through
+//! [`txrace_bench::pool`].
+
+use std::time::Instant;
+
+use txrace_bench::{evaluate_app, geomean, json_rows, EvalOptions, JsonValue};
+use txrace_workloads::all_workloads;
+
+/// Timed repetitions per cell; the minimum is reported.
+const REPS: u32 = 3;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = raw.iter().position(|a| a == "--baseline").map(|i| {
+        let path = raw.get(i + 1).cloned().expect("--baseline needs a file");
+        raw.drain(i..=i + 1);
+        path
+    });
+    let mut args = raw.into_iter();
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let baseline = baseline_path.map(|p| {
+        let text =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        parse_baseline(&text)
+    });
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let total_start = Instant::now();
+    for w in all_workloads(workers) {
+        let opts = EvalOptions {
+            seed,
+            ..Default::default()
+        };
+        let mut wall_ns = u64::MAX;
+        let mut last = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = evaluate_app(&w, opts);
+            wall_ns = wall_ns.min(t0.elapsed().as_nanos() as u64);
+            last = Some(r);
+        }
+        let r = last.expect("at least one repetition ran");
+        let mut row = vec![
+            ("app", JsonValue::Str(w.name.to_string())),
+            ("baseline_cycles", JsonValue::Int(r.txrace.baseline_cycles)),
+            ("txrace_cycles", JsonValue::Int(r.txrace.breakdown.total())),
+            ("tsan_cycles", JsonValue::Int(r.tsan.breakdown.total())),
+            (
+                "txrace_races",
+                JsonValue::Int(r.txrace.races.distinct_count() as u64),
+            ),
+            ("wall_ns", JsonValue::Int(wall_ns)),
+        ];
+        if let Some(base) = &baseline {
+            if let Some(&prev) = base.iter().find(|(n, _)| n == w.name).map(|(_, ns)| ns) {
+                let speedup = prev as f64 / wall_ns.max(1) as f64;
+                row.push(("pre_refactor_wall_ns", JsonValue::Int(prev)));
+                row.push((
+                    "speedup",
+                    JsonValue::Num((speedup * 1000.0).round() / 1000.0),
+                ));
+                speedups.push(speedup);
+            }
+        }
+        rows.push(row);
+    }
+    let mut total = vec![
+        ("app", JsonValue::Str("(total)".to_string())),
+        ("workers", JsonValue::Int(workers as u64)),
+        ("seed", JsonValue::Int(seed)),
+        ("reps", JsonValue::Int(u64::from(REPS))),
+        (
+            "wall_ns",
+            JsonValue::Int(total_start.elapsed().as_nanos() as u64),
+        ),
+    ];
+    if !speedups.is_empty() {
+        total.push((
+            "speedup",
+            JsonValue::Num((geomean(&speedups) * 1000.0).round() / 1000.0),
+        ));
+    }
+    rows.push(total);
+    println!("{}", json_rows(&rows));
+}
+
+/// Pulls `(app, wall_ns)` pairs out of a previously emitted trajectory
+/// file. The format is our own `json_rows` output — one flat object per
+/// line — so a full JSON parser is unnecessary.
+fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(app) = extract_str(line, "\"app\": \"") else {
+            continue;
+        };
+        let Some(ns) = extract_u64(line, "\"wall_ns\": ") else {
+            continue;
+        };
+        out.push((app, ns));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}

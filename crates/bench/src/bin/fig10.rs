@@ -9,7 +9,7 @@
 //! ```
 
 use txrace::Scheme;
-use txrace_bench::{run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, run_scheme, Table};
 use txrace_hb::RaceSet;
 use txrace_workloads::by_name;
 
@@ -28,10 +28,16 @@ fn main() {
         tsan.races.distinct_count()
     );
 
+    // Each run has its own seed, so the runs are independent pool cells;
+    // only the cumulative merge below is order-sensitive, and it consumes
+    // the results in input (run-number) order.
+    let run_seeds: Vec<u64> = (1..=runs).collect();
+    let outs = map_cells(pool_width(), &run_seeds, |_, &run| {
+        run_scheme(&w, Scheme::txrace(), run)
+    });
     let mut cumulative = RaceSet::new();
     let mut t = Table::new(&["run", "found this run", "cumulative distinct"]);
-    for run in 1..=runs {
-        let out = run_scheme(&w, Scheme::txrace(), run);
+    for (run, out) in run_seeds.iter().zip(outs) {
         let this = out.races.distinct_count();
         cumulative.merge(&out.races);
         t.row(vec![

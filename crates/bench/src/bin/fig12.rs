@@ -8,7 +8,7 @@
 //! ```
 
 use txrace::Scheme;
-use txrace_bench::{run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, run_scheme, Table};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -18,24 +18,28 @@ fn main() {
 
     println!("TxRace reproduction — Figure 12: bodytrack overhead vs sampling rate (workers={workers}, seed={seed})\n");
     let w = by_name("bodytrack", workers).expect("bodytrack exists");
-    let full = run_scheme(&w, Scheme::Tsan, seed);
+
+    // The whole sweep — full TSan reference, the eleven sampling rates,
+    // and TxRace — is one batch of independent pool cells.
+    let mut schemes = vec![Scheme::Tsan];
+    schemes.extend((0..=100).step_by(10).map(|pct| Scheme::TsanSampling {
+        rate: pct as f64 / 100.0,
+    }));
+    schemes.push(Scheme::txrace());
+    let outs = map_cells(pool_width(), &schemes, |_, s| {
+        run_scheme(&w, s.clone(), seed)
+    });
+    let full = &outs[0];
     let full_extra = (full.overhead - 1.0).max(1e-9);
 
     let mut t = Table::new(&["sampling rate", "normalized overhead"]);
-    for pct in (0..=100).step_by(10) {
-        let out = run_scheme(
-            &w,
-            Scheme::TsanSampling {
-                rate: pct as f64 / 100.0,
-            },
-            seed,
-        );
+    for (pct, out) in (0..=100).step_by(10).zip(&outs[1..]) {
         let norm = (out.overhead - 1.0).max(0.0) / full_extra;
         t.row(vec![format!("{pct}%"), format!("{norm:.2}")]);
     }
     println!("{}", t.render());
 
-    let tx = run_scheme(&w, Scheme::txrace(), seed);
+    let tx = outs.last().expect("txrace cell");
     let tx_norm = (tx.overhead - 1.0).max(0.0) / full_extra;
     println!(
         "TxRace: {:.2} of full TSan (paper: 0.69, equivalent to ~25.5% sampling)",

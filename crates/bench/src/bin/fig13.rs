@@ -13,7 +13,7 @@
 //! probabilistic).
 
 use txrace::{recall, Scheme};
-use txrace_bench::{run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, run_scheme, Table};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -24,20 +24,43 @@ fn main() {
     println!("TxRace reproduction — Figure 13: bodytrack recall vs sampling rate (workers={workers}, {nseeds} seeds)\n");
     let w = by_name("bodytrack", workers).expect("bodytrack exists");
 
+    // Phase 1: the per-seed TSan truth runs (shared by every rate below
+    // and by the TxRace comparison, so they are computed exactly once).
+    let seeds: Vec<u64> = (0..nseeds).collect();
+    let truths = map_cells(pool_width(), &seeds, |_, &seed| {
+        run_scheme(&w, Scheme::Tsan, seed)
+    });
+
+    // Phase 2: every (rate, seed) cell plus the (TxRace, seed) cells, all
+    // independent; recall is computed against the phase-1 truths.
+    let pcts: Vec<u64> = (0..=100).step_by(10).collect();
+    let mut grid: Vec<(Scheme, usize)> = pcts
+        .iter()
+        .flat_map(|&pct| {
+            seeds.iter().enumerate().map(move |(si, _)| {
+                (
+                    Scheme::TsanSampling {
+                        rate: pct as f64 / 100.0,
+                    },
+                    si,
+                )
+            })
+        })
+        .collect();
+    grid.extend(
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(si, _)| (Scheme::txrace(), si)),
+    );
+    let recalls = map_cells(pool_width(), &grid, |_, (scheme, si)| {
+        let out = run_scheme(&w, scheme.clone(), seeds[*si]);
+        recall(&out.races, &truths[*si].races)
+    });
+
     let mut t = Table::new(&["sampling rate", "recall"]);
-    for pct in (0..=100).step_by(10) {
-        let mut acc = 0.0;
-        for seed in 0..nseeds {
-            let truth = run_scheme(&w, Scheme::Tsan, seed);
-            let out = run_scheme(
-                &w,
-                Scheme::TsanSampling {
-                    rate: pct as f64 / 100.0,
-                },
-                seed,
-            );
-            acc += recall(&out.races, &truth.races);
-        }
+    for (pct, per_seed) in pcts.iter().zip(recalls.chunks(seeds.len())) {
+        let acc: f64 = per_seed.iter().sum();
         t.row(vec![
             format!("{pct}%"),
             format!("{:.2}", acc / nseeds as f64),
@@ -45,12 +68,7 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let mut acc = 0.0;
-    for seed in 0..nseeds {
-        let truth = run_scheme(&w, Scheme::Tsan, seed);
-        let tx = run_scheme(&w, Scheme::txrace(), seed);
-        acc += recall(&tx.races, &truth.races);
-    }
+    let acc: f64 = recalls[pcts.len() * seeds.len()..].iter().sum();
     println!(
         "TxRace recall: {:.2} (paper: 0.75, equivalent to ~47.2% sampling)",
         acc / nseeds as f64

@@ -10,7 +10,7 @@
 //! ```
 
 use txrace::Scheme;
-use txrace_bench::{fmt_x, geomean, run_scheme, Table};
+use txrace_bench::{fmt_x, geomean, map_cells, pool_width, run_scheme, Table};
 use txrace_workloads::all_workloads;
 
 fn main() {
@@ -25,16 +25,23 @@ fn main() {
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
     let mut aborts: Vec<(u64, u64, u64)> = vec![(0, 0, 0); counts.len()];
 
-    // Iterate apps in fixed order; rebuild each app per worker count.
+    // One pool cell per (app, thread count) pair, in fixed order; each
+    // cell rebuilds its app at that worker count and runs independently.
     let names: Vec<&'static str> = all_workloads(2).iter().map(|w| w.name).collect();
-    for name in names {
+    let grid: Vec<(&'static str, usize)> = names
+        .iter()
+        .flat_map(|&name| counts.iter().map(move |&workers| (name, workers)))
+        .collect();
+    let outs = map_cells(pool_width(), &grid, |_, &(name, workers)| {
+        let w = txrace_workloads::by_name(name, workers).expect("known app");
+        run_scheme(&w, Scheme::txrace(), seed)
+    });
+    for (name, row) in names.iter().zip(outs.chunks(counts.len())) {
         let mut cells = vec![name.to_string()];
-        for (i, &workers) in counts.iter().enumerate() {
-            let w = txrace_workloads::by_name(name, workers).expect("known app");
-            let out = run_scheme(&w, Scheme::txrace(), seed);
+        for (i, out) in row.iter().enumerate() {
             cells.push(fmt_x(out.overhead));
             per_count[i].push(out.overhead);
-            let h = out.htm.expect("txrace stats");
+            let h = out.htm.as_ref().expect("txrace stats");
             aborts[i].0 += h.conflict_aborts;
             aborts[i].1 += h.capacity_aborts;
             aborts[i].2 += h.unknown_aborts;

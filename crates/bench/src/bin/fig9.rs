@@ -8,7 +8,7 @@
 //! ```
 
 use txrace::{LoopcutMode, Scheme};
-use txrace_bench::{fmt_x, geomean, run_scheme, Table};
+use txrace_bench::{fmt_x, geomean, map_cells, pool_width, run_scheme, Table};
 use txrace_workloads::all_workloads;
 
 fn main() {
@@ -21,16 +21,23 @@ fn main() {
     );
     let mut t = Table::new(&["application", "TSan", "NoOpt", "DynLoopcut", "ProfLoopcut"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for w in all_workloads(workers) {
-        let schemes = [
-            Scheme::Tsan,
-            Scheme::txrace_loopcut(LoopcutMode::NoOpt),
-            Scheme::txrace_loopcut(LoopcutMode::Dyn),
-            Scheme::txrace_loopcut(LoopcutMode::Prof),
-        ];
+    let schemes = [
+        Scheme::Tsan,
+        Scheme::txrace_loopcut(LoopcutMode::NoOpt),
+        Scheme::txrace_loopcut(LoopcutMode::Dyn),
+        Scheme::txrace_loopcut(LoopcutMode::Prof),
+    ];
+    // One pool cell per (app, scheme) pair; rows rendered in input order.
+    let apps = all_workloads(workers);
+    let grid: Vec<(usize, Scheme)> = (0..apps.len())
+        .flat_map(|a| schemes.iter().map(move |s| (a, s.clone())))
+        .collect();
+    let outs = map_cells(pool_width(), &grid, |_, (a, s)| {
+        run_scheme(&apps[*a], s.clone(), seed)
+    });
+    for (w, row) in apps.iter().zip(outs.chunks(schemes.len())) {
         let mut cells = vec![w.name.to_string()];
-        for (i, s) in schemes.into_iter().enumerate() {
-            let out = run_scheme(&w, s, seed);
+        for (i, out) in row.iter().enumerate() {
             cells.push(fmt_x(out.overhead));
             cols[i].push(out.overhead);
         }

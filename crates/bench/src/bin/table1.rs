@@ -10,7 +10,10 @@
 //! values are shown in parentheses.
 
 use txrace::{Detector, RunOutcome, Scheme, SiteClassTable, StaticPruneMode};
-use txrace_bench::{evaluate_app, fmt_x, geomean, json_rows, paper, EvalOptions, JsonValue, Table};
+use txrace_bench::{
+    evaluate_app, fmt_x, geomean, json_rows, map_cells, paper, pool_width, AppResult, EvalOptions,
+    JsonValue, Table,
+};
 use txrace_workloads::{all_workloads, Workload};
 
 /// The "TxRace+SA" run: Full static pruning on top of the default
@@ -23,6 +26,22 @@ fn run_pruned(w: &Workload, seed: u64) -> RunOutcome {
     let out = Detector::new(cfg).run(&w.program);
     assert!(out.completed(), "{}: pruned run did not complete", w.name);
     out
+}
+
+/// Everything one table row needs; computed per app, in parallel across
+/// the worker pool (each cell is an independent deterministic simulation,
+/// so the fan-out changes wall-clock only, never the results).
+fn eval_cell(w: &Workload, seed: u64) -> (AppResult, RunOutcome, txrace::PruneStats) {
+    let r = evaluate_app(
+        w,
+        EvalOptions {
+            seed,
+            ..Default::default()
+        },
+    );
+    let sa = run_pruned(w, seed);
+    let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
+    (r, sa, stats)
 }
 
 fn main() {
@@ -56,16 +75,9 @@ fn main() {
     let mut tx_ovh = Vec::new();
     let mut sa_ovh = Vec::new();
 
-    for w in all_workloads(workers) {
-        let r = evaluate_app(
-            &w,
-            EvalOptions {
-                seed,
-                ..Default::default()
-            },
-        );
-        let sa = run_pruned(&w, seed);
-        let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
+    let apps = all_workloads(workers);
+    let results = map_cells(pool_width(), &apps, |_, w| eval_cell(w, seed));
+    for (w, (r, sa, stats)) in apps.iter().zip(results) {
         let htm = r.txrace.htm.expect("txrace stats");
         let p = paper::row(w.name).expect("paper row");
         t.row(vec![
@@ -110,16 +122,9 @@ fn main() {
 /// Machine-readable output: `table1 --json [workers] [seed]`.
 fn print_json(workers: usize, seed: u64) {
     let mut rows = Vec::new();
-    for w in all_workloads(workers) {
-        let r = evaluate_app(
-            &w,
-            EvalOptions {
-                seed,
-                ..Default::default()
-            },
-        );
-        let sa = run_pruned(&w, seed);
-        let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
+    let apps = all_workloads(workers);
+    let results = map_cells(pool_width(), &apps, |_, w| eval_cell(w, seed));
+    for (w, (r, sa, stats)) in apps.iter().zip(results) {
         let h = r.txrace.htm.expect("txrace stats");
         rows.push(vec![
             ("app", JsonValue::Str(w.name.to_string())),

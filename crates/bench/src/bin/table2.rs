@@ -7,7 +7,7 @@
 //! cargo run --release -p txrace-bench --bin table2 [workers] [seed]
 //! ```
 
-use txrace_bench::{evaluate_app, geomean, paper, EvalOptions, Table};
+use txrace_bench::{evaluate_app, geomean, map_cells, paper, pool_width, EvalOptions, Table};
 use txrace_workloads::all_workloads;
 
 fn main() {
@@ -20,14 +20,19 @@ fn main() {
 
     let mut t = Table::new(&["application", "overhead", "recall", "cost-effectiveness"]);
     let (mut ovs, mut recs, mut ces) = (Vec::new(), Vec::new(), Vec::new());
-    for w in all_workloads(workers) {
-        let r = evaluate_app(
-            &w,
+    // One pool cell per app; results come back in input order, so the
+    // rendered table is byte-identical to a serial run.
+    let apps = all_workloads(workers);
+    let results = map_cells(pool_width(), &apps, |_, w| {
+        evaluate_app(
+            w,
             EvalOptions {
                 seed,
                 ..Default::default()
             },
-        );
+        )
+    });
+    for (w, r) in apps.iter().zip(results) {
         let p = paper::row(w.name).expect("paper row");
         let norm = r.normalized_overhead();
         t.row(vec![

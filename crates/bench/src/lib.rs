@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod pool;
 pub mod report;
 pub mod runner;
 
+pub use pool::{map_cells, pool_width};
 pub use report::{fmt_x, geomean, json_rows, JsonValue, Table};
 pub use runner::{evaluate_app, run_scheme, AppResult, EvalOptions};

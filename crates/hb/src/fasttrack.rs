@@ -2,11 +2,9 @@
 //! PLDI '09) — the algorithm behind Google ThreadSanitizer, used by TxRace
 //! both as its slow path and as the full-program baseline.
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, ThreadId};
+use txrace_sim::{Addr, AddrMap, BarrierId, CondId, LockId, SiteId, ThreadId};
 
 use crate::clock::{Epoch, VectorClock};
 use crate::report::{AccessInfo, AccessKind, RaceReport, RaceSet};
@@ -73,7 +71,16 @@ pub struct FastTrack {
     locks: Vec<VectorClock>,
     conds: Vec<VectorClock>,
     barriers: Vec<VectorClock>,
-    shadow: HashMap<Addr, VarState>,
+    /// Paged map `Addr -> dense shadow index`, assigned on first access
+    /// (O(touched) space — address spans can be hundreds of times larger
+    /// than the touched set).
+    shadow_ids: AddrMap,
+    /// Shadow words indexed by the dense id from `shadow_ids` — the
+    /// data-oriented layout. A slot is pushed as `VarState::fresh()` on
+    /// first touch, which is exactly what the old map's
+    /// `entry(..).or_insert_with(fresh)` produced, so behaviour (and
+    /// every RNG decision) is unchanged.
+    shadow: Vec<VarState>,
     races: RaceSet,
     cell_cap: Option<usize>,
     rng: StdRng,
@@ -96,7 +103,8 @@ impl FastTrack {
             locks: Vec::new(),
             conds: Vec::new(),
             barriers: Vec::new(),
-            shadow: HashMap::new(),
+            shadow_ids: AddrMap::new(),
+            shadow: Vec::new(),
             races: RaceSet::new(),
             cell_cap,
             rng: StdRng::seed_from_u64(seed),
@@ -132,12 +140,33 @@ impl FastTrack {
         &mut table[idx]
     }
 
+    /// Pre-sizes the shadow map's page table for addresses below
+    /// `addr_capacity` (from [`txrace_sim::Interner::addr_capacity`]), so
+    /// the hot path never grows the top level mid-run. Costs 8 bytes per
+    /// 4096 addresses of span.
+    pub fn reserve_addrs(&mut self, addr_capacity: usize) {
+        self.shadow_ids.reserve_span(addr_capacity);
+    }
+
+    #[inline]
+    fn shadow_mut<'a>(
+        ids: &mut AddrMap,
+        shadow: &'a mut Vec<VarState>,
+        addr: Addr,
+    ) -> &'a mut VarState {
+        let i = ids.resolve(addr) as usize;
+        if i == shadow.len() {
+            shadow.push(VarState::fresh());
+        }
+        &mut shadow[i]
+    }
+
     /// Checks a read by `t` at `site` against the shadow word for `addr`.
     pub fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         self.checks += 1;
         let ct = &self.clocks[t.index()];
         let my = ct.epoch(t);
-        let state = self.shadow.entry(addr).or_insert_with(VarState::fresh);
+        let state = Self::shadow_mut(&mut self.shadow_ids, &mut self.shadow, addr);
 
         // Same-epoch fast path.
         match &state.r {
@@ -215,7 +244,7 @@ impl FastTrack {
         self.checks += 1;
         let ct = &self.clocks[t.index()];
         let my = ct.epoch(t);
-        let state = self.shadow.entry(addr).or_insert_with(VarState::fresh);
+        let state = Self::shadow_mut(&mut self.shadow_ids, &mut self.shadow, addr);
 
         if state.w == my {
             return; // same-epoch fast path

@@ -4,10 +4,10 @@
 //! (signal/wait ordering), so it reports *false positives* that FastTrack
 //! does not.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
-use txrace_sim::{Addr, LockId, SiteId, ThreadId};
+use txrace_sim::{Addr, AddrMap, LockId, SiteId, ThreadId};
 
 /// The Eraser per-variable state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +52,12 @@ impl fmt::Display for LocksetReport {
 #[derive(Debug)]
 pub struct Lockset {
     held: Vec<BTreeSet<LockId>>,
-    vars: HashMap<Addr, VarState>,
+    /// Paged map `Addr -> dense index into `vars``, assigned on first
+    /// touch. Unlike the HB detectors' all-zero fresh state, Eraser's
+    /// state captures the *site of the first access*, so initialization
+    /// must stay lazy — first-touch id assignment gives exactly that.
+    var_ids: AddrMap,
+    vars: Vec<VarState>,
     reports: Vec<LocksetReport>,
 }
 
@@ -61,7 +66,8 @@ impl Lockset {
     pub fn new(threads: usize) -> Self {
         Lockset {
             held: vec![BTreeSet::new(); threads],
-            vars: HashMap::new(),
+            var_ids: AddrMap::new(),
+            vars: Vec::new(),
             reports: Vec::new(),
         }
     }
@@ -93,12 +99,16 @@ impl Lockset {
 
     fn access(&mut self, t: ThreadId, site: SiteId, addr: Addr, is_write: bool) {
         let held = &self.held[t.index()];
-        let state = self.vars.entry(addr).or_insert_with(|| VarState {
-            phase: VarPhase::Virgin,
-            candidates: BTreeSet::new(),
-            first_site: site,
-            reported: false,
-        });
+        let i = self.var_ids.resolve(addr) as usize;
+        if i == self.vars.len() {
+            self.vars.push(VarState {
+                phase: VarPhase::Virgin,
+                candidates: BTreeSet::new(),
+                first_site: site,
+                reported: false,
+            });
+        }
+        let state = &mut self.vars[i];
         match state.phase {
             VarPhase::Virgin => {
                 state.phase = VarPhase::Exclusive(t);

@@ -6,8 +6,6 @@
 //! compression can merge which static pair is blamed first, but never
 //! which variables race).
 
-use std::collections::HashMap;
-
 use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, ThreadId};
 
 use crate::clock::VectorClock;
@@ -43,7 +41,10 @@ pub struct VectorClockDetector {
     locks: Vec<VectorClock>,
     conds: Vec<VectorClock>,
     barriers: Vec<VectorClock>,
-    shadow: HashMap<Addr, VarVc>,
+    /// Per-variable vector clocks indexed directly by `Addr.0`; an
+    /// untouched slot equals `VarVc::fresh` (all-zero clocks), matching
+    /// the old map's lazy insertion.
+    shadow: Vec<VarVc>,
     races: RaceSet,
 }
 
@@ -58,9 +59,18 @@ impl VectorClockDetector {
             locks: Vec::new(),
             conds: Vec::new(),
             barriers: Vec::new(),
-            shadow: HashMap::new(),
+            shadow: Vec::new(),
             races: RaceSet::new(),
         }
+    }
+
+    #[inline]
+    fn shadow_mut(shadow: &mut Vec<VarVc>, addr: Addr, n: usize) -> &mut VarVc {
+        let i = addr.0 as usize;
+        if i >= shadow.len() {
+            shadow.resize_with(i + 1, || VarVc::fresh(n));
+        }
+        &mut shadow[i]
     }
 
     /// Races found so far.
@@ -79,7 +89,7 @@ impl VectorClockDetector {
     pub fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         let n = self.n;
         let ct = &self.clocks[t.index()];
-        let state = self.shadow.entry(addr).or_insert_with(|| VarVc::fresh(n));
+        let state = Self::shadow_mut(&mut self.shadow, addr, n);
         for u in 0..n {
             if u == t.index() || state.w[u] == 0 {
                 continue;
@@ -112,7 +122,7 @@ impl VectorClockDetector {
     pub fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         let n = self.n;
         let ct = &self.clocks[t.index()];
-        let state = self.shadow.entry(addr).or_insert_with(|| VarVc::fresh(n));
+        let state = Self::shadow_mut(&mut self.shadow, addr, n);
         for u in 0..n {
             if u == t.index() {
                 continue;

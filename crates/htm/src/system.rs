@@ -129,13 +129,32 @@ impl ConflictOracle {
     }
 }
 
+/// One hardware transaction context: the bookkeeping structure is owned
+/// permanently by its thread's slot and reset in place between
+/// transactions, so `xbegin`/`xend` never move or allocate it.
+#[derive(Debug, Default)]
+struct Slot {
+    txn: Txn,
+    /// True while a transaction (active or doomed) occupies this slot.
+    /// When false, `txn` is pristine (freshly reset).
+    in_flight: bool,
+}
+
 /// The simulated best-effort HTM. See the crate docs for semantics.
 #[derive(Debug)]
 pub struct HtmSystem {
     cfg: HtmConfig,
-    slots: Vec<Option<Txn>>,
-    /// Number of occupied slots (kept in sync for the conflict fast exit).
+    slots: Vec<Slot>,
+    /// Number of in-flight slots (kept in sync for the conflict fast exit).
     active: usize,
+    /// Per-raw-line count of in-flight transactions (including doomed
+    /// ones) tracking the line in their read set. Together with
+    /// `line_writers` this gives conflict scans an O(1) "no conflict
+    /// possible" answer without probing every slot.
+    line_readers: Vec<u8>,
+    /// Per-raw-line count of in-flight transactions tracking the line in
+    /// their write set.
+    line_writers: Vec<u8>,
     stats: HtmStats,
     oracle: ConflictOracle,
 }
@@ -145,10 +164,51 @@ impl HtmSystem {
     pub fn new(cfg: HtmConfig, threads: usize) -> Self {
         HtmSystem {
             cfg,
-            slots: vec![None; threads],
+            slots: (0..threads).map(|_| Slot::default()).collect(),
             active: 0,
+            line_readers: Vec::new(),
+            line_writers: Vec::new(),
             stats: HtmStats::default(),
             oracle: ConflictOracle::default(),
+        }
+    }
+
+    /// Pre-sizes every slot's write buffer and line bitsets for a
+    /// program whose raw addresses are below `addr_capacity` and raw
+    /// cache-line indices below `line_capacity` (both available from
+    /// `txrace_sim::Interner`), so the hot path never grows a table's
+    /// top level.
+    pub fn reserve_capacity(&mut self, addr_capacity: usize, line_capacity: usize) {
+        for slot in &mut self.slots {
+            slot.txn.read_lines.reserve(line_capacity);
+            slot.txn.write_lines.reserve(line_capacity);
+            slot.txn.write_buf.reserve(addr_capacity);
+        }
+        if self.line_readers.len() < line_capacity {
+            self.line_readers.resize(line_capacity, 0);
+            self.line_writers.resize(line_capacity, 0);
+        }
+    }
+
+    /// Increments a per-line occupancy counter, growing the table for
+    /// lines beyond the reserved capacity.
+    #[inline]
+    fn bump(counts: &mut Vec<u8>, line: CacheLine) {
+        let li = line.0 as usize;
+        if li >= counts.len() {
+            counts.resize(li + 1, 0);
+        }
+        counts[li] += 1;
+    }
+
+    /// Returns a finished transaction's tracked lines to the occupancy
+    /// counters (called with the slot's sets still intact, before reset).
+    fn release_lines(readers: &mut [u8], writers: &mut [u8], txn: &Txn) {
+        for l in txn.read_lines.iter() {
+            readers[l.0 as usize] -= 1;
+        }
+        for l in txn.write_lines.iter() {
+            writers[l.0 as usize] -= 1;
         }
     }
 
@@ -179,20 +239,27 @@ impl HtmSystem {
 
     /// The state of thread `t`'s transaction slot.
     pub fn txn_state(&self, t: ThreadId) -> TxnState {
-        match &self.slots[t.index()] {
-            None => TxnState::Idle,
-            Some(txn) => txn.state(),
+        let slot = &self.slots[t.index()];
+        if slot.in_flight {
+            slot.txn.state()
+        } else {
+            TxnState::Idle
         }
     }
 
     /// True if `t` has a transaction in flight (active or doomed).
     pub fn in_txn(&self, t: ThreadId) -> bool {
-        self.slots[t.index()].is_some()
+        self.slots[t.index()].in_flight
     }
 
     /// The doom status of `t`'s transaction, if the hardware aborted it.
     pub fn is_doomed(&self, t: ThreadId) -> Option<AbortStatus> {
-        self.slots[t.index()].as_ref().and_then(|txn| txn.doom)
+        let slot = &self.slots[t.index()];
+        if slot.in_flight {
+            slot.txn.doom
+        } else {
+            None
+        }
     }
 
     /// The conflicting cache line of `t`'s doomed transaction, if the
@@ -203,22 +270,33 @@ impl HtmSystem {
         if !self.cfg.report_conflict_address {
             return None;
         }
-        self.slots[t.index()]
-            .as_ref()
-            .and_then(|txn| txn.conflict_line)
+        let slot = &self.slots[t.index()];
+        if slot.in_flight {
+            slot.txn.conflict_line
+        } else {
+            None
+        }
     }
 
     /// Data accesses performed inside `t`'s current transaction.
     pub fn txn_accesses(&self, t: ThreadId) -> u64 {
-        self.slots[t.index()].as_ref().map_or(0, |txn| txn.accesses)
+        let slot = &self.slots[t.index()];
+        if slot.in_flight {
+            slot.txn.accesses
+        } else {
+            0
+        }
     }
 
     /// Distinct cache lines in `t`'s current transactional footprint
     /// (read set ∪ write set).
     pub fn txn_footprint_lines(&self, t: ThreadId) -> usize {
-        self.slots[t.index()]
-            .as_ref()
-            .map_or(0, |txn| txn.footprint_lines())
+        let slot = &self.slots[t.index()];
+        if slot.in_flight {
+            slot.txn.footprint_lines()
+        } else {
+            0
+        }
     }
 
     /// Starts a transaction on thread `t`.
@@ -228,13 +306,15 @@ impl HtmSystem {
     /// [`XbeginError::Nested`] if `t` already has one in flight;
     /// [`XbeginError::NoSlot`] if all hardware contexts are busy.
     pub fn xbegin(&mut self, t: ThreadId) -> Result<(), XbeginError> {
-        if self.slots[t.index()].is_some() {
+        if self.slots[t.index()].in_flight {
             return Err(XbeginError::Nested);
         }
         if self.active_txn_count() >= self.cfg.max_concurrent_txns {
             return Err(XbeginError::NoSlot);
         }
-        self.slots[t.index()] = Some(Txn::default());
+        // The slot's bookkeeping was reset when its last transaction
+        // finished, so starting one is just flipping the flag.
+        self.slots[t.index()].in_flight = true;
         self.active += 1;
         Ok(())
     }
@@ -251,20 +331,26 @@ impl HtmSystem {
     ///
     /// Panics if `t` has no transaction in flight.
     pub fn xend(&mut self, t: ThreadId, mem: &mut Memory) -> Result<(), AbortStatus> {
-        let txn = self.slots[t.index()]
-            .take()
-            .expect("xend without a transaction in flight");
-        self.active -= 1;
-        match txn.doom {
+        let slot = &mut self.slots[t.index()];
+        assert!(slot.in_flight, "xend without a transaction in flight");
+        slot.in_flight = false;
+        let result = match slot.txn.doom {
             Some(status) => Err(status),
             None => {
-                for (addr, val) in txn.write_buf {
+                for (addr, val) in slot.txn.write_buf.entries() {
                     mem.store(addr, val);
                 }
-                self.stats.committed += 1;
                 Ok(())
             }
+        };
+        let slot = &self.slots[t.index()];
+        Self::release_lines(&mut self.line_readers, &mut self.line_writers, &slot.txn);
+        self.slots[t.index()].txn.reset();
+        self.active -= 1;
+        if result.is_ok() {
+            self.stats.committed += 1;
         }
+        result
     }
 
     /// Consumes a doomed transaction after the thread observed the abort,
@@ -275,11 +361,18 @@ impl HtmSystem {
     ///
     /// Panics if `t`'s transaction is not doomed.
     pub fn abort_rollback(&mut self, t: ThreadId) -> AbortStatus {
-        let txn = self.slots[t.index()]
-            .take()
-            .expect("abort_rollback without a transaction");
+        let slot = &mut self.slots[t.index()];
+        assert!(slot.in_flight, "abort_rollback without a transaction");
+        let status = slot
+            .txn
+            .doom
+            .expect("abort_rollback of a healthy transaction");
+        slot.in_flight = false;
+        let slot = &self.slots[t.index()];
+        Self::release_lines(&mut self.line_readers, &mut self.line_writers, &slot.txn);
+        self.slots[t.index()].txn.reset();
         self.active -= 1;
-        txn.doom.expect("abort_rollback of a healthy transaction")
+        status
     }
 
     /// Explicitly aborts `t`'s transaction with the given code.
@@ -296,7 +389,7 @@ impl HtmSystem {
     /// transaction aborts (unknown status for context switches, RETRY for
     /// transient events).
     pub fn interrupt(&mut self, t: ThreadId, kind: InterruptKind) {
-        if self.slots[t.index()].is_some() {
+        if self.slots[t.index()].in_flight {
             let status = match kind {
                 InterruptKind::ContextSwitch => AbortStatus::UNKNOWN,
                 InterruptKind::Transient => AbortStatus::RETRY,
@@ -309,40 +402,35 @@ impl HtmSystem {
     /// non-transactional otherwise), returning the value observed.
     pub fn read(&mut self, t: ThreadId, mem: &Memory, addr: Addr) -> u64 {
         let line = addr.line();
-        match self.slots[t.index()].as_ref().map(|txn| txn.doom) {
-            Some(None) => {
+        let slot = &self.slots[t.index()];
+        match (slot.in_flight, slot.txn.doom) {
+            (true, None) => {
                 // Active transaction: requester-wins against others' writes.
                 self.conflict_scan(t, line, false, true);
                 let cap = self.cfg.read_set_max_lines;
-                let txn = self.slots[t.index()].as_mut().expect("checked above");
+                let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
-                if !txn.read_lines.contains(&line) {
+                if !txn.read_lines.contains(line) {
                     if txn.read_lines.len() >= cap {
-                        let val = txn
-                            .write_buf
-                            .get(&addr)
-                            .copied()
-                            .unwrap_or_else(|| mem.load(addr));
+                        let val = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
                         self.doom(t, AbortStatus::CAPACITY);
                         return val;
                     }
                     txn.read_lines.insert(line);
+                    Self::bump(&mut self.line_readers, line);
                 }
-                txn.write_buf
-                    .get(&addr)
-                    .copied()
-                    .unwrap_or_else(|| mem.load(addr))
+                let txn = &self.slots[t.index()].txn;
+                txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
             }
-            Some(Some(_)) => {
+            (true, Some(_)) => {
                 // Zombie execution inside a doomed transaction: no coherence
                 // effects, value comes from the dead buffer or memory.
-                let txn = self.slots[t.index()].as_ref().expect("checked above");
-                txn.write_buf
-                    .get(&addr)
-                    .copied()
+                slot.txn
+                    .write_buf
+                    .get(addr)
                     .unwrap_or_else(|| mem.load(addr))
             }
-            None => {
+            (false, _) => {
                 // Non-transactional read: strong isolation dooms writers.
                 self.conflict_scan(t, line, false, false);
                 mem.load(addr)
@@ -354,21 +442,22 @@ impl HtmSystem {
     /// otherwise).
     pub fn write(&mut self, t: ThreadId, mem: &mut Memory, addr: Addr, val: u64) {
         let line = addr.line();
-        match self.slots[t.index()].as_ref().map(|txn| txn.doom) {
-            Some(None) => {
+        let slot = &self.slots[t.index()];
+        match (slot.in_flight, slot.txn.doom) {
+            (true, None) => {
                 self.conflict_scan(t, line, true, true);
                 if !self.reserve_write_line(t, line) {
                     return; // capacity doom; store never becomes visible
                 }
-                let txn = self.slots[t.index()].as_mut().expect("checked above");
+                let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
                 txn.write_buf.insert(addr, val);
             }
-            Some(Some(_)) => {
-                let txn = self.slots[t.index()].as_mut().expect("checked above");
+            (true, Some(_)) => {
+                let txn = &mut self.slots[t.index()].txn;
                 txn.write_buf.insert(addr, val); // dead buffer
             }
-            None => {
+            (false, _) => {
                 self.conflict_scan(t, line, true, false);
                 mem.store(addr, val);
             }
@@ -378,50 +467,42 @@ impl HtmSystem {
     /// Performs an atomic fetch-add by `t`, returning the previous value.
     pub fn rmw(&mut self, t: ThreadId, mem: &mut Memory, addr: Addr, delta: u64) -> u64 {
         let line = addr.line();
-        match self.slots[t.index()].as_ref().map(|txn| txn.doom) {
-            Some(None) => {
+        let slot = &self.slots[t.index()];
+        match (slot.in_flight, slot.txn.doom) {
+            (true, None) => {
                 self.conflict_scan(t, line, true, true);
                 // Reads and writes the line.
                 let cap = self.cfg.read_set_max_lines;
                 {
-                    let txn = self.slots[t.index()].as_mut().expect("checked above");
-                    if !txn.read_lines.contains(&line) && txn.read_lines.len() >= cap {
-                        let old = txn
-                            .write_buf
-                            .get(&addr)
-                            .copied()
-                            .unwrap_or_else(|| mem.load(addr));
+                    let txn = &mut self.slots[t.index()].txn;
+                    if !txn.read_lines.contains(line) && txn.read_lines.len() >= cap {
+                        let old = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
                         self.doom(t, AbortStatus::CAPACITY);
                         return old;
                     }
-                    txn.read_lines.insert(line);
+                    if txn.read_lines.insert(line) {
+                        Self::bump(&mut self.line_readers, line);
+                    }
                 }
                 let old = {
-                    let txn = self.slots[t.index()].as_ref().expect("checked above");
-                    txn.write_buf
-                        .get(&addr)
-                        .copied()
-                        .unwrap_or_else(|| mem.load(addr))
+                    let txn = &self.slots[t.index()].txn;
+                    txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
                 };
                 if !self.reserve_write_line(t, line) {
                     return old;
                 }
-                let txn = self.slots[t.index()].as_mut().expect("checked above");
+                let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
                 txn.write_buf.insert(addr, old.wrapping_add(delta));
                 old
             }
-            Some(Some(_)) => {
-                let txn = self.slots[t.index()].as_mut().expect("checked above");
-                let old = txn
-                    .write_buf
-                    .get(&addr)
-                    .copied()
-                    .unwrap_or_else(|| mem.load(addr));
+            (true, Some(_)) => {
+                let txn = &mut self.slots[t.index()].txn;
+                let old = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
                 txn.write_buf.insert(addr, old.wrapping_add(delta));
                 old
             }
-            None => {
+            (false, _) => {
                 self.conflict_scan(t, line, true, false);
                 let old = mem.load(addr);
                 mem.store(addr, old.wrapping_add(delta));
@@ -434,10 +515,8 @@ impl HtmSystem {
     /// L1-shaped structure overflows. Returns false on doom.
     fn reserve_write_line(&mut self, t: ThreadId, line: CacheLine) -> bool {
         let (sets, ways) = (self.cfg.write_sets, self.cfg.write_ways);
-        let txn = self.slots[t.index()]
-            .as_mut()
-            .expect("txn checked by caller");
-        if txn.write_lines.contains(&line) {
+        let txn = &mut self.slots[t.index()].txn;
+        if txn.write_lines.contains(line) {
             return true;
         }
         let set = line.0 as usize % sets;
@@ -450,6 +529,7 @@ impl HtmSystem {
         }
         txn.set_occupancy[set] += 1;
         txn.write_lines.insert(line);
+        Self::bump(&mut self.line_writers, line);
         true
     }
 
@@ -464,30 +544,50 @@ impl HtmSystem {
     ) {
         // Fast exit for the overwhelmingly common case: no *other*
         // transaction is in flight, so nothing can conflict.
-        let others = self.active - usize::from(self.slots[requester.index()].is_some());
+        let req = &self.slots[requester.index()];
+        let others = self.active - usize::from(req.in_flight);
         if others == 0 {
+            return;
+        }
+        // Second fast exit: the occupancy counters say no transaction
+        // other than the requester tracks this line in a conflicting way.
+        // The counters overcount (they include doomed transactions), so a
+        // zero here is exact while a nonzero only licenses the full scan.
+        let li = line.0 as usize;
+        let writers = i32::from(self.line_writers.get(li).copied().unwrap_or(0));
+        let (own_r, own_w) = if req.in_flight {
+            (
+                i32::from(req.txn.read_lines.contains(line)),
+                i32::from(req.txn.write_lines.contains(line)),
+            )
+        } else {
+            (0, 0)
+        };
+        let possible = if is_write {
+            let readers = i32::from(self.line_readers.get(li).copied().unwrap_or(0));
+            readers > own_r || writers > own_w
+        } else {
+            writers > own_w
+        };
+        if !possible {
             return;
         }
         for i in 0..self.slots.len() {
             if i == requester.index() {
                 continue;
             }
-            let conflicts = match &self.slots[i] {
-                Some(txn) if txn.doom.is_none() => {
-                    if is_write {
-                        txn.read_lines.contains(&line) || txn.write_lines.contains(&line)
-                    } else {
-                        txn.write_lines.contains(&line)
-                    }
-                }
-                _ => false,
-            };
+            let slot = &self.slots[i];
+            let conflicts = slot.in_flight
+                && slot.txn.doom.is_none()
+                && if is_write {
+                    slot.txn.read_lines.contains(line) || slot.txn.write_lines.contains(line)
+                } else {
+                    slot.txn.write_lines.contains(line)
+                };
             if conflicts {
                 let victim = ThreadId(i as u32);
                 self.doom(victim, AbortStatus::CONFLICT | AbortStatus::RETRY);
-                if let Some(txn) = self.slots[i].as_mut() {
-                    txn.conflict_line.get_or_insert(line);
-                }
+                self.slots[i].txn.conflict_line.get_or_insert(line);
                 self.oracle.records.push(ConflictRecord {
                     requester,
                     victim,
@@ -501,9 +601,9 @@ impl HtmSystem {
     /// Marks `victim`'s transaction aborted and updates statistics. The
     /// first doom wins; later ones do not overwrite the status.
     fn doom(&mut self, victim: ThreadId, status: AbortStatus) {
-        let txn = self.slots[victim.index()]
-            .as_mut()
-            .expect("dooming a thread without a transaction");
+        let slot = &mut self.slots[victim.index()];
+        assert!(slot.in_flight, "dooming a thread without a transaction");
+        let txn = &mut slot.txn;
         if txn.doom.is_some() {
             return;
         }

@@ -229,6 +229,10 @@ pub struct Machine {
     barriers: Vec<BarrierState>,
     barrier_widths: Vec<u32>,
     steps: u64,
+    /// Set whenever any thread's [`TState`] changes, so the run loop
+    /// rebuilds its cached runnable list only then (most steps leave every
+    /// thread's state untouched).
+    states_dirty: bool,
 }
 
 impl Machine {
@@ -258,6 +262,7 @@ impl Machine {
                 .map(|b| p.barrier_width(BarrierId(b)))
                 .collect(),
             steps: 0,
+            states_dirty: true,
         }
     }
 
@@ -283,21 +288,26 @@ impl Machine {
             self.maybe_finish(ThreadId(t as u32), rt);
         }
         let mut runnable: Vec<ThreadId> = Vec::with_capacity(self.pcs.len());
+        let mut all_done = true;
+        self.states_dirty = true;
         loop {
-            runnable.clear();
-            let mut all_done = true;
-            for (i, s) in self.states.iter().enumerate() {
-                match s {
-                    TState::Runnable => {
-                        all_done = false;
-                        runnable.push(ThreadId(i as u32));
+            if self.states_dirty {
+                self.states_dirty = false;
+                runnable.clear();
+                all_done = true;
+                for (i, s) in self.states.iter().enumerate() {
+                    match s {
+                        TState::Runnable => {
+                            all_done = false;
+                            runnable.push(ThreadId(i as u32));
+                        }
+                        TState::Done => {}
+                        // A parked thread whose spawn never executed is a
+                        // thread that was never created — it does not block
+                        // completion (joining it, however, still deadlocks).
+                        TState::Parked => {}
+                        _ => all_done = false,
                     }
-                    TState::Done => {}
-                    // A parked thread whose spawn never executed is a
-                    // thread that was never created — it does not block
-                    // completion (joining it, however, still deadlocks).
-                    TState::Parked => {}
-                    _ => all_done = false,
                 }
             }
             if runnable.is_empty() {
@@ -385,14 +395,17 @@ impl Machine {
         match op {
             Op::Lock(l) if self.locks[l.index()].is_some() => {
                 self.states[ti] = TState::BlockedLock(l);
+                self.states_dirty = true;
                 return Ok(());
             }
             Op::Wait(c) if self.sems[c.index()] == 0 => {
                 self.states[ti] = TState::BlockedWait(c);
+                self.states_dirty = true;
                 return Ok(());
             }
             Op::Join(u) if self.states[u.index()] != TState::Done => {
                 self.states[ti] = TState::BlockedJoin(u);
+                self.states_dirty = true;
                 return Ok(());
             }
             _ => {}
@@ -504,12 +517,14 @@ impl Machine {
         }
         if let Some(u) = spawned {
             self.states[u.index()] = TState::Runnable;
+            self.states_dirty = true;
             self.maybe_finish(u, rt); // spawned thread may have an empty program
         }
         if let Some(l) = wake_lock {
             for s in self.states.iter_mut() {
                 if *s == TState::BlockedLock(l) {
                     *s = TState::Runnable;
+                    self.states_dirty = true;
                 }
             }
         }
@@ -517,6 +532,7 @@ impl Machine {
             for s in self.states.iter_mut() {
                 if *s == TState::BlockedWait(c) {
                     *s = TState::Runnable;
+                    self.states_dirty = true;
                 }
             }
         }
@@ -528,6 +544,7 @@ impl Machine {
                 if u != t {
                     debug_assert_eq!(self.states[u.index()], TState::BlockedBarrier(b));
                     self.states[u.index()] = TState::Runnable;
+                    self.states_dirty = true;
                     self.pcs[u.index()] += 1;
                     self.maybe_finish(u, rt);
                 }
@@ -536,6 +553,7 @@ impl Machine {
         } else if !advance {
             if let Op::Barrier(b) = op {
                 self.states[ti] = TState::BlockedBarrier(b);
+                self.states_dirty = true;
             }
             return Ok(());
         }
@@ -552,6 +570,7 @@ impl Machine {
             && self.pcs[ti] >= self.flat.threads[ti].code.len()
         {
             self.states[ti] = TState::Done;
+            self.states_dirty = true;
             for s in self.states.iter_mut() {
                 if *s == TState::BlockedJoin(t) {
                     *s = TState::Runnable;

@@ -1,0 +1,254 @@
+//! Dense interning of a program's identifier spaces, computed once at
+//! program-load time (alongside flattening) so the per-access hot paths
+//! downstream can use flat array indexing instead of hashing.
+//!
+//! A program's addresses come from [`crate::addr::VarLayout`], which
+//! allocates compactly from line 16 upward (lines 0–15 are reserved for
+//! runtime internals such as the `TxFail` flag at `Addr(0)`). The
+//! address and cache-line spaces are therefore *already* nearly dense;
+//! this pass makes that an explicit contract: it enumerates every
+//! address a program can touch (including array footprints), assigns
+//! contiguous `u32` ids in address order, and exposes the capacity
+//! bounds that detector shadow tables, HTM line bitsets, and the
+//! simulated memory use to pre-size their flat tables.
+//!
+//! Sites, loops, locks, conditions, barriers, and threads are assigned
+//! dense ids by [`crate::ir::ProgramBuilder`] at construction time; the
+//! interner re-exports their counts so every index space needed by a
+//! detector is available from one place.
+
+use crate::addr::{Addr, CacheLine};
+use crate::densemap::AddrMap;
+use crate::ir::{Op, Program, Stmt};
+
+/// Number of low cache lines reserved for runtime-internal variables
+/// (the `TxFail` flag lives in line 0); always interned.
+pub const RESERVED_LINES: u64 = 16;
+
+/// Dense id spaces for one program. Build with [`Interner::of_program`].
+#[derive(Debug, Clone)]
+pub struct Interner {
+    /// Interned addresses in ascending order (`dense id -> Addr`).
+    addrs: Vec<Addr>,
+    /// Interned cache lines in ascending order (`dense id -> CacheLine`).
+    lines: Vec<CacheLine>,
+    /// Paged map `Addr -> dense id` (O(touched) space, not O(span)).
+    addr_map: AddrMap,
+    /// One past the highest interned raw address.
+    addr_span: usize,
+    /// Direct map `CacheLine.0 -> dense id + 1`.
+    line_map: Vec<u32>,
+    threads: u32,
+    sites: u32,
+    loops: u32,
+    locks: u32,
+    conds: u32,
+    barriers: u32,
+}
+
+impl Interner {
+    /// Enumerates every address `p` can access — static operands plus
+    /// each array op's footprint over its innermost loop's iterations —
+    /// and builds the dense id spaces.
+    pub fn of_program(p: &Program) -> Self {
+        let mut touched: Vec<Addr> = Vec::new();
+        // Reserved runtime lines are part of every program's space: the
+        // engine reads and writes the TxFail flag through the same HTM
+        // paths as program data.
+        for l in 0..RESERVED_LINES {
+            touched.push(CacheLine(l).base());
+        }
+        for t in 0..p.thread_count() {
+            collect(p.thread(crate::ids::ThreadId(t as u32)), 0, &mut touched);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let addr_span = touched.last().map_or(0, |a| a.0 as usize + 1);
+        let mut addr_map = AddrMap::new();
+        // Resolving in ascending address order assigns dense ids in
+        // address order, matching `addrs`.
+        for a in &touched {
+            addr_map.resolve(*a);
+        }
+
+        let mut lines: Vec<CacheLine> = touched.iter().map(|a| a.line()).collect();
+        lines.dedup();
+        let line_cap = lines.last().map_or(0, |l| l.0 as usize + 1);
+        let mut line_map = vec![0u32; line_cap];
+        for (i, l) in lines.iter().enumerate() {
+            line_map[l.0 as usize] = i as u32 + 1;
+        }
+
+        Interner {
+            addrs: touched,
+            lines,
+            addr_map,
+            addr_span,
+            line_map,
+            threads: p.thread_count() as u32,
+            sites: p.site_count(),
+            loops: p.loop_count(),
+            locks: p.lock_count(),
+            conds: p.cond_count(),
+            barriers: p.barrier_count(),
+        }
+    }
+
+    /// Number of distinct interned addresses.
+    pub fn addr_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Number of distinct interned cache lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// One past the highest interned raw address: the span a structure
+    /// covering the raw address space must handle.
+    pub fn addr_capacity(&self) -> usize {
+        self.addr_span
+    }
+
+    /// One past the highest interned raw line index: the size a bitset
+    /// or table indexed directly by `CacheLine.0` needs.
+    pub fn line_capacity(&self) -> usize {
+        self.line_map.len()
+    }
+
+    /// The dense id of `a`, or `None` if the program never accesses it.
+    #[inline]
+    pub fn addr_id(&self, a: Addr) -> Option<u32> {
+        self.addr_map.get(a)
+    }
+
+    /// The dense id of `l`, or `None` if no interned address maps to it.
+    #[inline]
+    pub fn line_id(&self, l: CacheLine) -> Option<u32> {
+        match self.line_map.get(l.0 as usize) {
+            Some(&v) if v != 0 => Some(v - 1),
+            _ => None,
+        }
+    }
+
+    /// The address with dense id `id` (ids are assigned in address order).
+    pub fn addr(&self, id: u32) -> Addr {
+        self.addrs[id as usize]
+    }
+
+    /// The cache line with dense id `id`.
+    pub fn line(&self, id: u32) -> CacheLine {
+        self.lines[id as usize]
+    }
+
+    /// Thread count (dense: `ThreadId(0..threads)`).
+    pub fn thread_count(&self) -> u32 {
+        self.threads
+    }
+
+    /// Site count (dense: `SiteId(0..sites)`).
+    pub fn site_count(&self) -> u32 {
+        self.sites
+    }
+
+    /// Loop count (dense: `LoopId(0..loops)`).
+    pub fn loop_count(&self) -> u32 {
+        self.loops
+    }
+
+    /// Lock count (dense: `LockId(0..locks)`).
+    pub fn lock_count(&self) -> u32 {
+        self.locks
+    }
+
+    /// Condition count (dense: `CondId(0..conds)`).
+    pub fn cond_count(&self) -> u32 {
+        self.conds
+    }
+
+    /// Barrier count (dense: `BarrierId(0..barriers)`).
+    pub fn barrier_count(&self) -> u32 {
+        self.barriers
+    }
+}
+
+/// Walks a statement list, recording every address each op can touch.
+/// `innermost_trips` is the trip count of the nearest enclosing loop
+/// (0 when outside any loop), which bounds the iteration index that
+/// array ops add to their base address.
+fn collect(stmts: &[Stmt], innermost_trips: u32, out: &mut Vec<Addr>) {
+    for s in stmts {
+        match s {
+            Stmt::Op { op, .. } => match *op {
+                Op::Read(a) | Op::Write(a, _) | Op::Rmw(a, _) => out.push(a),
+                Op::ReadArr { base, stride } | Op::WriteArr { base, stride, .. } => {
+                    // The executed index is `trips - remaining`, i.e.
+                    // 0..trips inside a loop and exactly 0 outside.
+                    for i in 0..innermost_trips.max(1) {
+                        out.push(base.offset(stride * u64::from(i)));
+                    }
+                }
+                _ => {}
+            },
+            Stmt::Loop { trips, body, .. } => collect(body, *trips, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    #[test]
+    fn interns_reserved_lines_and_static_operands() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.thread(0).write(x, 1).read(y);
+        b.thread(1).read(x);
+        let it = Interner::of_program(&b.build());
+        assert_eq!(it.line_id(Addr(0).line()), Some(0), "TxFail line");
+        let xid = it.addr_id(x).expect("x interned");
+        let yid = it.addr_id(y).expect("y interned");
+        assert!(xid < yid, "ids follow address order");
+        assert_eq!(it.addr(xid), x);
+        assert_eq!(it.addr_count(), RESERVED_LINES as usize + 2);
+        assert!(it.addr_id(Addr(0xdead_0000)).is_none());
+        assert_eq!(it.thread_count(), 2);
+    }
+
+    #[test]
+    fn array_footprint_covers_innermost_loop() {
+        let mut b = ProgramBuilder::new(2);
+        let arr = b.array("a", 16);
+        b.thread(0).loop_n(16, |tb| {
+            tb.read_arr(arr, 8);
+        });
+        b.thread(1).read(crate::addr::elem(arr, 0));
+        let it = Interner::of_program(&b.build());
+        for i in 0..16 {
+            assert!(
+                it.addr_id(crate::addr::elem(arr, i)).is_some(),
+                "element {i} interned"
+            );
+        }
+        assert!(it.addr_id(crate::addr::elem(arr, 16)).is_none());
+        // 16 elements * 8 bytes span exactly 2 lines.
+        assert_eq!(it.line_count(), RESERVED_LINES as usize + 2);
+    }
+
+    #[test]
+    fn capacities_cover_every_interned_id() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        b.thread(0).write(x, 1);
+        b.thread(1).read(x);
+        let it = Interner::of_program(&b.build());
+        assert_eq!(it.addr_capacity(), x.0 as usize + 1);
+        assert_eq!(it.line_capacity(), x.line().0 as usize + 1);
+        assert!(it.line_id(x.line()).is_some());
+        assert_eq!(it.line(it.line_id(x.line()).unwrap()), x.line());
+    }
+}

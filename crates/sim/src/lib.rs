@@ -40,10 +40,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod densemap;
 pub mod exec;
 pub mod explore;
 pub mod flat;
 pub mod ids;
+pub mod intern;
 pub mod ir;
 pub mod lint;
 pub mod mem;
@@ -52,12 +54,14 @@ pub mod summary;
 pub mod trace;
 
 pub use addr::{elem, Addr, CacheLine, VarLayout, LINE_BYTES};
+pub use densemap::AddrMap;
 pub use exec::{
     flat_iteration_index, innermost_iteration_index, Directive, LoopFrame, Machine, OpEvent,
     RunResult, RunStatus, Runtime, Snapshot, StepLimit,
 };
 pub use flat::{FlatProgram, FlatThread, Instr};
 pub use ids::{BarrierId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
+pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
 pub use mem::Memory;

@@ -1,16 +1,52 @@
 //! The simulated shared memory.
 
-use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::addr::Addr;
 
-/// A sparse, word-granular shared memory. Unwritten addresses read as 0.
+/// log2 of the words per page.
+const PAGE_BITS: usize = 12;
+/// Words covered by one page.
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// One 4096-word page: values plus a written bitset (distinguishing
+/// "never written" from "written 0").
+#[derive(Clone)]
+struct Page {
+    vals: [u64; PAGE_SIZE],
+    written: [u64; PAGE_SIZE / 64],
+}
+
+impl Page {
+    fn zeroed() -> Box<Self> {
+        Box::new(Page {
+            vals: [0; PAGE_SIZE],
+            written: [0; PAGE_SIZE / 64],
+        })
+    }
+
+    #[inline]
+    fn is_written(&self, off: usize) -> bool {
+        self.written[off / 64] & (1 << (off % 64)) != 0
+    }
+}
+
+/// A word-granular shared memory, paged so its footprint is proportional
+/// to the addresses actually touched rather than to the program's address
+/// span (arrays reserve footprints far larger than what short runs
+/// touch). Unwritten addresses read as 0.
 ///
-/// A `BTreeMap` keeps iteration deterministic so final-state comparisons
-/// between runs are reproducible.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A load is two array indexes — no hashing, no tree walk — and a store
+/// to an untouched region allocates one 33 KiB page. Equality and
+/// iteration consider only cells that were actually written, so two
+/// memories with different page layouts but the same written cells
+/// compare equal (as with the earlier map representations).
+#[derive(Clone, Default)]
 pub struct Memory {
-    cells: BTreeMap<Addr, u64>,
+    /// `pages[a >> PAGE_BITS]`, allocated on first store into the page.
+    pages: Vec<Option<Box<Page>>>,
+    /// Number of distinct written cells.
+    count: usize,
 }
 
 impl Memory {
@@ -22,28 +58,65 @@ impl Memory {
     /// Loads the 8-byte word at `a` (0 if never written).
     #[inline]
     pub fn load(&self, a: Addr) -> u64 {
-        self.cells.get(&a).copied().unwrap_or(0)
+        let i = a.0 as usize;
+        match self.pages.get(i >> PAGE_BITS) {
+            Some(Some(page)) => page.vals[i & (PAGE_SIZE - 1)],
+            _ => 0,
+        }
     }
 
     /// Stores `v` into the 8-byte word at `a`.
     #[inline]
     pub fn store(&mut self, a: Addr, v: u64) {
-        self.cells.insert(a, v);
+        let i = a.0 as usize;
+        let p = i >> PAGE_BITS;
+        if p >= self.pages.len() {
+            self.pages.resize(p + 1, None);
+        }
+        let page = self.pages[p].get_or_insert_with(Page::zeroed);
+        let off = i & (PAGE_SIZE - 1);
+        page.vals[off] = v;
+        if !page.is_written(off) {
+            page.written[off / 64] |= 1 << (off % 64);
+            self.count += 1;
+        }
     }
 
     /// Iterates over every written cell in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
-        self.cells.iter().map(|(a, v)| (*a, *v))
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(p, page)| page.as_deref().map(|page| (p, page)))
+            .flat_map(|(p, page)| {
+                (0..PAGE_SIZE)
+                    .filter(move |&off| page.is_written(off))
+                    .map(move |off| (Addr(((p << PAGE_BITS) | off) as u64), page.vals[off]))
+            })
     }
 
     /// Number of distinct written cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.count
     }
 
     /// True if no cell was ever written.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.count == 0
+    }
+}
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Memory {}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -75,5 +148,38 @@ mod tests {
         m.store(Addr(64), 3);
         let order: Vec<u64> = m.iter().map(|(a, _)| a.0).collect();
         assert_eq!(order, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn iteration_crosses_pages_in_order() {
+        let mut m = Memory::new();
+        let hi = Addr((3 * PAGE_SIZE + 5) as u64);
+        m.store(hi, 9);
+        m.store(Addr(16), 1);
+        let order: Vec<u64> = m.iter().map(|(a, _)| a.0).collect();
+        assert_eq!(order, vec![16, hi.0]);
+        assert_eq!(m.load(hi), 9);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.store(Addr(0x400), 1); // forces a large table
+        a.store(Addr(8), 5);
+        b.store(Addr(8), 5);
+        assert_ne!(a, b);
+        b.store(Addr(0x400), 1);
+        assert_eq!(a, b);
+        // A written zero is distinct from an unwritten cell.
+        a.store(Addr(16), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_prints_written_cells() {
+        let mut m = Memory::new();
+        m.store(Addr(8), 5);
+        assert_eq!(format!("{m:?}"), "{Addr(8): 5}");
     }
 }

@@ -258,11 +258,19 @@ impl Scheduler for FairSched {
                     counts[t.index()]
                 }
             };
-            let min = runnable
-                .iter()
-                .map(|&t| count_of(&self.counts, t))
-                .min()
-                .expect("runnable is nonempty");
+            // One pass computes both the minimum and the tie count; this
+            // runs on every pick, so it must not allocate or rescan.
+            let mut min = u64::MAX;
+            let mut ties = 0usize;
+            for &t in runnable {
+                let c = count_of(&self.counts, t);
+                if c < min {
+                    min = c;
+                    ties = 1;
+                } else if c == min {
+                    ties += 1;
+                }
+            }
             // Burst mode: stay on the current thread until it is `slack`
             // ahead of the least-run thread; then (and with slack 0) run
             // the least-run thread, ties broken randomly.
@@ -280,12 +288,15 @@ impl Scheduler for FairSched {
                     if self.slack > 0 {
                         self.burst_budget = self.rng.gen_range(1..=self.slack);
                     }
-                    let ties: Vec<ThreadId> = runnable
+                    // Tie-break uniformly without materializing the tie
+                    // list: draw an index, then find it.
+                    let k = self.rng.gen_range(0..ties);
+                    runnable
                         .iter()
                         .copied()
                         .filter(|&t| count_of(&self.counts, t) == min)
-                        .collect();
-                    ties[self.rng.gen_range(0..ties.len())]
+                        .nth(k)
+                        .expect("k < tie count")
                 }
             }
         };

@@ -29,8 +29,8 @@ use txrace_hb::{FastTrack, RaceSet, ShadowMode};
 use txrace_htm::{AbortReason, AbortStatus, HtmConfig, HtmStats, HtmSystem, XbeginError};
 use txrace_sim::CacheLine;
 use txrace_sim::{
-    Addr, BarrierId, Directive, LoopId, Memory, Op, OpEvent, RegionId, Runtime, SiteId, Snapshot,
-    ThreadId,
+    Addr, BarrierId, Directive, Interner, LoopId, Memory, Op, OpEvent, RegionId, Runtime, SiteId,
+    Snapshot, ThreadId,
 };
 
 use crate::cost::{CostModel, CycleBreakdown};
@@ -196,12 +196,25 @@ pub struct TxRaceEngine {
 
 impl TxRaceEngine {
     /// Builds an engine for one run of `ip`.
+    ///
+    /// All per-access state downstream is a flat table indexed by a dense
+    /// id (raw address, cache line, site, loop, thread). The interner
+    /// enumerates the program's id spaces once here, at load time, and
+    /// pre-sizes every table, so the per-access dispatch below does zero
+    /// hashing and zero growth.
     pub fn new(ip: &InstrumentedProgram, cfg: EngineConfig) -> Self {
         let n = ip.program.thread_count();
+        let interner = Interner::of_program(&ip.program);
+        let mut htm = HtmSystem::new(cfg.htm, n);
+        htm.reserve_capacity(interner.addr_capacity(), interner.line_capacity());
+        let mut ft = FastTrack::new(n, cfg.shadow);
+        ft.reserve_addrs(interner.addr_capacity());
+        let mut loopcut = LoopcutState::new(cfg.loopcut, n, cfg.profile.as_ref());
+        loopcut.reserve_loops(interner.loop_count() as usize);
         TxRaceEngine {
             regions: ip.regions.clone(),
-            htm: HtmSystem::new(cfg.htm, n),
-            ft: FastTrack::new(n, cfg.shadow),
+            htm,
+            ft,
             eff_check: cfg.cost.effective_tsan_check(cfg.shadow_factor),
             cost: cfg.cost,
             breakdown: CycleBreakdown::default(),
@@ -213,7 +226,7 @@ impl TxRaceEngine {
             txfail_seen: vec![0; n],
             txfail_value: 0,
             max_retries: cfg.max_retries,
-            loopcut: LoopcutState::new(cfg.loopcut, n, cfg.profile.as_ref()),
+            loopcut,
             last_cut_loop: vec![None; n],
             track_fast_sync: cfg.track_fast_sync,
             conflict_hints: cfg.conflict_hints,

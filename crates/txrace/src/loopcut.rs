@@ -17,8 +17,10 @@
 //!   the same online adjustment.
 //! * **NoOpt** disables cutting: every capacity abort falls back to the
 //!   slow path (the paper's baseline scheme).
-
-use std::collections::HashMap;
+//!
+//! Loop ids are dense (`LoopId(0..loop_count)`, assigned at program build
+//! time), so all per-loop state lives in flat vectors indexed by the raw
+//! id — the probe on the transactional fast path does no hashing.
 
 use txrace_sim::{LoopId, ThreadId};
 
@@ -38,8 +40,26 @@ pub enum LoopcutMode {
 /// [`LoopcutMode::Prof`].
 #[derive(Debug, Clone, Default)]
 pub struct LoopcutProfile {
-    /// Largest committing trip count observed per loop.
-    pub thresholds: HashMap<LoopId, u32>,
+    /// Largest committing trip count observed per loop, in `LoopId` order.
+    pub thresholds: Vec<(LoopId, u32)>,
+}
+
+impl LoopcutProfile {
+    /// The profiled threshold for `l`, if any.
+    pub fn get(&self, l: LoopId) -> Option<u32> {
+        self.thresholds
+            .iter()
+            .find(|&&(pl, _)| pl == l)
+            .map(|&(_, t)| t)
+    }
+
+    /// Sets the threshold for `l`, replacing any existing entry.
+    pub fn set(&mut self, l: LoopId, threshold: u32) {
+        match self.thresholds.iter_mut().find(|(pl, _)| *pl == l) {
+            Some(entry) => entry.1 = threshold,
+            None => self.thresholds.push((l, threshold)),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -52,12 +72,16 @@ struct Learn {
 }
 
 /// Runtime loop-cut state: per-loop thresholds plus per-thread iteration
-/// counters for the current transaction.
+/// counters for the current transaction, all indexed by the raw dense
+/// `LoopId`.
 #[derive(Debug)]
 pub struct LoopcutState {
     mode: LoopcutMode,
-    thresholds: HashMap<LoopId, Learn>,
-    counters: Vec<HashMap<LoopId, u32>>,
+    /// `thresholds[l]` is `Some` once loop `l` became a cut candidate.
+    thresholds: Vec<Option<Learn>>,
+    /// `counters[thread][l]`: iterations of loop `l` inside the thread's
+    /// current transaction.
+    counters: Vec<Vec<u32>>,
     cuts: u64,
 }
 
@@ -69,32 +93,46 @@ impl LoopcutState {
     /// Creates loop-cut state for `threads` threads. `profile` seeds
     /// thresholds and is only meaningful in [`LoopcutMode::Prof`].
     pub fn new(mode: LoopcutMode, threads: usize, profile: Option<&LoopcutProfile>) -> Self {
-        let thresholds = match (mode, profile) {
-            (LoopcutMode::Prof, Some(p)) => p
-                .thresholds
-                .iter()
-                .map(|(&l, &t)| {
-                    // A profiled threshold is trusted as the stable value:
-                    // cap growth right above it so the very first capacity
-                    // abort is avoided (mis-profiling still self-repairs
-                    // through the abort path).
-                    (
-                        l,
-                        Learn {
-                            threshold: t,
-                            cap: Some(t + 1),
-                        },
-                    )
-                })
-                .collect(),
-            _ => HashMap::new(),
-        };
-        LoopcutState {
+        let mut state = LoopcutState {
             mode,
-            thresholds,
-            counters: vec![HashMap::new(); threads],
+            thresholds: Vec::new(),
+            counters: vec![Vec::new(); threads],
             cuts: 0,
+        };
+        if let (LoopcutMode::Prof, Some(p)) = (mode, profile) {
+            for &(l, t) in &p.thresholds {
+                // A profiled threshold is trusted as the stable value: cap
+                // growth right above it so the very first capacity abort
+                // is avoided (mis-profiling still self-repairs through the
+                // abort path).
+                *state.slot(l) = Some(Learn {
+                    threshold: t,
+                    cap: Some(t + 1),
+                });
+            }
         }
+        state
+    }
+
+    /// Pre-sizes the per-loop tables for a program with `loops` loops so
+    /// the probe path never grows them.
+    pub fn reserve_loops(&mut self, loops: usize) {
+        if self.thresholds.len() < loops {
+            self.thresholds.resize(loops, None);
+        }
+        for c in &mut self.counters {
+            if c.len() < loops {
+                c.resize(loops, 0);
+            }
+        }
+    }
+
+    fn slot(&mut self, l: LoopId) -> &mut Option<Learn> {
+        let i = l.index();
+        if i >= self.thresholds.len() {
+            self.thresholds.resize(i + 1, None);
+        }
+        &mut self.thresholds[i]
     }
 
     /// Number of transactions split so far.
@@ -102,11 +140,13 @@ impl LoopcutState {
         self.cuts
     }
 
-    /// Current per-loop thresholds (what a profiling run exports).
-    pub fn thresholds(&self) -> HashMap<LoopId, u32> {
+    /// Current per-loop thresholds in `LoopId` order (what a profiling
+    /// run exports).
+    pub fn thresholds(&self) -> Vec<(LoopId, u32)> {
         self.thresholds
             .iter()
-            .map(|(&l, &v)| (l, v.threshold))
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|learn| (LoopId(i as u32), learn.threshold)))
             .collect()
     }
 
@@ -120,7 +160,7 @@ impl LoopcutState {
     /// Resets thread `t`'s iteration counters; call at transaction start
     /// (counters track iterations *within the current transaction*).
     pub fn on_txn_start(&mut self, t: ThreadId) {
-        self.counters[t.index()].clear();
+        self.counters[t.index()].fill(0);
     }
 
     /// Records one pass of thread `t` over loop `l`'s probe. Returns true
@@ -130,13 +170,17 @@ impl LoopcutState {
         if self.mode == LoopcutMode::NoOpt {
             return false;
         }
-        let Some(&Learn { threshold, .. }) = self.thresholds.get(&l) else {
+        let Some(Learn { threshold, .. }) = self.thresholds.get(l.index()).copied().flatten()
+        else {
             return false; // not (yet) a loop-cut candidate
         };
-        let c = self.counters[t.index()].entry(l).or_insert(0);
-        *c += 1;
-        if *c >= threshold {
-            self.counters[t.index()].clear();
+        let counters = &mut self.counters[t.index()];
+        if counters.len() <= l.index() {
+            counters.resize(l.index() + 1, 0);
+        }
+        counters[l.index()] += 1;
+        if counters[l.index()] >= threshold {
+            counters.fill(0);
             self.cuts += 1;
             true
         } else {
@@ -151,22 +195,25 @@ impl LoopcutState {
             return;
         }
         let Some(l) = l else { return };
-        self.thresholds
-            .entry(l)
-            .and_modify(|v| {
+        let slot = self.slot(l);
+        match slot {
+            Some(v) => {
                 v.cap = Some(v.cap.map_or(v.threshold, |c| c.min(v.threshold)));
                 v.threshold = (v.threshold - 1).max(1);
-            })
-            .or_insert(Learn {
-                threshold: INITIAL_THRESHOLD,
-                cap: None,
-            });
+            }
+            None => {
+                *slot = Some(Learn {
+                    threshold: INITIAL_THRESHOLD,
+                    cap: None,
+                });
+            }
+        }
     }
 
     /// A transaction cut at loop `l` committed: grow the threshold, but
     /// never to a value known to overflow.
     pub fn on_cut_commit(&mut self, l: LoopId) {
-        if let Some(v) = self.thresholds.get_mut(&l) {
+        if let Some(Some(v)) = self.thresholds.get_mut(l.index()) {
             if v.cap.is_none_or(|c| v.threshold + 1 < c) {
                 v.threshold += 1;
             }
@@ -180,6 +227,10 @@ mod tests {
 
     const T0: ThreadId = ThreadId(0);
     const L: LoopId = LoopId(3);
+
+    fn threshold_of(s: &LoopcutState, l: LoopId) -> u32 {
+        s.to_profile().get(l).expect("loop has a threshold")
+    }
 
     #[test]
     fn noopt_never_cuts() {
@@ -196,7 +247,7 @@ mod tests {
         let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
         assert!(!s.probe(T0, L), "inactive before any capacity abort");
         s.on_capacity_abort(Some(L));
-        assert_eq!(s.thresholds()[&L], INITIAL_THRESHOLD);
+        assert_eq!(threshold_of(&s, L), INITIAL_THRESHOLD);
         assert!(!s.probe(T0, L)); // 1 < 2
         assert!(s.probe(T0, L)); // 2 >= 2: cut
         assert_eq!(s.cuts(), 1);
@@ -208,9 +259,9 @@ mod tests {
         s.on_capacity_abort(Some(L));
         s.on_cut_commit(L);
         s.on_cut_commit(L);
-        assert_eq!(s.thresholds()[&L], 4);
+        assert_eq!(threshold_of(&s, L), 4);
         s.on_capacity_abort(Some(L));
-        assert_eq!(s.thresholds()[&L], 3);
+        assert_eq!(threshold_of(&s, L), 3);
     }
 
     #[test]
@@ -220,14 +271,14 @@ mod tests {
         for _ in 0..10 {
             s.on_capacity_abort(Some(L));
         }
-        assert_eq!(s.thresholds()[&L], 1);
+        assert_eq!(threshold_of(&s, L), 1);
         assert!(s.probe(T0, L), "threshold 1 cuts every iteration");
     }
 
     #[test]
     fn prof_seeds_thresholds() {
         let mut profile = LoopcutProfile::default();
-        profile.thresholds.insert(L, 10);
+        profile.set(L, 10);
         let mut s = LoopcutState::new(LoopcutMode::Prof, 1, Some(&profile));
         for _ in 0..9 {
             assert!(!s.probe(T0, L));
@@ -238,7 +289,7 @@ mod tests {
     #[test]
     fn dyn_ignores_profile() {
         let mut profile = LoopcutProfile::default();
-        profile.thresholds.insert(L, 10);
+        profile.set(L, 10);
         let s = LoopcutState::new(LoopcutMode::Dyn, 1, Some(&profile));
         assert!(s.thresholds().is_empty());
     }
@@ -274,6 +325,23 @@ mod tests {
         s.on_capacity_abort(Some(L));
         s.on_cut_commit(L);
         let p = s.to_profile();
-        assert_eq!(p.thresholds[&L], 3);
+        assert_eq!(p.get(L), Some(3));
+    }
+
+    #[test]
+    fn profile_set_replaces_existing_entry() {
+        let mut p = LoopcutProfile::default();
+        p.set(L, 4);
+        p.set(L, 9);
+        assert_eq!(p.thresholds.len(), 1);
+        assert_eq!(p.get(L), Some(9));
+    }
+
+    #[test]
+    fn reserve_loops_presizes_without_activating() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.reserve_loops(8);
+        assert!(s.thresholds().is_empty());
+        assert!(!s.probe(T0, L));
     }
 }

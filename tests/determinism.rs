@@ -1,0 +1,62 @@
+//! Determinism regression suite (DESIGN.md invariant 8): the same
+//! program + seed must produce an *identical* `RunOutcome` — race set,
+//! transaction statistics, cycle breakdown, final memory — on every run.
+//!
+//! The dense-table refactor moves shadow state out of hash maps; nothing
+//! about iteration order, eviction choices, or scheduling may change as
+//! a side effect. Outcomes are compared through their full `Debug`
+//! rendering, which covers every field at once.
+
+use proptest::prelude::*;
+use txrace::{Detector, RunConfig, RunOutcome, Scheme};
+use txrace_workloads::{all_workloads, random_program, GenConfig};
+
+fn outcome_fingerprint(out: &RunOutcome) -> String {
+    assert!(out.completed());
+    format!("{out:?}")
+}
+
+/// Every shipped workload, both detectors, two seeds: run twice, compare
+/// everything.
+#[test]
+fn shipped_workloads_are_deterministic() {
+    for w in all_workloads(4) {
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            for seed in [7, 42] {
+                let a = Detector::new(w.config(scheme.clone(), seed)).run(&w.program);
+                let b = Detector::new(w.config(scheme.clone(), seed)).run(&w.program);
+                assert_eq!(
+                    outcome_fingerprint(&a),
+                    outcome_fingerprint(&b),
+                    "{} ({scheme:?}, seed {seed}): outcome changed between runs",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated programs nobody hand-tuned: same seed, same outcome.
+    #[test]
+    fn generated_programs_are_deterministic(
+        gen_seed in 0u64..400,
+        sched_seed in 0u64..40,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        for scheme in [Scheme::Tsan, Scheme::txrace()] {
+            let cfg = RunConfig::new(scheme, sched_seed);
+            let a = Detector::new(cfg.clone()).run(&p);
+            let b = Detector::new(cfg.clone()).run(&p);
+            prop_assert_eq!(
+                outcome_fingerprint(&a),
+                outcome_fingerprint(&b),
+                "gen_seed {} sched_seed {}: outcome changed between runs",
+                gen_seed,
+                sched_seed
+            );
+        }
+    }
+}
