@@ -8,13 +8,16 @@
 //! * **TxRace** — complete, almost as effective as HB detection, and far
 //!   cheaper.
 //!
+//! Each workload is executed once and recorded; the lockset and TSan
+//! columns are produced by replaying that single trace, so both detectors
+//! judge the *same* interleaving.
+//!
 //! ```text
 //! cargo run --release -p txrace-bench --bin baselines [workers] [seed]
 //! ```
 
-use txrace::{CostModel, LocksetRuntime, SchedKind, Scheme};
-use txrace_bench::{fmt_x, run_scheme, Table};
-use txrace_sim::{FairSched, Machine};
+use txrace::{CostModel, LocksetConsumer, Scheme};
+use txrace_bench::{fmt_x, record_workload, replay_scheme, run_scheme, Table};
 use txrace_workloads::all_workloads;
 
 fn main() {
@@ -33,24 +36,16 @@ fn main() {
         "TxRace ovh",
     ]);
     for w in all_workloads(workers) {
-        let tsan = run_scheme(&w, Scheme::Tsan, seed);
+        // Record the workload ONCE; TSan and lockset both replay the same
+        // trace, so their reports disagree only where the detection
+        // algorithms do — never because of interleaving luck. TxRace
+        // steers execution and still runs live.
+        let log = record_workload(&w, seed);
+        let tsan = replay_scheme(&w, &log, Scheme::Tsan, seed);
         let tx = run_scheme(&w, Scheme::txrace(), seed);
 
-        // Drive the lockset runtime directly over the uninstrumented
-        // program with a matching scheduler.
-        let mut ls = LocksetRuntime::new(w.program.thread_count(), CostModel::default());
-        let mut m = Machine::new(&w.program);
-        let (jitter, slack) = match w.sched {
-            SchedKind::Fair { jitter, slack } => (jitter, slack),
-            _ => (0.1, 0),
-        };
-        let mut sched = FairSched::new(seed, jitter).with_slack(slack);
-        let run = m.run(&mut ls, &mut sched);
-        assert!(
-            matches!(run.status, txrace_sim::RunStatus::Done),
-            "{}",
-            w.name
-        );
+        let mut ls = LocksetConsumer::new(w.program.thread_count(), CostModel::default());
+        log.replay(&mut ls);
         let base = CostModel::default().baseline_cycles(&w.program);
         let ls_ovh = ls.breakdown().overhead_vs(base);
 

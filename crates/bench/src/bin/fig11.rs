@@ -8,7 +8,7 @@
 //! ```
 
 use txrace::{recall, Scheme};
-use txrace_bench::{map_cells, pool_width, run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_scheme, Table};
 use txrace_workloads::all_workloads;
 
 const RACY_APPS: &[&str] = &[
@@ -30,12 +30,15 @@ fn main() {
 
     println!("TxRace reproduction — Figure 11: cost-effectiveness vs sampling (workers={workers}, seed={seed})\n");
     let mut t = Table::new(&["application", "TSan+10%", "TSan+50%", "TSan+100%", "TxRace"]);
-    // One pool cell per racy app; each cell runs its four configurations
-    // (which share the app's TSan truth run) and returns a finished row.
+    // One pool cell per racy app. Each cell records its app ONCE and
+    // replays the trace for the truth run and every sampling rate —
+    // execution happens a single time per app; only TxRace (an active
+    // engine that steers execution) still runs live.
     let mut apps = all_workloads(workers);
     apps.retain(|w| RACY_APPS.contains(&w.name));
     let rows = map_cells(pool_width(), &apps, |_, w| {
-        let truth = run_scheme(w, Scheme::Tsan, seed);
+        let log = record_workload(w, seed);
+        let truth = replay_scheme(w, &log, Scheme::Tsan, seed);
         let base_extra = (truth.overhead - 1.0).max(1e-9);
         let ce = |overhead: f64, rec: f64| -> f64 {
             let norm = ((overhead - 1.0).max(0.0) / base_extra).max(1e-3);
@@ -43,7 +46,7 @@ fn main() {
         };
         let mut cells = vec![w.name.to_string()];
         for rate in [0.1, 0.5] {
-            let out = run_scheme(w, Scheme::TsanSampling { rate }, seed);
+            let out = replay_scheme(w, &log, Scheme::TsanSampling { rate }, seed);
             let r = recall(&out.races, &truth.races);
             cells.push(format!("{:.2}", ce(out.overhead, r)));
         }

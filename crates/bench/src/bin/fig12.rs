@@ -8,7 +8,7 @@
 //! ```
 
 use txrace::Scheme;
-use txrace_bench::{map_cells, pool_width, run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_scheme, Table};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -19,15 +19,19 @@ fn main() {
     println!("TxRace reproduction — Figure 12: bodytrack overhead vs sampling rate (workers={workers}, seed={seed})\n");
     let w = by_name("bodytrack", workers).expect("bodytrack exists");
 
-    // The whole sweep — full TSan reference, the eleven sampling rates,
-    // and TxRace — is one batch of independent pool cells.
+    // Record bodytrack ONCE; the whole sweep — full TSan reference plus
+    // the eleven sampling rates — replays that single trace as one batch
+    // of independent pool cells. Only TxRace re-executes (it steers the
+    // run, so it cannot consume a fixed trace).
+    let log = record_workload(&w, seed);
     let mut schemes = vec![Scheme::Tsan];
     schemes.extend((0..=100).step_by(10).map(|pct| Scheme::TsanSampling {
         rate: pct as f64 / 100.0,
     }));
     schemes.push(Scheme::txrace());
-    let outs = map_cells(pool_width(), &schemes, |_, s| {
-        run_scheme(&w, s.clone(), seed)
+    let outs = map_cells(pool_width(), &schemes, |_, s| match s {
+        Scheme::TxRace(_) => run_scheme(&w, s.clone(), seed),
+        _ => replay_scheme(&w, &log, s.clone(), seed),
     });
     let full = &outs[0];
     let full_extra = (full.overhead - 1.0).max(1e-9);

@@ -13,7 +13,7 @@
 //! probabilistic).
 
 use txrace::{recall, Scheme};
-use txrace_bench::{map_cells, pool_width, run_scheme, Table};
+use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_scheme, Table};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -24,12 +24,15 @@ fn main() {
     println!("TxRace reproduction — Figure 13: bodytrack recall vs sampling rate (workers={workers}, {nseeds} seeds)\n");
     let w = by_name("bodytrack", workers).expect("bodytrack exists");
 
-    // Phase 1: the per-seed TSan truth runs (shared by every rate below
-    // and by the TxRace comparison, so they are computed exactly once).
+    // Phase 1: record the program ONCE per seed. Every sampling rate and
+    // the TSan truth below replay these traces instead of re-executing.
     let seeds: Vec<u64> = (0..nseeds).collect();
-    let truths = map_cells(pool_width(), &seeds, |_, &seed| {
-        run_scheme(&w, Scheme::Tsan, seed)
-    });
+    let logs = map_cells(pool_width(), &seeds, |_, &seed| record_workload(&w, seed));
+    let truths: Vec<_> = seeds
+        .iter()
+        .zip(&logs)
+        .map(|(&seed, log)| replay_scheme(&w, log, Scheme::Tsan, seed))
+        .collect();
 
     // Phase 2: every (rate, seed) cell plus the (TxRace, seed) cells, all
     // independent; recall is computed against the phase-1 truths.
@@ -54,7 +57,10 @@ fn main() {
             .map(|(si, _)| (Scheme::txrace(), si)),
     );
     let recalls = map_cells(pool_width(), &grid, |_, (scheme, si)| {
-        let out = run_scheme(&w, scheme.clone(), seeds[*si]);
+        let out = match scheme {
+            Scheme::TxRace(_) => run_scheme(&w, scheme.clone(), seeds[*si]),
+            _ => replay_scheme(&w, &logs[*si], scheme.clone(), seeds[*si]),
+        };
         recall(&out.races, &truths[*si].races)
     });
 

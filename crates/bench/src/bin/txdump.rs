@@ -1,0 +1,173 @@
+//! Records a workload into an event trace and pretty-prints it — the
+//! debugging companion of the record/replay pipeline. What this prints is
+//! exactly the stream every pure-observer detector consumes, so a
+//! surprising race report can be traced event by event.
+//!
+//! ```text
+//! txdump <app> [--seed <n>] [--workers <n>] [--thread <t>]
+//!              [--kind <k>[,<k>...]] [--head <n>] [--summary]
+//! ```
+//!
+//! Kinds: `read write rmw acquire release signal wait spawn join
+//! barrier-arrive barrier-release thread-done compute syscall`.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p txrace-bench --bin txdump -- bodytrack --summary
+//! cargo run --release -p txrace-bench --bin txdump -- vips --thread 1 --kind read,write --head 40
+//! ```
+
+use txrace::{Detector, Scheme};
+use txrace_sim::{TraceEvent, TraceEventKind};
+use txrace_workloads::by_name;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  txdump <app> [--seed <n>] [--workers <n>] [--thread <t>] \
+         [--kind <k>[,<k>...]] [--head <n>] [--summary]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_kind(s: &str) -> TraceEventKind {
+    match s {
+        "read" => TraceEventKind::Read,
+        "write" => TraceEventKind::Write,
+        "rmw" => TraceEventKind::Rmw,
+        "acquire" => TraceEventKind::Acquire,
+        "release" => TraceEventKind::Release,
+        "signal" => TraceEventKind::Signal,
+        "wait" => TraceEventKind::Wait,
+        "spawn" => TraceEventKind::Spawn,
+        "join" => TraceEventKind::Join,
+        "barrier-arrive" => TraceEventKind::BarrierArrive,
+        "barrier-release" => TraceEventKind::BarrierRelease,
+        "thread-done" => TraceEventKind::ThreadDone,
+        "compute" => TraceEventKind::Compute,
+        "syscall" => TraceEventKind::Syscall,
+        _ => usage(),
+    }
+}
+
+fn kind_name(k: TraceEventKind) -> &'static str {
+    match k {
+        TraceEventKind::Read => "read",
+        TraceEventKind::Write => "write",
+        TraceEventKind::Rmw => "rmw",
+        TraceEventKind::Acquire => "acquire",
+        TraceEventKind::Release => "release",
+        TraceEventKind::Signal => "signal",
+        TraceEventKind::Wait => "wait",
+        TraceEventKind::Spawn => "spawn",
+        TraceEventKind::Join => "join",
+        TraceEventKind::BarrierArrive => "barrier-arrive",
+        TraceEventKind::BarrierRelease => "barrier-release",
+        TraceEventKind::ThreadDone => "thread-done",
+        TraceEventKind::Compute => "compute",
+        TraceEventKind::Syscall => "syscall",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(app) = args.first() else { usage() };
+    let mut seed = 42u64;
+    let mut workers = 4usize;
+    let mut thread: Option<u32> = None;
+    let mut kinds: Option<Vec<TraceEventKind>> = None;
+    let mut head: Option<usize> = None;
+    let mut summary = false;
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--seed" => seed = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--thread" => thread = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--kind" => kinds = Some(val(&mut it).split(',').map(parse_kind).collect()),
+            "--head" => head = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--summary" => summary = true,
+            _ => usage(),
+        }
+    }
+
+    let Some(w) = by_name(app, workers) else {
+        eprintln!("unknown app {app:?}; try `txrace-cli list`");
+        std::process::exit(2);
+    };
+    let log = Detector::new(w.config(Scheme::Tsan, seed)).record(&w.program);
+
+    let census = log.census();
+    println!(
+        "{app} (seed {seed}, {workers} workers): {:?} in {} steps",
+        log.result().status,
+        log.result().steps
+    );
+    println!(
+        "trace: {} events over {} threads ({} mem accesses, {} sync ops, {} syscalls, {} compute units)",
+        log.len(),
+        log.thread_count(),
+        census.mem_accesses,
+        census.sync_ops,
+        census.syscalls,
+        census.compute_units,
+    );
+    if summary {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in log.events() {
+            *counts.entry(kind_name(e.kind)).or_insert(0u64) += 1;
+        }
+        println!("\nevents by kind:");
+        for (k, n) in counts {
+            println!("  {k:<16} {n}");
+        }
+        return;
+    }
+
+    let keep = |e: &TraceEvent| {
+        thread.is_none_or(|t| e.thread.0 == t)
+            && kinds.as_ref().is_none_or(|ks| ks.contains(&e.kind))
+    };
+    let mut printed = 0usize;
+    for (i, e) in log.events().iter().enumerate() {
+        if !keep(e) {
+            continue;
+        }
+        if head.is_some_and(|h| printed >= h) {
+            println!("  ... (truncated by --head)");
+            break;
+        }
+        printed += 1;
+        let label = w
+            .program
+            .label_of(e.site)
+            .map(|l| format!(" [{l}]"))
+            .unwrap_or_default();
+        match e.kind {
+            TraceEventKind::BarrierRelease => {
+                let (b, arrivals) = log.release_arrivals(e.arg);
+                println!(
+                    "  {i:>7}  {:<16} barrier {} releasing {} thread(s)",
+                    "barrier-release",
+                    b.0,
+                    arrivals.len()
+                );
+            }
+            TraceEventKind::ThreadDone => {
+                println!("  {i:>7}  {:<16} t{}", "thread-done", e.thread.0);
+            }
+            k => {
+                println!(
+                    "  {i:>7}  {:<16} t{} site {}{} arg {}",
+                    kind_name(k),
+                    e.thread.0,
+                    e.site.0,
+                    label,
+                    e.arg
+                );
+            }
+        }
+    }
+}

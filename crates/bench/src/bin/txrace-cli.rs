@@ -15,8 +15,7 @@
 //! cargo run --release -p txrace-bench --bin txrace-cli -- run bodytrack --scheme tsan
 //! ```
 
-use txrace::{CostModel, Detector, LocksetRuntime, LoopcutMode, SchedKind, Scheme, TxRaceOpts};
-use txrace_sim::{FairSched, Machine};
+use txrace::{CostModel, Detector, LocksetConsumer, LoopcutMode, Scheme, TxRaceOpts};
 use txrace_workloads::{all_workloads, by_name};
 
 fn usage() -> ! {
@@ -84,17 +83,14 @@ fn run_command(args: &[String]) {
     };
 
     if scheme == "lockset" {
-        let mut ls = LocksetRuntime::new(w.program.thread_count(), CostModel::default());
-        let mut m = Machine::new(&w.program);
-        let (jitter, slack) = match w.sched {
-            SchedKind::Fair { jitter, slack } => (jitter, slack),
-            _ => (0.1, 0),
-        };
-        let mut sched = FairSched::new(seed, jitter).with_slack(slack);
-        let r = m.run(&mut ls, &mut sched);
+        // Record under the workload's own scheduler, then replay the
+        // trace through the lockset consumer.
+        let log = Detector::new(w.config(Scheme::Tsan, seed)).record(&w.program);
+        let mut ls = LocksetConsumer::new(w.program.thread_count(), CostModel::default());
+        log.replay(&mut ls);
         println!(
             "{app} (lockset, seed {seed}, {workers} workers): {:?}",
-            r.status
+            log.result().status
         );
         println!("lockset violations: {}", ls.reports().len());
         if verbose {

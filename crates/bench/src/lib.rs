@@ -14,4 +14,6 @@ pub mod runner;
 
 pub use pool::{map_cells, pool_width};
 pub use report::{fmt_x, geomean, json_rows, JsonValue, Table};
-pub use runner::{evaluate_app, run_scheme, AppResult, EvalOptions};
+pub use runner::{
+    evaluate_app, record_workload, replay_scheme, run_scheme, AppResult, EvalOptions,
+};

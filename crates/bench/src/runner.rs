@@ -1,6 +1,7 @@
 //! The per-app evaluation driver shared by all table/figure binaries.
 
 use txrace::{recall, Detector, LoopcutMode, RunOutcome, Scheme, TxRaceOpts};
+use txrace_sim::EventLog;
 use txrace_workloads::Workload;
 
 /// Options for one app evaluation.
@@ -80,6 +81,29 @@ pub fn run_scheme(w: &Workload, scheme: Scheme, seed: u64) -> RunOutcome {
     out
 }
 
+/// Records `w` once at `seed` into a replayable trace. Scheduling depends
+/// only on the workload's scheduler policy and the seed — never on the
+/// detection scheme — so one recording serves every pure-observer scheme
+/// (TSan, all sampling rates, lockset) via [`replay_scheme`].
+pub fn record_workload(w: &Workload, seed: u64) -> EventLog {
+    Detector::new(w.config(Scheme::Tsan, seed)).record(&w.program)
+}
+
+/// Replays a recorded trace of `w` under `scheme`, producing the exact
+/// outcome a live [`run_scheme`] call with the same seed would.
+///
+/// # Panics
+///
+/// Panics if `scheme` is TxRace (an active engine cannot run from a fixed
+/// trace — use [`run_scheme`]) or if the recorded run did not complete.
+pub fn replay_scheme(w: &Workload, log: &EventLog, scheme: Scheme, seed: u64) -> RunOutcome {
+    let d = Detector::new(w.config(scheme, seed));
+    let consumer = d.consumer(&w.program);
+    let out = d.replay(log, consumer);
+    assert!(out.completed(), "{}: recorded run did not complete", w.name);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +117,21 @@ mod tests {
         assert!(r.recall >= 0.0 && r.recall <= 1.0);
         assert!(r.txrace.htm.is_some());
         assert!(r.tsan.htm.is_none());
+    }
+
+    #[test]
+    fn replayed_scheme_matches_live_run() {
+        let w = by_name("bodytrack", 2).unwrap();
+        let log = record_workload(&w, 7);
+        for scheme in [Scheme::Tsan, Scheme::TsanSampling { rate: 0.4 }] {
+            let live = run_scheme(&w, scheme.clone(), 7);
+            let replayed = replay_scheme(&w, &log, scheme, 7);
+            assert_eq!(live.races.reports(), replayed.races.reports());
+            assert_eq!(live.breakdown, replayed.breakdown);
+            assert_eq!(live.baseline_cycles, replayed.baseline_cycles);
+            assert_eq!(live.checks, replayed.checks);
+            assert_eq!(live.memory, replayed.memory);
+            assert_eq!(live.run, replayed.run);
+        }
     }
 }

@@ -396,6 +396,51 @@ impl FastTrack {
     }
 }
 
+/// FastTrack as a pure trace consumer: accesses are checked, sync events
+/// update the clocks, and — matching TSan — atomic RMWs are *not*
+/// checked (atomics are never data races under the C11 model). Driving a
+/// `FastTrack` through [`txrace_sim::Live`] live or through
+/// [`txrace_sim::EventLog::replay`] on a log of the same run produces the
+/// identical race set.
+impl txrace_sim::TraceConsumer for FastTrack {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        FastTrack::read(self, t, site, addr);
+    }
+
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        FastTrack::write(self, t, site, addr);
+    }
+
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_acquire(t, l);
+    }
+
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_release(t, l);
+    }
+
+    fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        FastTrack::signal(self, t, c);
+    }
+
+    fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        FastTrack::wait(self, t, c);
+    }
+
+    fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        FastTrack::spawn(self, t, child);
+    }
+
+    fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        FastTrack::join(self, t, child);
+    }
+
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
+        self.barrier(b, &threads);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,6 +148,28 @@ impl Lockset {
     }
 }
 
+/// Eraser as a pure trace consumer. The mapping preserves its defining
+/// blindness: only mutex events update the held sets — signal/wait,
+/// spawn/join, and barriers are ignored, which is exactly where its
+/// false positives come from.
+impl txrace_sim::TraceConsumer for Lockset {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        Lockset::read(self, t, site, addr);
+    }
+
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        Lockset::write(self, t, site, addr);
+    }
+
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_acquire(t, l);
+    }
+
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_release(t, l);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

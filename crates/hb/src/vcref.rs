@@ -223,6 +223,49 @@ impl VectorClockDetector {
     }
 }
 
+/// The reference detector as a pure trace consumer, mirroring the
+/// [`FastTrack`](crate::FastTrack) mapping (atomic RMWs unchecked) so
+/// the two implementations stay comparable event-for-event under both
+/// live and replayed driving.
+impl txrace_sim::TraceConsumer for VectorClockDetector {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        VectorClockDetector::read(self, t, site, addr);
+    }
+
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        VectorClockDetector::write(self, t, site, addr);
+    }
+
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_acquire(t, l);
+    }
+
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.lock_release(t, l);
+    }
+
+    fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        VectorClockDetector::signal(self, t, c);
+    }
+
+    fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        VectorClockDetector::wait(self, t, c);
+    }
+
+    fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        VectorClockDetector::spawn(self, t, child);
+    }
+
+    fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        VectorClockDetector::join(self, t, child);
+    }
+
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
+        self.barrier(b, &threads);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! Exhaustive schedule exploration (CHESS-style stateless model checking):
 //! enumerate *every* thread interleaving of a small program, running a
-//! fresh [`Runtime`] down each path. Where the seedable schedulers sample
+//! fresh [`Runtime`](crate::exec::Runtime) down each path. Where the
+//! seedable schedulers sample
 //! behaviours, the explorer proves properties over the complete schedule
 //! space — the strongest evidence the engine's invariants (completeness,
 //! forward progress, final-state correctness) hold.

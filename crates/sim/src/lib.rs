@@ -49,6 +49,7 @@ pub mod intern;
 pub mod ir;
 pub mod lint;
 pub mod mem;
+pub mod replay;
 pub mod sched;
 pub mod summary;
 pub mod trace;
@@ -65,8 +66,10 @@ pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
 pub use mem::Memory;
+pub use replay::{Live, TraceConsumer};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
 pub use summary::{summarize, Phase, ProgramSummary, SiteAccess};
+pub use trace::{record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind};
 
 /// A runtime that executes memory operations directly against memory with
 /// no detection or transactional machinery. Used to establish uninstrumented

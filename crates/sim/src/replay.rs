@@ -1,0 +1,296 @@
+//! The record/replay boundary: pure-observer detectors consume a stream
+//! of schedule-visible events instead of holding [`Runtime`] hooks.
+//!
+//! A [`TraceConsumer`] sees exactly the events a pure observer would see
+//! live — resolved access addresses, architecturally completed sync
+//! operations, barrier releases with their arrival lists, and thread
+//! terminations — but is decoupled from execution: the same consumer can
+//! be driven by the [`Live`] adapter during an interpreter run *or* by
+//! [`EventLog::replay`](crate::trace::EventLog::replay) over a recorded
+//! log, and observes the identical call sequence either way. That is the
+//! correctness contract of the pipeline: because a pure observer never
+//! redirects control or alters memory, recording is invisible, and a log
+//! recorded once can stand in for any number of re-executions.
+//!
+//! The TxRace engine itself is *not* a pure observer (it rolls threads
+//! back), so it stays a [`Runtime`] and is excluded from this boundary.
+
+use crate::addr::Addr;
+use crate::exec::{Directive, OpEvent, Runtime};
+use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
+use crate::ir::{Op, SyscallKind};
+use crate::mem::Memory;
+
+/// A pure observer of one execution's schedule-visible event stream.
+///
+/// Every method defaults to a no-op so consumers implement only what
+/// they track. Methods are invoked in execution order; for one completed
+/// operation exactly one method fires, plus
+/// [`barrier_release`](TraceConsumer::barrier_release) once per barrier
+/// release, after the arrivals that triggered it.
+pub trait TraceConsumer {
+    /// A shared read at `addr` (resolved effective address).
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        let _ = (t, site, addr);
+    }
+
+    /// A shared write at `addr`.
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        let _ = (t, site, addr);
+    }
+
+    /// An atomic read-modify-write at `addr`. Atomics are never data
+    /// races under the C11 model; most detectors ignore these.
+    fn rmw(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        let _ = (t, site, addr);
+    }
+
+    /// Mutex `l` acquired.
+    fn acquire(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        let _ = (t, site, l);
+    }
+
+    /// Mutex `l` released.
+    fn release(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        let _ = (t, site, l);
+    }
+
+    /// Semaphore `c` posted.
+    fn signal(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        let _ = (t, site, c);
+    }
+
+    /// A wait on `c` satisfied.
+    fn wait(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        let _ = (t, site, c);
+    }
+
+    /// Thread `child` spawned by `t`.
+    fn spawn(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        let _ = (t, site, child);
+    }
+
+    /// A join on `child` satisfied.
+    fn join(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        let _ = (t, site, child);
+    }
+
+    /// Thread `t` arrived at barrier `b` (it may block here; the release
+    /// is reported separately).
+    fn barrier_arrive(&mut self, t: ThreadId, site: SiteId, b: BarrierId) {
+        let _ = (t, site, b);
+    }
+
+    /// Barrier `b` released all `arrivals` (thread and arrival site, in
+    /// arrival order).
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let _ = (b, arrivals);
+    }
+
+    /// `units` cycles of thread-local computation.
+    fn compute(&mut self, t: ThreadId, site: SiteId, units: u32) {
+        let _ = (t, site, units);
+    }
+
+    /// A system call.
+    fn syscall(&mut self, t: ThreadId, site: SiteId, kind: SyscallKind) {
+        let _ = (t, site, kind);
+    }
+
+    /// Thread `t` finished its program.
+    fn thread_done(&mut self, t: ThreadId) {
+        let _ = t;
+    }
+}
+
+/// Adapts a [`TraceConsumer`] to the live [`Runtime`] interface: memory
+/// effects are applied directly (like [`crate::DirectRuntime`]) and every
+/// schedule-visible event is forwarded to the consumer as it happens.
+///
+/// `Live<C>` never rolls back and never alters state beyond the direct
+/// memory effects the program itself demands, so wrapping a consumer in
+/// it is schedule-invisible: the interpreter takes the same interleaving
+/// it would with any other pure observer. This is what makes a log
+/// recorded by `Live<EventLogBuilder>` byte-equivalent to what a live
+/// `Live<SomeDetector>` run observes under the same seed.
+///
+/// ```
+/// use txrace_sim::replay::{Live, TraceConsumer};
+/// use txrace_sim::{Machine, ProgramBuilder, RoundRobin, ThreadId};
+///
+/// #[derive(Default)]
+/// struct CountWrites(u64);
+/// impl TraceConsumer for CountWrites {
+///     fn write(&mut self, _: ThreadId, _: txrace_sim::SiteId, _: txrace_sim::Addr) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new(1);
+/// let x = b.var("x");
+/// b.thread(0).write(x, 1).read(x).write(x, 2);
+/// let p = b.build();
+/// let mut rt = Live::new(CountWrites::default());
+/// Machine::new(&p).run(&mut rt, &mut RoundRobin::new());
+/// assert_eq!(rt.consumer().0, 2);
+/// ```
+#[derive(Debug)]
+pub struct Live<C> {
+    consumer: C,
+}
+
+impl<C: TraceConsumer> Live<C> {
+    /// Wraps `consumer` for a live run.
+    pub fn new(consumer: C) -> Self {
+        Live { consumer }
+    }
+
+    /// The wrapped consumer.
+    pub fn consumer(&self) -> &C {
+        &self.consumer
+    }
+
+    /// Mutable access to the wrapped consumer.
+    pub fn consumer_mut(&mut self) -> &mut C {
+        &mut self.consumer
+    }
+
+    /// Unwraps the consumer after the run.
+    pub fn into_inner(self) -> C {
+        self.consumer
+    }
+}
+
+impl<C: TraceConsumer> Runtime for Live<C> {
+    fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
+        // Accesses and sync ops are reported from their own hooks (where
+        // the resolved address / completion is known); barrier arrivals
+        // are reported here because the release hook fires only once for
+        // the whole group. Instrumentation markers are not events.
+        match ev.op {
+            Op::Compute(n) => self.consumer.compute(ev.thread, ev.site, n),
+            Op::Syscall(k) => self.consumer.syscall(ev.thread, ev.site, k),
+            Op::Barrier(b) => self.consumer.barrier_arrive(ev.thread, ev.site, b),
+            _ => {}
+        }
+        Directive::Continue
+    }
+
+    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
+        self.consumer.read(ev.thread, ev.site, addr);
+        mem.load(addr)
+    }
+
+    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
+        self.consumer.write(ev.thread, ev.site, addr);
+        mem.store(addr, val);
+    }
+
+    fn rmw(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, delta: u64) -> u64 {
+        self.consumer.rmw(ev.thread, ev.site, addr);
+        let old = mem.load(addr);
+        mem.store(addr, old.wrapping_add(delta));
+        old
+    }
+
+    fn after_sync(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) {
+        let (t, site) = (ev.thread, ev.site);
+        match ev.op {
+            Op::Lock(l) => self.consumer.acquire(t, site, l),
+            Op::Unlock(l) => self.consumer.release(t, site, l),
+            Op::Signal(c) => self.consumer.signal(t, site, c),
+            Op::Wait(c) => self.consumer.wait(t, site, c),
+            Op::Spawn(u) => self.consumer.spawn(t, site, u),
+            Op::Join(u) => self.consumer.join(t, site, u),
+            _ => {}
+        }
+    }
+
+    fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        self.consumer.barrier_release(b, arrivals);
+    }
+
+    fn on_thread_done(&mut self, t: ThreadId) {
+        self.consumer.thread_done(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+    use crate::sched::RoundRobin;
+    use crate::{Machine, RunStatus};
+
+    /// Records the method-call sequence as strings, for order assertions.
+    #[derive(Default)]
+    struct Script(Vec<String>);
+
+    impl TraceConsumer for Script {
+        fn read(&mut self, t: ThreadId, _s: SiteId, a: Addr) {
+            self.0.push(format!("r {t} {a}"));
+        }
+        fn write(&mut self, t: ThreadId, _s: SiteId, a: Addr) {
+            self.0.push(format!("w {t} {a}"));
+        }
+        fn rmw(&mut self, t: ThreadId, _s: SiteId, a: Addr) {
+            self.0.push(format!("rmw {t} {a}"));
+        }
+        fn acquire(&mut self, t: ThreadId, _s: SiteId, l: LockId) {
+            self.0.push(format!("acq {t} {l}"));
+        }
+        fn release(&mut self, t: ThreadId, _s: SiteId, l: LockId) {
+            self.0.push(format!("rel {t} {l}"));
+        }
+        fn barrier_arrive(&mut self, t: ThreadId, _s: SiteId, b: BarrierId) {
+            self.0.push(format!("arr {t} {b}"));
+        }
+        fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+            self.0.push(format!("relbar {b} x{}", arrivals.len()));
+        }
+        fn thread_done(&mut self, t: ThreadId) {
+            self.0.push(format!("done {t}"));
+        }
+    }
+
+    #[test]
+    fn live_adapter_reports_events_in_execution_order() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        let bar = b.barrier_id("bar");
+        for t in 0..2 {
+            b.thread(t).lock(l).rmw(x, 1).unlock(l).barrier(bar);
+        }
+        let p = b.build();
+        let mut rt = Live::new(Script::default());
+        let mut m = Machine::new(&p);
+        let r = m.run(&mut rt, &mut RoundRobin::new());
+        assert_eq!(r.status, RunStatus::Done);
+        let script = rt.into_inner().0;
+        // t0 runs its whole critical section while t1 blocks on the lock
+        // (blocked attempts produce no events), then both arrive at the
+        // barrier and one release fires.
+        let arr: Vec<_> = script.iter().filter(|s| s.starts_with("arr")).collect();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(script.iter().filter(|s| s.starts_with("relbar")).count(), 1);
+        assert_eq!(script.iter().filter(|s| s.starts_with("acq")).count(), 2);
+        assert_eq!(script.iter().filter(|s| s.starts_with("done")).count(), 2);
+        // The release event follows both arrivals.
+        let rel_pos = script.iter().position(|s| s.starts_with("relbar")).unwrap();
+        let last_arr = script.iter().rposition(|s| s.starts_with("arr")).unwrap();
+        assert!(rel_pos > last_arr);
+    }
+
+    #[test]
+    fn live_adapter_applies_direct_memory_effects() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write(x, 7).rmw(x, 3);
+        let p = b.build();
+        let mut rt = Live::new(Script::default());
+        let mut m = Machine::new(&p);
+        m.run(&mut rt, &mut RoundRobin::new());
+        assert_eq!(m.memory().load(x), 10);
+    }
+}

@@ -1,13 +1,23 @@
-//! Execution tracing: a [`Runtime`] adapter that records the events any
-//! inner runtime observes, for debugging, test assertions, and analyses
-//! that need the actual interleaving (e.g., measuring how far apart two
-//! sites executed).
+//! Execution tracing: the replayable [`EventLog`] that the record/replay
+//! pipeline is built on, plus the older [`Recording`] adapter that wraps
+//! an inner runtime for debugging and test assertions.
+//!
+//! An [`EventLog`] is recorded in one interpreter pass (see
+//! [`record_run`]) and can then be replayed into any number of
+//! [`TraceConsumer`]s — each replay observes the *identical* method-call
+//! sequence a live pure observer would have seen under the same seed, so
+//! detection results are bit-identical between the two paths. Logs are
+//! compact: one 24-byte [`TraceEvent`] per schedule-visible event, all
+//! identities dense `u32` ids, barrier arrival lists stored once in a
+//! side table.
 
 use crate::addr::Addr;
-use crate::exec::{Directive, OpEvent, Runtime};
-use crate::ids::{BarrierId, SiteId, ThreadId};
-use crate::ir::Op;
+use crate::exec::{Directive, OpEvent, RunResult, Runtime, StepLimit};
+use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
+use crate::ir::{Op, Program, SyscallKind};
 use crate::mem::Memory;
+use crate::replay::{Live, TraceConsumer};
+use crate::sched::Scheduler;
 
 /// One recorded execution event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +70,311 @@ impl Event {
             Event::Access { step, .. } | Event::Sync { step, .. } => Some(*step),
             _ => None,
         }
+    }
+}
+
+/// Classifies one [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// Shared read; `arg` is the resolved address.
+    Read,
+    /// Shared write; `arg` is the resolved address.
+    Write,
+    /// Atomic read-modify-write; `arg` is the resolved address.
+    Rmw,
+    /// Mutex acquired; `arg` is the lock id.
+    Acquire,
+    /// Mutex released; `arg` is the lock id.
+    Release,
+    /// Semaphore posted; `arg` is the condition id.
+    Signal,
+    /// Wait satisfied; `arg` is the condition id.
+    Wait,
+    /// Thread spawned; `arg` is the child thread id.
+    Spawn,
+    /// Join satisfied; `arg` is the child thread id.
+    Join,
+    /// Barrier arrival; `arg` is the barrier id.
+    BarrierArrive,
+    /// Barrier release; `arg` indexes the log's arrival side table.
+    BarrierRelease,
+    /// Thread finished; `thread` is the finishing thread.
+    ThreadDone,
+    /// Thread-local computation; `arg` is the unit count.
+    Compute,
+    /// System call; `arg` encodes the [`SyscallKind`].
+    Syscall,
+}
+
+/// One schedule-visible event in an [`EventLog`]: a compact (24-byte)
+/// dense-id record whose `arg` field is interpreted per
+/// [`TraceEventKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Executing thread (unused for [`TraceEventKind::BarrierRelease`]).
+    pub thread: ThreadId,
+    /// Static site (unused for [`TraceEventKind::BarrierRelease`] and
+    /// [`TraceEventKind::ThreadDone`]).
+    pub site: SiteId,
+    /// Kind-specific payload — see [`TraceEventKind`].
+    pub arg: u64,
+}
+
+const SYSCALL_CODES: [SyscallKind; 4] = [
+    SyscallKind::Io,
+    SyscallKind::Alloc,
+    SyscallKind::Free,
+    SyscallKind::Other,
+];
+
+fn syscall_code(k: SyscallKind) -> u64 {
+    SYSCALL_CODES
+        .iter()
+        .position(|&s| s == k)
+        .expect("every SyscallKind has a code") as u64
+}
+
+/// Loop-weighted static operation counts of a program, by base-cost
+/// class. Because architectural costs are uniform within each class, a
+/// census is all a cost model needs to compute a program's baseline
+/// cycles — which is how a replay prices a run without the [`Program`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCensus {
+    /// Dynamic shared-memory accesses (reads, writes, RMWs, indexed).
+    pub mem_accesses: u64,
+    /// Total `Compute` units (already multiplied out).
+    pub compute_units: u64,
+    /// Dynamic synchronization operations (incl. barrier arrivals).
+    pub sync_ops: u64,
+    /// Dynamic system calls.
+    pub syscalls: u64,
+}
+
+impl OpCensus {
+    /// Counts `p`'s dynamic operations by class (instrumentation markers
+    /// are not counted; they have no architectural cost).
+    pub fn of(p: &Program) -> Self {
+        OpCensus {
+            mem_accesses: p.fold_dynamic(|op| u64::from(op.is_data_access())),
+            compute_units: p.fold_dynamic(|op| match op {
+                Op::Compute(n) => u64::from(*n),
+                _ => 0,
+            }),
+            sync_ops: p.fold_dynamic(|op| u64::from(op.is_sync())),
+            syscalls: p.fold_dynamic(|op| u64::from(matches!(op, Op::Syscall(_)))),
+        }
+    }
+}
+
+/// A [`TraceConsumer`] that accumulates the event stream of one run;
+/// [`record_run`] wraps it in [`Live`] and assembles the [`EventLog`].
+#[derive(Debug, Default)]
+pub struct EventLogBuilder {
+    events: Vec<TraceEvent>,
+    arrivals: Vec<(ThreadId, SiteId)>,
+    releases: Vec<(BarrierId, u32, u32)>,
+}
+
+impl EventLogBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: TraceEventKind, thread: ThreadId, site: SiteId, arg: u64) {
+        self.events.push(TraceEvent {
+            kind,
+            thread,
+            site,
+            arg,
+        });
+    }
+}
+
+impl TraceConsumer for EventLogBuilder {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.push(TraceEventKind::Read, t, site, addr.0);
+    }
+
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.push(TraceEventKind::Write, t, site, addr.0);
+    }
+
+    fn rmw(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.push(TraceEventKind::Rmw, t, site, addr.0);
+    }
+
+    fn acquire(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        self.push(TraceEventKind::Acquire, t, site, u64::from(l.0));
+    }
+
+    fn release(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        self.push(TraceEventKind::Release, t, site, u64::from(l.0));
+    }
+
+    fn signal(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        self.push(TraceEventKind::Signal, t, site, u64::from(c.0));
+    }
+
+    fn wait(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        self.push(TraceEventKind::Wait, t, site, u64::from(c.0));
+    }
+
+    fn spawn(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        self.push(TraceEventKind::Spawn, t, site, u64::from(child.0));
+    }
+
+    fn join(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        self.push(TraceEventKind::Join, t, site, u64::from(child.0));
+    }
+
+    fn barrier_arrive(&mut self, t: ThreadId, site: SiteId, b: BarrierId) {
+        self.push(TraceEventKind::BarrierArrive, t, site, u64::from(b.0));
+    }
+
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let start = self.arrivals.len() as u32;
+        self.arrivals.extend_from_slice(arrivals);
+        let idx = self.releases.len() as u64;
+        self.releases.push((b, start, arrivals.len() as u32));
+        self.push(
+            TraceEventKind::BarrierRelease,
+            ThreadId::default(),
+            SiteId::default(),
+            idx,
+        );
+    }
+
+    fn compute(&mut self, t: ThreadId, site: SiteId, units: u32) {
+        self.push(TraceEventKind::Compute, t, site, u64::from(units));
+    }
+
+    fn syscall(&mut self, t: ThreadId, site: SiteId, kind: SyscallKind) {
+        self.push(TraceEventKind::Syscall, t, site, syscall_code(kind));
+    }
+
+    fn thread_done(&mut self, t: ThreadId) {
+        self.push(TraceEventKind::ThreadDone, t, SiteId::default(), 0);
+    }
+}
+
+/// One recorded execution, replayable into any number of
+/// [`TraceConsumer`]s. Carries everything a replayed analysis needs that
+/// a live run would otherwise pull from the machine or the program: the
+/// final memory state, the interpreter result, and a static [`OpCensus`]
+/// for cost accounting.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    threads: usize,
+    events: Vec<TraceEvent>,
+    arrivals: Vec<(ThreadId, SiteId)>,
+    releases: Vec<(BarrierId, u32, u32)>,
+    census: OpCensus,
+    result: RunResult,
+    memory: Memory,
+}
+
+impl EventLog {
+    /// Number of threads in the recorded program.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded program's static operation census.
+    pub fn census(&self) -> OpCensus {
+        self.census
+    }
+
+    /// The interpreter result of the recorded run.
+    pub fn result(&self) -> &RunResult {
+        &self.result
+    }
+
+    /// Final shared-memory state of the recorded run.
+    pub fn final_memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The arrival list of a [`TraceEventKind::BarrierRelease`] event
+    /// (pass the event's `arg`). Returns the barrier and its arrivals in
+    /// arrival order.
+    pub fn release_arrivals(&self, release_idx: u64) -> (BarrierId, &[(ThreadId, SiteId)]) {
+        let (b, start, len) = self.releases[release_idx as usize];
+        (b, &self.arrivals[start as usize..(start + len) as usize])
+    }
+
+    /// Drives `consumer` through the recorded event stream. The call
+    /// sequence is identical to what the consumer would have observed
+    /// live inside [`Live`] during the recorded run.
+    pub fn replay<C: TraceConsumer>(&self, consumer: &mut C) {
+        for e in &self.events {
+            let (t, site) = (e.thread, e.site);
+            match e.kind {
+                TraceEventKind::Read => consumer.read(t, site, Addr(e.arg)),
+                TraceEventKind::Write => consumer.write(t, site, Addr(e.arg)),
+                TraceEventKind::Rmw => consumer.rmw(t, site, Addr(e.arg)),
+                TraceEventKind::Acquire => consumer.acquire(t, site, LockId(e.arg as u32)),
+                TraceEventKind::Release => consumer.release(t, site, LockId(e.arg as u32)),
+                TraceEventKind::Signal => consumer.signal(t, site, CondId(e.arg as u32)),
+                TraceEventKind::Wait => consumer.wait(t, site, CondId(e.arg as u32)),
+                TraceEventKind::Spawn => consumer.spawn(t, site, ThreadId(e.arg as u32)),
+                TraceEventKind::Join => consumer.join(t, site, ThreadId(e.arg as u32)),
+                TraceEventKind::BarrierArrive => {
+                    consumer.barrier_arrive(t, site, BarrierId(e.arg as u32));
+                }
+                TraceEventKind::BarrierRelease => {
+                    let (b, arrivals) = self.release_arrivals(e.arg);
+                    consumer.barrier_release(b, arrivals);
+                }
+                TraceEventKind::ThreadDone => consumer.thread_done(t),
+                TraceEventKind::Compute => consumer.compute(t, site, e.arg as u32),
+                TraceEventKind::Syscall => {
+                    consumer.syscall(t, site, SYSCALL_CODES[e.arg as usize]);
+                }
+            }
+        }
+    }
+}
+
+/// Records one execution of `p` under `sched` into an [`EventLog`]: the
+/// single interpreter pass of the record-once/replay-many pipeline.
+///
+/// The run is a plain uninstrumented execution (direct memory effects,
+/// no detection) observed by an [`EventLogBuilder`]; because observers
+/// are schedule-invisible, any pure-observer detector replayed from the
+/// returned log produces exactly what it would have produced live under
+/// the same scheduler state.
+pub fn record_run(p: &Program, sched: &mut dyn Scheduler, limit: StepLimit) -> EventLog {
+    let mut rt = Live::new(EventLogBuilder::new());
+    let mut machine = crate::exec::Machine::new(p);
+    let result = machine.run_with_limit(&mut rt, sched, limit);
+    let b = rt.into_inner();
+    EventLog {
+        threads: p.thread_count(),
+        events: b.events,
+        arrivals: b.arrivals,
+        releases: b.releases,
+        census: OpCensus::of(p),
+        result,
+        memory: machine.memory().clone(),
     }
 }
 
@@ -251,6 +566,131 @@ mod tests {
         let mut s = RoundRobin::new();
         m.run(&mut rt, &mut s);
         assert_eq!(rt.events().len(), 10);
+    }
+
+    #[test]
+    fn event_log_replay_reproduces_the_live_stream() {
+        use crate::replay::Live;
+
+        // A consumer that fingerprints every call, order-sensitively.
+        #[derive(Default, PartialEq, Debug)]
+        struct Fp(Vec<(u8, u32, u32, u64)>);
+        impl TraceConsumer for Fp {
+            fn read(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+                self.0.push((0, t.0, s.0, a.0));
+            }
+            fn write(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+                self.0.push((1, t.0, s.0, a.0));
+            }
+            fn rmw(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+                self.0.push((2, t.0, s.0, a.0));
+            }
+            fn acquire(&mut self, t: ThreadId, s: SiteId, l: LockId) {
+                self.0.push((3, t.0, s.0, u64::from(l.0)));
+            }
+            fn release(&mut self, t: ThreadId, s: SiteId, l: LockId) {
+                self.0.push((4, t.0, s.0, u64::from(l.0)));
+            }
+            fn signal(&mut self, t: ThreadId, s: SiteId, c: CondId) {
+                self.0.push((5, t.0, s.0, u64::from(c.0)));
+            }
+            fn wait(&mut self, t: ThreadId, s: SiteId, c: CondId) {
+                self.0.push((6, t.0, s.0, u64::from(c.0)));
+            }
+            fn spawn(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
+                self.0.push((7, t.0, s.0, u64::from(u.0)));
+            }
+            fn join(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
+                self.0.push((8, t.0, s.0, u64::from(u.0)));
+            }
+            fn barrier_arrive(&mut self, t: ThreadId, s: SiteId, b: BarrierId) {
+                self.0.push((9, t.0, s.0, u64::from(b.0)));
+            }
+            fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+                self.0.push((10, b.0, 0, arrivals.len() as u64));
+                for &(t, s) in arrivals {
+                    self.0.push((11, t.0, s.0, 0));
+                }
+            }
+            fn compute(&mut self, t: ThreadId, s: SiteId, n: u32) {
+                self.0.push((12, t.0, s.0, u64::from(n)));
+            }
+            fn syscall(&mut self, t: ThreadId, s: SiteId, k: crate::ir::SyscallKind) {
+                self.0.push((13, t.0, s.0, syscall_code(k)));
+            }
+            fn thread_done(&mut self, t: ThreadId) {
+                self.0.push((14, t.0, 0, 0));
+            }
+        }
+
+        // Exercise every event kind: locks, signal/wait, spawn/join,
+        // barriers, RMWs, indexed accesses, compute, syscalls.
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let arr = b.array("a", 8);
+        let l = b.lock_id("l");
+        let c = b.cond_id("c");
+        let bar = b.barrier_id("bar");
+        b.thread(0)
+            .spawn(ThreadId(2))
+            .write(x, 1)
+            .signal(c)
+            .lock(l)
+            .rmw(x, 1)
+            .unlock(l)
+            .barrier(bar)
+            .join(ThreadId(2))
+            .syscall(crate::ir::SyscallKind::Io);
+        b.thread(1)
+            .wait(c)
+            .loop_n(4, |t| {
+                t.read_arr(arr, 8).compute(3);
+            })
+            .barrier(bar);
+        b.thread(2).read(x); // spawn target: starts parked
+        let p = b.build();
+
+        let run_live = |seed: u64| {
+            let mut rt = Live::new(Fp::default());
+            let mut m = Machine::new(&p);
+            let mut s = crate::sched::RandomSched::new(seed);
+            let r = m.run(&mut rt, &mut s);
+            assert_eq!(r.status, RunStatus::Done);
+            (rt.into_inner(), m.memory().clone(), r)
+        };
+        let (live, live_mem, live_run) = run_live(9);
+
+        let mut sched = crate::sched::RandomSched::new(9);
+        let log = record_run(&p, &mut sched, StepLimit::default());
+        let mut replayed = Fp::default();
+        log.replay(&mut replayed);
+
+        assert_eq!(live, replayed, "replayed call sequence diverged");
+        assert_eq!(log.final_memory(), &live_mem);
+        assert_eq!(log.result(), &live_run);
+        assert_eq!(log.thread_count(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.len(), log.events().len());
+    }
+
+    #[test]
+    fn census_matches_dynamic_op_classes() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(5, |t| {
+            t.lock(l).rmw(x, 1).unlock(l).compute(7);
+        });
+        b.thread(1)
+            .read(x)
+            .syscall(crate::ir::SyscallKind::Alloc)
+            .write(x, 2);
+        let p = b.build();
+        let c = OpCensus::of(&p);
+        assert_eq!(c.mem_accesses, 5 + 2);
+        assert_eq!(c.compute_units, 5 * 7);
+        assert_eq!(c.sync_ops, 5 * 2);
+        assert_eq!(c.syscalls, 1);
     }
 
     #[test]

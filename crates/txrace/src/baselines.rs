@@ -1,11 +1,19 @@
 //! Baseline detectors the paper compares TxRace against: full
 //! ThreadSanitizer-style checking of every access, and the
 //! sampling-based variant (Figures 11–13).
+//!
+//! Both are *pure trace consumers* ([`TraceConsumer`]): they observe the
+//! event stream, never redirect execution, and charge their own cycle
+//! accounting per event. Run them live by wrapping in
+//! [`txrace_sim::Live`], or replay them from a recorded
+//! [`txrace_sim::EventLog`] — the two paths produce bit-identical race
+//! sets, breakdowns, and sampling decisions (the sampling RNG draws once
+//! per non-pruned access, in event order, on either path).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use txrace_hb::{FastTrack, Lockset, LocksetReport, RaceSet, ShadowMode};
-use txrace_sim::{Addr, BarrierId, Directive, Memory, Op, OpEvent, Runtime, SiteId, ThreadId};
+use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, SyscallKind, ThreadId, TraceConsumer};
 
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::sa::SiteClassTable;
@@ -14,7 +22,7 @@ use crate::sa::SiteClassTable;
 /// access (the paper's "TSan" baseline), optionally sampling accesses at a
 /// fixed rate (the paper's "TSan+Sampling" comparison).
 #[derive(Debug)]
-pub struct TsanRuntime {
+pub struct TsanConsumer {
     ft: FastTrack,
     cost: CostModel,
     eff_check: u64,
@@ -26,10 +34,10 @@ pub struct TsanRuntime {
     elided: u64,
 }
 
-impl TsanRuntime {
+impl TsanConsumer {
     /// Full checking: every access pays the shadow-memory check.
     pub fn full(threads: usize, cost: CostModel, shadow_factor: f64, shadow: ShadowMode) -> Self {
-        TsanRuntime {
+        TsanConsumer {
             ft: FastTrack::new(threads, shadow),
             eff_check: cost.effective_tsan_check(shadow_factor),
             cost,
@@ -52,7 +60,7 @@ impl TsanRuntime {
 
     /// Sampled checking: each dynamic access is checked with probability
     /// `rate` (clamped to `[0, 1]`; `1.0` behaves exactly like
-    /// [`TsanRuntime::full`]).
+    /// [`TsanConsumer::full`]).
     pub fn sampling(
         threads: usize,
         cost: CostModel,
@@ -120,61 +128,93 @@ impl TsanRuntime {
         }
         take
     }
-}
 
-impl Runtime for TsanRuntime {
-    fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
-        self.breakdown.baseline += self.cost.base_op_cost(&ev.op);
-        Directive::Continue
-    }
-
-    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
-        if !self.prune_elides(ev.site) && self.sample() {
-            self.ft.read(ev.thread, ev.site, addr);
-        }
-        mem.load(addr)
-    }
-
-    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
-        if !self.prune_elides(ev.site) && self.sample() {
-            self.ft.write(ev.thread, ev.site, addr);
-        }
-        mem.store(addr, val);
-    }
-
-    fn rmw(&mut self, mem: &mut Memory, _ev: &OpEvent<'_>, addr: Addr, delta: u64) -> u64 {
-        // Atomics are never data races under the C11 model; TSan does not
-        // check them either.
-        let old = mem.load(addr);
-        mem.store(addr, old.wrapping_add(delta));
-        old
-    }
-
-    fn after_sync(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) {
-        let t = ev.thread;
-        match ev.op {
-            Op::Lock(l) => self.ft.lock_acquire(t, l),
-            Op::Unlock(l) => self.ft.lock_release(t, l),
-            Op::Signal(c) => self.ft.signal(t, c),
-            Op::Wait(c) => self.ft.wait(t, c),
-            Op::Spawn(u) => self.ft.spawn(t, u),
-            Op::Join(u) => self.ft.join(t, u),
-            _ => return,
-        }
+    /// Charges the architectural cost of a sync op plus its HB tracking.
+    fn charge_sync(&mut self) {
+        self.breakdown.baseline += self.cost.sync_op;
         self.breakdown.checks += self.cost.tsan_sync;
     }
 
-    fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+    #[cfg(test)]
+    fn sample_for_test(&mut self) -> bool {
+        self.sample()
+    }
+}
+
+impl TraceConsumer for TsanConsumer {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.breakdown.baseline += self.cost.mem_access;
+        if !self.prune_elides(site) && self.sample() {
+            self.ft.read(t, site, addr);
+        }
+    }
+
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.breakdown.baseline += self.cost.mem_access;
+        if !self.prune_elides(site) && self.sample() {
+            self.ft.write(t, site, addr);
+        }
+    }
+
+    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
+        // Atomics are never data races under the C11 model; TSan does not
+        // check them either.
+        self.breakdown.baseline += self.cost.mem_access;
+    }
+
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.ft.lock_acquire(t, l);
+        self.charge_sync();
+    }
+
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.ft.lock_release(t, l);
+        self.charge_sync();
+    }
+
+    fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        self.ft.signal(t, c);
+        self.charge_sync();
+    }
+
+    fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        self.ft.wait(t, c);
+        self.charge_sync();
+    }
+
+    fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        self.ft.spawn(t, child);
+        self.charge_sync();
+    }
+
+    fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        self.ft.join(t, child);
+        self.charge_sync();
+    }
+
+    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
         self.ft.barrier(b, &threads);
         self.breakdown.checks += self.cost.tsan_sync * arrivals.len() as u64;
+    }
+
+    fn compute(&mut self, _t: ThreadId, _site: SiteId, units: u32) {
+        self.breakdown.baseline += u64::from(units) * self.cost.compute_unit;
+    }
+
+    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: SyscallKind) {
+        self.breakdown.baseline += self.cost.syscall;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txrace_sim::{Machine, ProgramBuilder, RandomSched, RunStatus};
+    use txrace_sim::{Live, Machine, ProgramBuilder, RandomSched, RunStatus};
 
     #[test]
     fn full_tsan_finds_plain_race() {
@@ -183,10 +223,16 @@ mod tests {
         b.thread(0).write_l(x, 1, "w0");
         b.thread(1).write_l(x, 2, "w1");
         let p = b.build();
-        let mut rt = TsanRuntime::full(2, CostModel::default(), 1.0, ShadowMode::Exact);
+        let mut rt = Live::new(TsanConsumer::full(
+            2,
+            CostModel::default(),
+            1.0,
+            ShadowMode::Exact,
+        ));
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
+        let rt = rt.into_inner();
         assert_eq!(rt.races().distinct_count(), 1);
         assert_eq!(rt.checked(), 2);
         assert!(rt.breakdown().checks > 0);
@@ -199,10 +245,18 @@ mod tests {
         b.thread(0).write(x, 1);
         b.thread(1).write(x, 2);
         let p = b.build();
-        let mut rt = TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.0, 7);
+        let mut rt = Live::new(TsanConsumer::sampling(
+            2,
+            CostModel::default(),
+            1.0,
+            ShadowMode::Exact,
+            0.0,
+            7,
+        ));
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
+        let rt = rt.into_inner();
         assert_eq!(rt.checked(), 0);
         assert_eq!(rt.skipped(), 2);
         assert!(rt.races().is_empty());
@@ -216,18 +270,27 @@ mod tests {
             t.read(x);
         });
         let p = b.build();
-        let mut rt = TsanRuntime::sampling(1, CostModel::default(), 1.0, ShadowMode::Exact, 0.3, 9);
+        let mut rt = Live::new(TsanConsumer::sampling(
+            1,
+            CostModel::default(),
+            1.0,
+            ShadowMode::Exact,
+            0.3,
+            9,
+        ));
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
+        let rt = rt.into_inner();
         let rate = rt.checked() as f64 / (rt.checked() + rt.skipped()) as f64;
         assert!((0.25..0.35).contains(&rate), "rate {rate}");
     }
 
     #[test]
     fn full_rate_sampling_equals_full() {
-        let mut rt = TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 1.0, 7);
-        assert!(rt.sample());
+        let mut rt =
+            TsanConsumer::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 1.0, 7);
+        assert!(rt.sample_for_test());
         assert_eq!(rt.skipped(), 0);
     }
 
@@ -240,12 +303,21 @@ mod tests {
         b.thread(0).write(x, 1).signal(c);
         b.thread(1).wait(c).write(x, 2);
         let p = b.build();
-        let mut rt =
-            TsanRuntime::sampling(2, CostModel::default(), 1.0, ShadowMode::Exact, 0.99, 3);
+        let mut rt = Live::new(TsanConsumer::sampling(
+            2,
+            CostModel::default(),
+            1.0,
+            ShadowMode::Exact,
+            0.99,
+            3,
+        ));
         let mut m = Machine::new(&p);
         let mut s = RandomSched::new(1);
         m.run(&mut rt, &mut s);
-        assert!(rt.races().is_empty(), "ordered accesses misreported");
+        assert!(
+            rt.consumer().races().is_empty(),
+            "ordered accesses misreported"
+        );
     }
 
     #[test]
@@ -260,18 +332,19 @@ mod tests {
         let p = b.build();
         let table = SiteClassTable::analyze(&p);
         let mk = |prune: bool| {
-            let rt = TsanRuntime::full(2, CostModel::default(), 1.0, ShadowMode::Exact);
+            let rt = TsanConsumer::full(2, CostModel::default(), 1.0, ShadowMode::Exact);
             if prune {
                 rt.with_prune(table.clone())
             } else {
                 rt
             }
         };
-        let run = |mut rt: TsanRuntime| {
+        let run = |c: TsanConsumer| {
+            let mut rt = Live::new(c);
             let mut m = Machine::new(&p);
             let mut s = RandomSched::new(5);
             assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
-            rt
+            rt.into_inner()
         };
         let off = run(mk(false));
         let on = run(mk(true));
@@ -293,16 +366,16 @@ mod tests {
 /// synchronization (signal/wait, barriers, spawn/join), so it reports
 /// false positives on correctly ordered code.
 #[derive(Debug)]
-pub struct LocksetRuntime {
+pub struct LocksetConsumer {
     ls: Lockset,
     cost: CostModel,
     breakdown: CycleBreakdown,
 }
 
-impl LocksetRuntime {
-    /// Creates a lockset runtime for `threads` threads.
+impl LocksetConsumer {
+    /// Creates a lockset consumer for `threads` threads.
     pub fn new(threads: usize, cost: CostModel) -> Self {
-        LocksetRuntime {
+        LocksetConsumer {
             ls: Lockset::new(threads),
             cost,
             breakdown: CycleBreakdown::default(),
@@ -321,58 +394,88 @@ impl LocksetRuntime {
     }
 }
 
-impl Runtime for LocksetRuntime {
-    fn before_op(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
-        self.breakdown.baseline += self.cost.base_op_cost(&ev.op);
-        Directive::Continue
-    }
-
-    fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
-        self.ls.read(ev.thread, ev.site, addr);
+impl TraceConsumer for LocksetConsumer {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.ls.read(t, site, addr);
+        self.breakdown.baseline += self.cost.mem_access;
         // Lockset checks are cheaper than vector-clock checks: a set
         // intersection against the held set, modeled at half a TSan check.
         self.breakdown.checks += self.cost.tsan_check / 2;
-        mem.load(addr)
     }
 
-    fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
-        self.ls.write(ev.thread, ev.site, addr);
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.ls.write(t, site, addr);
+        self.breakdown.baseline += self.cost.mem_access;
         self.breakdown.checks += self.cost.tsan_check / 2;
-        mem.store(addr, val);
     }
 
-    fn after_sync(&mut self, _mem: &mut Memory, ev: &OpEvent<'_>) {
-        match ev.op {
-            Op::Lock(l) => self.ls.lock_acquire(ev.thread, l),
-            Op::Unlock(l) => self.ls.lock_release(ev.thread, l),
-            // Eraser is blind to every other synchronization primitive —
-            // that blindness is its incompleteness.
-            _ => {}
-        }
+    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
+        self.breakdown.baseline += self.cost.mem_access;
+    }
+
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.ls.lock_acquire(t, l);
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.ls.lock_release(t, l);
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    // Eraser is blind to every other synchronization primitive — that
+    // blindness is its incompleteness — but their architectural cost is
+    // still paid.
+    fn signal(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn wait(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn spawn(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn join(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
+        self.breakdown.baseline += self.cost.sync_op;
+    }
+
+    fn compute(&mut self, _t: ThreadId, _site: SiteId, units: u32) {
+        self.breakdown.baseline += u64::from(units) * self.cost.compute_unit;
+    }
+
+    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: SyscallKind) {
+        self.breakdown.baseline += self.cost.syscall;
     }
 }
 
 #[cfg(test)]
 mod lockset_tests {
     use super::*;
-    use txrace_sim::{Machine, ProgramBuilder, RoundRobin, RunStatus};
+    use txrace_sim::{Live, Machine, ProgramBuilder, RoundRobin, RunStatus};
 
     #[test]
-    fn lockset_runtime_flags_unlocked_sharing() {
+    fn lockset_consumer_flags_unlocked_sharing() {
         let mut b = ProgramBuilder::new(2);
         let x = b.var("x");
         b.thread(0).write(x, 1);
         b.thread(1).write(x, 2);
         let p = b.build();
-        let mut rt = LocksetRuntime::new(2, CostModel::default());
+        let mut rt = Live::new(LocksetConsumer::new(2, CostModel::default()));
         let mut m = Machine::new(&p);
         let mut s = RoundRobin::new();
         assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
-        assert_eq!(rt.reports().len(), 1);
+        assert_eq!(rt.consumer().reports().len(), 1);
     }
 
     #[test]
-    fn lockset_runtime_false_positive_on_signal_wait() {
+    fn lockset_consumer_false_positive_on_signal_wait() {
         // Ordered by signal/wait: a HB detector stays silent, Eraser does
         // not — the incompleteness the paper's related work describes.
         let mut b = ProgramBuilder::new(2);
@@ -381,10 +484,14 @@ mod lockset_tests {
         b.thread(0).write(x, 1).signal(c);
         b.thread(1).wait(c).write(x, 2);
         let p = b.build();
-        let mut rt = LocksetRuntime::new(2, CostModel::default());
+        let mut rt = Live::new(LocksetConsumer::new(2, CostModel::default()));
         let mut m = Machine::new(&p);
         let mut s = RoundRobin::new();
         assert_eq!(m.run(&mut rt, &mut s).status, RunStatus::Done);
-        assert_eq!(rt.reports().len(), 1, "expected the classic false positive");
+        assert_eq!(
+            rt.consumer().reports().len(),
+            1,
+            "expected the classic false positive"
+        );
     }
 }

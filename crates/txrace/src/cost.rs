@@ -7,7 +7,7 @@
 //! tracking) adds documented extra costs attributed to the overhead
 //! buckets of the paper's Figure 7.
 
-use txrace_sim::{Op, Program};
+use txrace_sim::{Op, OpCensus, Program};
 
 /// Per-operation cycle costs.
 ///
@@ -85,6 +85,18 @@ impl CostModel {
         p.fold_dynamic(|op| self.base_op_cost(op))
     }
 
+    /// Total uninstrumented cycles from a recorded log's [`OpCensus`].
+    /// Base costs are uniform within each census class, so this equals
+    /// [`CostModel::baseline_cycles`] of the recorded program exactly —
+    /// which is what lets a replayed analysis price a run without ever
+    /// seeing the [`Program`].
+    pub fn baseline_cycles_of_census(&self, c: &OpCensus) -> u64 {
+        c.mem_accesses * self.mem_access
+            + c.compute_units * self.compute_unit
+            + c.sync_ops * self.sync_op
+            + c.syscalls * self.syscall
+    }
+
     /// The effective TSan check cost under a workload shadow factor.
     pub fn effective_tsan_check(&self, shadow_factor: f64) -> u64 {
         ((self.tsan_check as f64) * shadow_factor).round().max(1.0) as u64
@@ -155,6 +167,23 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.base_op_cost(&Op::TxBegin(txrace_sim::RegionId(0))), 0);
         assert_eq!(c.base_op_cost(&Op::LoopCutProbe(txrace_sim::LoopId(0))), 0);
+    }
+
+    #[test]
+    fn census_pricing_equals_program_pricing() {
+        let c = CostModel::default();
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(9, |t| {
+            t.lock(l).rmw(x, 1).unlock(l).compute(4);
+        });
+        b.thread(1).read(x).syscall(SyscallKind::Io).write(x, 1);
+        let p = b.build();
+        assert_eq!(
+            c.baseline_cycles_of_census(&OpCensus::of(&p)),
+            c.baseline_cycles(&p)
+        );
     }
 
     #[test]

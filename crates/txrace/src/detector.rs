@@ -5,11 +5,11 @@
 use txrace_hb::{RaceSet, ShadowMode};
 use txrace_htm::{HtmConfig, HtmStats};
 use txrace_sim::{
-    FairSched, InterruptModel, Machine, Program, RandomSched, RoundRobin, RunResult, RunStatus,
-    Scheduler, StepLimit,
+    EventLog, FairSched, InterruptModel, Live, Machine, Program, RandomSched, RoundRobin,
+    RunResult, RunStatus, Scheduler, StepLimit, TraceConsumer,
 };
 
-use crate::baselines::TsanRuntime;
+use crate::baselines::TsanConsumer;
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::engine::{EngineConfig, EngineStats, TxRaceEngine};
 use crate::instrument::{instrument, instrument_pruned, InstrumentConfig, InstrumentedProgram};
@@ -261,7 +261,7 @@ impl Detector {
     /// # Panics
     ///
     /// Panics if the program fails the structural IR lint
-    /// ([`txrace_sim::lint`]): unbalanced locking, joins of never-spawned
+    /// ([`txrace_sim::lint()`]): unbalanced locking, joins of never-spawned
     /// threads, or disagreeing barrier arrival counts would make both the
     /// static analyses and the run itself meaningless.
     pub fn run(&self, program: &Program) -> RunOutcome {
@@ -384,40 +384,130 @@ impl Detector {
     }
 
     fn run_tsan(&self, program: &Program, prune: Option<SiteClassTable>) -> RunOutcome {
-        let n = program.thread_count();
-        let mut rt = match &self.cfg.scheme {
-            Scheme::Tsan => {
-                TsanRuntime::full(n, self.cfg.cost, self.cfg.shadow_factor, self.cfg.shadow)
-            }
-            Scheme::TsanSampling { rate } => TsanRuntime::sampling(
-                n,
+        let mut consumer = self.tsan_consumer_with(program.thread_count(), prune);
+        let mut rt = Live::new(consumer);
+        let mut machine = Machine::new(program);
+        let mut sched = self.make_sched(self.cfg.seed);
+        let run = machine.run_with_limit(&mut rt, sched.as_mut(), self.limit());
+        consumer = rt.into_inner();
+        self.tsan_outcome(
+            consumer,
+            self.cfg.cost.baseline_cycles(program),
+            machine.memory().clone(),
+            run,
+        )
+    }
+
+    fn tsan_consumer_with(&self, threads: usize, prune: Option<SiteClassTable>) -> TsanConsumer {
+        let mut c = match &self.cfg.scheme {
+            Scheme::Tsan => TsanConsumer::full(
+                threads,
+                self.cfg.cost,
+                self.cfg.shadow_factor,
+                self.cfg.shadow,
+            ),
+            Scheme::TsanSampling { rate } => TsanConsumer::sampling(
+                threads,
                 self.cfg.cost,
                 self.cfg.shadow_factor,
                 self.cfg.shadow,
                 *rate,
                 self.cfg.seed.wrapping_add(0x517C_C1B7),
             ),
-            Scheme::TxRace(_) => unreachable!("dispatched in run()"),
+            Scheme::TxRace(_) => {
+                panic!("TxRace is an active engine, not a trace consumer; use run()")
+            }
         };
         if let Some(table) = prune {
-            rt = rt.with_prune(table);
+            c = c.with_prune(table);
         }
-        let mut machine = Machine::new(program);
-        let mut sched = self.make_sched(self.cfg.seed);
-        let run = machine.run_with_limit(&mut rt, sched.as_mut(), self.limit());
-        let baseline_cycles = self.cfg.cost.baseline_cycles(program);
-        let breakdown = rt.breakdown();
+        c
+    }
+
+    fn tsan_outcome(
+        &self,
+        consumer: TsanConsumer,
+        baseline_cycles: u64,
+        memory: txrace_sim::Memory,
+        run: RunResult,
+    ) -> RunOutcome {
+        let breakdown = consumer.breakdown();
         RunOutcome {
-            races: rt.races().clone(),
+            races: consumer.races().clone(),
             breakdown,
             baseline_cycles,
             overhead: breakdown.overhead_vs(baseline_cycles),
             htm: None,
             engine: None,
-            checks: rt.checked(),
-            memory: machine.memory().clone(),
+            checks: consumer.checked(),
+            memory,
             run,
         }
+    }
+
+    /// Records `program` into a replayable [`EventLog`] under the
+    /// configured scheduler and seed, with no detector attached.
+    ///
+    /// The recorded stream is exactly what any *pure observer* (the TSan
+    /// baselines, the raw HB detectors) would see live: observers never
+    /// redirect execution, so the interleaving is fully determined by
+    /// `(program, sched, seed)`. Record once, then fan
+    /// [`Detector::replay`] over the log as many times as needed — e.g.
+    /// one replay per sampling rate, in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails the structural IR lint, exactly like
+    /// [`Detector::run`].
+    pub fn record(&self, program: &Program) -> EventLog {
+        let issues = txrace_sim::lint(program);
+        assert!(
+            issues.is_empty(),
+            "program failed the IR lint:\n{}",
+            issues
+                .iter()
+                .map(|i| format!("  - {i}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let mut sched = self.make_sched(self.cfg.seed);
+        txrace_sim::record_run(program, sched.as_mut(), self.limit())
+    }
+
+    /// Builds the configured scheme's trace consumer for `program` —
+    /// sampling seed, shadow factor, and prune table all derived exactly
+    /// as [`Detector::run`] would. Feed it to [`Detector::replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured scheme is [`Scheme::TxRace`]: the TxRace
+    /// engine steers execution (rollbacks, re-execution) and therefore
+    /// cannot run from a fixed trace.
+    pub fn consumer(&self, program: &Program) -> TsanConsumer {
+        self.tsan_consumer_with(program.thread_count(), self.prune_table(program))
+    }
+
+    /// Replays a recorded log through `consumer` and assembles the same
+    /// [`RunOutcome`] a live [`Detector::run`] would have produced —
+    /// bit-identical races, breakdown, check counts, memory, and result —
+    /// provided the log was recorded under the same `(program, sched,
+    /// seed)` (see [`Detector::record`]).
+    pub fn replay(&self, log: &EventLog, mut consumer: TsanConsumer) -> RunOutcome {
+        log.replay(&mut consumer);
+        self.tsan_outcome(
+            consumer,
+            self.cfg.cost.baseline_cycles_of_census(&log.census()),
+            log.final_memory().clone(),
+            log.result().clone(),
+        )
+    }
+
+    /// Replays a recorded log through an arbitrary [`TraceConsumer`] and
+    /// returns it (a convenience for raw detectors like
+    /// [`txrace_hb::FastTrack`] that don't produce a [`RunOutcome`]).
+    pub fn replay_into<C: TraceConsumer>(&self, log: &EventLog, mut consumer: C) -> C {
+        log.replay(&mut consumer);
+        consumer
     }
 }
 

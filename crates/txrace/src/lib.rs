@@ -57,7 +57,7 @@ pub mod instrument;
 pub mod loopcut;
 pub mod sa;
 
-pub use baselines::{LocksetRuntime, TsanRuntime};
+pub use baselines::{LocksetConsumer, TsanConsumer};
 pub use cost::{CostModel, CycleBreakdown};
 pub use detector::{recall, Detector, RunConfig, RunOutcome, SchedKind, Scheme, TxRaceOpts};
 pub use engine::EngineConfig;

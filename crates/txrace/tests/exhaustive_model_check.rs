@@ -10,10 +10,10 @@
 //! sampled over seeds, but proven over the complete schedule space of the
 //! program.
 
-use txrace::{instrument, EngineConfig, InstrumentConfig, TsanRuntime, TxRaceEngine};
+use txrace::{instrument, EngineConfig, InstrumentConfig, TsanConsumer, TxRaceEngine};
 use txrace_hb::ShadowMode;
 use txrace_sim::explore::{explore, ExploreLimits};
-use txrace_sim::{Program, ProgramBuilder, RunStatus};
+use txrace_sim::{Live, Program, ProgramBuilder, RunStatus};
 
 /// Two threads; per thread: one racy access, one locked increment, one
 /// false-shared private write. Small enough to explore exhaustively
@@ -101,13 +101,20 @@ fn tsan_reports_exactly_the_race_on_every_interleaving() {
     let n = p.thread_count();
     let stats = explore(
         &p,
-        || TsanRuntime::full(n, txrace::CostModel::default(), 1.0, ShadowMode::Exact),
+        || {
+            Live::new(TsanConsumer::full(
+                n,
+                txrace::CostModel::default(),
+                1.0,
+                ShadowMode::Exact,
+            ))
+        },
         |_machine, rt, result| {
             assert_eq!(result.status, RunStatus::Done);
             // The racy pair is unordered on every schedule; everything
             // else is lock-protected, thread-local, or atomic.
-            assert_eq!(rt.races().distinct_count(), 1);
-            assert!(rt.races().contains(race_w, race_r));
+            assert_eq!(rt.consumer().races().distinct_count(), 1);
+            assert!(rt.consumer().races().contains(race_w, race_r));
         },
         ExploreLimits {
             max_paths: 2_000_000,

@@ -10,6 +10,58 @@ use txrace::{Detector, RunConfig, Scheme};
 use txrace_sim::{DirectRuntime, InterruptModel, Machine, ProgramBuilder, RoundRobin, RunStatus};
 use txrace_workloads::{random_program, GenConfig};
 
+/// Re-runs the shrunken failure cases recorded in
+/// `random_program_properties.proptest-regressions`. The vendored
+/// proptest shim seeds its generators from the test name and does *not*
+/// read regression files, so the saved cases are pinned here explicitly —
+/// parsed from the file, not copied into code, so new `cc` entries are
+/// picked up automatically (as long as they follow the standard
+/// `shrinks to var = value, ...` comment format).
+#[test]
+fn saved_proptest_regressions_still_pass() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/random_program_properties.proptest-regressions"
+    ))
+    .expect("regression file exists");
+    let mut cases = 0;
+    for line in text.lines() {
+        let Some(rest) = line.split("# shrinks to ").nth(1) else {
+            continue;
+        };
+        let mut gen_seed = None;
+        let mut sched_seed = None;
+        let mut interrupts = None;
+        for assign in rest.split(", ") {
+            let mut kv = assign.split(" = ");
+            match (kv.next(), kv.next()) {
+                (Some("gen_seed"), Some(v)) => gen_seed = v.parse::<u64>().ok(),
+                (Some("sched_seed"), Some(v)) => sched_seed = v.parse::<u64>().ok(),
+                (Some("interrupts"), Some(v)) => interrupts = v.parse::<f64>().ok(),
+                _ => {}
+            }
+        }
+        let (Some(gen_seed), Some(sched_seed), Some(interrupts)) =
+            (gen_seed, sched_seed, interrupts)
+        else {
+            panic!("unparseable regression entry: {line}");
+        };
+        cases += 1;
+        // The body of `txrace_terminates_on_random_programs`, on the
+        // saved concrete inputs.
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let model = InterruptModel {
+            context_switch_p: interrupts,
+            transient_p: interrupts / 2.0,
+        };
+        let tx = Detector::new(RunConfig::new(Scheme::txrace(), sched_seed).with_interrupts(model))
+            .run(&p);
+        assert!(tx.completed(), "TxRace run did not finish: {:?}", tx.run);
+        assert!(tx.overhead >= 1.0);
+    }
+    assert!(cases >= 1, "regression file had no parseable cases");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
