@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use txrace::{instrument, InstrumentConfig};
 use txrace_hb::{FastTrack, ShadowMode, VectorClock};
 use txrace_htm::{HtmConfig, HtmSystem};
-use txrace_sim::{Addr, LockId, Memory, ProgramBuilder, SiteId, ThreadId};
+use txrace_sim::{Addr, LockId, Memory, ProgramBuilder, SiteId, ThreadId, WriteJournal};
 
 fn bench_htm(c: &mut Criterion) {
     let mut g = c.benchmark_group("htm");
@@ -32,14 +32,61 @@ fn bench_htm(c: &mut Criterion) {
     });
     g.bench_function("conflict_scan_4_active_txns", |b| {
         let mut htm = HtmSystem::new(HtmConfig::default(), 5);
-        let mem = Memory::new();
+        let mut mem = Memory::new();
         for t in 0..4 {
             htm.xbegin(ThreadId(t)).unwrap();
-            let _ = htm.read(ThreadId(t), &mem, Addr(0x2000 + u64::from(t) * 64));
+            let _ = htm.read(ThreadId(t), &mut mem, Addr(0x2000 + u64::from(t) * 64));
         }
         b.iter(|| {
             // Non-conflicting non-transactional read scans all four txns.
-            black_box(htm.read(ThreadId(4), &mem, Addr(0x9000)));
+            black_box(htm.read(ThreadId(4), &mut mem, Addr(0x9000)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    // Snapshot/restore strategies over a populated memory: the clone
+    // baseline pays O(written cells) per checkpoint, the journal pays
+    // O(stores in the speculative region).
+    let mut g = c.benchmark_group("snapshot");
+    let populated = || {
+        let mut m = Memory::new();
+        for i in 0..4096u64 {
+            m.store(Addr(i * 8), i);
+        }
+        m
+    };
+    g.bench_function("clone_restore_4k_cells_8_writes", |b| {
+        let mut mem = populated();
+        b.iter(|| {
+            let snap = black_box(mem.clone());
+            for i in 0..8u64 {
+                mem.store(Addr(i * 8), 999);
+            }
+            mem = black_box(snap);
+        });
+    });
+    g.bench_function("journal_rollback_8_writes", |b| {
+        let mut mem = populated();
+        let mut j = WriteJournal::new();
+        b.iter(|| {
+            let mark = j.mark();
+            for i in 0..8u64 {
+                mem.store_logged(Addr(i * 8), 999, &mut j);
+            }
+            j.rollback_to(&mut mem, mark);
+        });
+    });
+    g.bench_function("journal_commit_8_writes", |b| {
+        let mut mem = populated();
+        let mut j = WriteJournal::new();
+        b.iter(|| {
+            let mark = j.mark();
+            for i in 0..8u64 {
+                mem.store_logged(Addr(i * 8), 999, &mut j);
+            }
+            j.commit_to(mark);
         });
     });
     g.finish();
@@ -99,5 +146,11 @@ fn bench_instrument(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_htm, bench_fasttrack, bench_instrument);
+criterion_group!(
+    benches,
+    bench_htm,
+    bench_snapshot,
+    bench_fasttrack,
+    bench_instrument
+);
 criterion_main!(benches);

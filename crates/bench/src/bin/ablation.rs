@@ -91,7 +91,7 @@ fn ideal_htm_ablation(workers: usize, seed: u64) {
         write_ways: 1 << 16,
         read_set_max_lines: usize::MAX / 2,
         max_concurrent_txns: 64,
-        report_conflict_address: false,
+        ..HtmConfig::default()
     };
     let mut t = Table::new(&["application", "best-effort HTM", "ideal HTM"]);
     let (mut real, mut idl) = (Vec::new(), Vec::new());

@@ -21,7 +21,7 @@ use txrace_bench::{fmt_x, record_workload, replay_scheme, run_scheme, Table};
 use txrace_workloads::all_workloads;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = txrace_bench::args_after_cache_flag().into_iter();
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 

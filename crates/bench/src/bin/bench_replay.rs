@@ -90,7 +90,7 @@ fn rate_sweep() -> Vec<Scheme> {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = txrace_bench::args_after_cache_flag().into_iter();
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 

@@ -17,7 +17,7 @@ use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_sc
 use txrace_workloads::by_name;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = txrace_bench::args_after_cache_flag().into_iter();
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let nseeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
 

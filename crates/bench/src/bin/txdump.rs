@@ -5,8 +5,13 @@
 //!
 //! ```text
 //! txdump <app> [--seed <n>] [--workers <n>] [--thread <t>]
-//!              [--kind <k>[,<k>...]] [--head <n>] [--summary]
+//!              [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats]
+//!              [--no-trace-cache]
 //! ```
+//!
+//! `--stats` prints per-kind event counts, the app's write density, and
+//! the top-N hottest addresses (N from `--head`, default 10) instead of
+//! the event stream.
 //!
 //! Kinds: `read write rmw acquire release signal wait spawn join
 //! barrier-arrive barrier-release thread-done compute syscall`.
@@ -18,14 +23,13 @@
 //! cargo run --release -p txrace-bench --bin txdump -- vips --thread 1 --kind read,write --head 40
 //! ```
 
-use txrace::{Detector, Scheme};
-use txrace_sim::{TraceEvent, TraceEventKind};
+use txrace_sim::{EventLog, TraceEvent, TraceEventKind};
 use txrace_workloads::by_name;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  txdump <app> [--seed <n>] [--workers <n>] [--thread <t>] \
-         [--kind <k>[,<k>...]] [--head <n>] [--summary]"
+         [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--no-trace-cache]"
     );
     std::process::exit(2);
 }
@@ -69,8 +73,53 @@ fn kind_name(k: TraceEventKind) -> &'static str {
     }
 }
 
+/// `--stats`: aggregate trace statistics — per-kind event counts, write
+/// density, and the `top_n` hottest addresses by access count.
+fn print_stats(log: &EventLog, top_n: usize) {
+    let total = log.len().max(1) as f64;
+    let mut counts = std::collections::BTreeMap::new();
+    // (reads, writes) per address; RMWs count as writes.
+    let mut heat: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
+    for e in log.events() {
+        *counts.entry(kind_name(e.kind)).or_insert(0u64) += 1;
+        match e.kind {
+            TraceEventKind::Read => heat.entry(e.arg).or_default().0 += 1,
+            TraceEventKind::Write | TraceEventKind::Rmw => heat.entry(e.arg).or_default().1 += 1,
+            _ => {}
+        }
+    }
+
+    println!("\nevents by kind:");
+    for (k, n) in &counts {
+        println!("  {k:<16} {n:>9}  ({:5.1}%)", *n as f64 / total * 100.0);
+    }
+
+    let reads: u64 = heat.values().map(|&(r, _)| r).sum();
+    let writes: u64 = heat.values().map(|&(_, w)| w).sum();
+    let accesses = reads + writes;
+    println!("\nwrite density:");
+    println!("  {reads} reads, {writes} writes (incl. rmw) over {accesses} accesses");
+    println!(
+        "  {:.1}% writes; {} distinct addresses, {:.1} accesses/address",
+        writes as f64 / (accesses.max(1)) as f64 * 100.0,
+        heat.len(),
+        accesses as f64 / heat.len().max(1) as f64,
+    );
+
+    let mut hottest: Vec<(u64, (u64, u64))> = heat.into_iter().collect();
+    hottest.sort_by_key(|&(addr, (r, w))| (std::cmp::Reverse(r + w), addr));
+    println!("\ntop {} hottest addresses:", top_n.min(hottest.len()));
+    println!(
+        "  {:<18} {:>9} {:>9} {:>9}",
+        "address", "reads", "writes", "total"
+    );
+    for (addr, (r, w)) in hottest.into_iter().take(top_n) {
+        println!("  {:#016x} {r:>9} {w:>9} {:>9}", addr, r + w);
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = txrace_bench::args_after_cache_flag();
     let Some(app) = args.first() else { usage() };
     let mut seed = 42u64;
     let mut workers = 4usize;
@@ -78,6 +127,7 @@ fn main() {
     let mut kinds: Option<Vec<TraceEventKind>> = None;
     let mut head: Option<usize> = None;
     let mut summary = false;
+    let mut stats = false;
 
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -89,6 +139,7 @@ fn main() {
             "--kind" => kinds = Some(val(&mut it).split(',').map(parse_kind).collect()),
             "--head" => head = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--summary" => summary = true,
+            "--stats" => stats = true,
             _ => usage(),
         }
     }
@@ -97,7 +148,7 @@ fn main() {
         eprintln!("unknown app {app:?}; try `txrace-cli list`");
         std::process::exit(2);
     };
-    let log = Detector::new(w.config(Scheme::Tsan, seed)).record(&w.program);
+    let log = txrace_bench::record_workload(&w, seed);
 
     let census = log.census();
     println!(
@@ -114,6 +165,10 @@ fn main() {
         census.syscalls,
         census.compute_units,
     );
+    if stats {
+        print_stats(&log, head.unwrap_or(10));
+        return;
+    }
     if summary {
         let mut counts = std::collections::BTreeMap::new();
         for e in log.events() {

@@ -27,7 +27,7 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = txrace_bench::args_after_cache_flag();
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("available workloads (paper Table 1 order):");
@@ -85,7 +85,7 @@ fn run_command(args: &[String]) {
     if scheme == "lockset" {
         // Record under the workload's own scheduler, then replay the
         // trace through the lockset consumer.
-        let log = Detector::new(w.config(Scheme::Tsan, seed)).record(&w.program);
+        let log = txrace_bench::record_workload(&w, seed);
         let mut ls = LocksetConsumer::new(w.program.thread_count(), CostModel::default());
         log.replay(&mut ls);
         println!(

@@ -1,0 +1,141 @@
+//! On-disk recording cache: serialized [`EventLog`]s under
+//! `target/trace-cache/`, keyed by (workload, seed, program hash), so
+//! the figure and benchmark binaries share recordings across
+//! *invocations* — fig11/12/13, baselines, and `bench_replay` all record
+//! each (workload, seed) pair once per checkout instead of once per run.
+//!
+//! Opt out with `--no-trace-cache` (every recording binary forwards the
+//! flag here via [`args_after_cache_flag`]) or by setting the
+//! `TXRACE_NO_TRACE_CACHE` environment variable. Entries are validated
+//! on load (magic, version, bounds); any decode failure is treated as a
+//! miss and the workload is re-recorded. The key hashes the program IR,
+//! scheduler policy, and interrupt model, so editing a workload simply
+//! misses the old entry rather than replaying a stale schedule.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use txrace_sim::EventLog;
+use txrace_workloads::Workload;
+
+static DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Disables the trace cache for the rest of this process (both lookups
+/// and writes) — the `--no-trace-cache` CLI flag lands here.
+pub fn disable_trace_cache() {
+    DISABLED.store(true, Ordering::Relaxed);
+}
+
+/// Collects the process CLI arguments (after the program name),
+/// consuming any `--no-trace-cache` flag — which disables the cache —
+/// and returning the remaining arguments in order.
+pub fn args_after_cache_flag() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--no-trace-cache" {
+                disable_trace_cache();
+                false
+            } else {
+                true
+            }
+        })
+        .collect()
+}
+
+fn enabled() -> bool {
+    !DISABLED.load(Ordering::Relaxed) && std::env::var_os("TXRACE_NO_TRACE_CACHE").is_none()
+}
+
+/// `$CARGO_TARGET_DIR/trace-cache` (or `target/trace-cache`).
+fn cache_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"))
+        .join("trace-cache")
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(h, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Cache file name for one (workload, seed) recording. The hash covers
+/// everything the recorded schedule depends on: the program IR, the
+/// scheduler policy, the interrupt model, and the seed.
+fn cache_file(w: &Workload, seed: u64) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    h = fnv1a(h, format!("{:?}", w.program).as_bytes());
+    h = fnv1a(h, format!("{:?}/{:?}", w.sched, w.interrupts).as_bytes());
+    h = fnv1a(h, &seed.to_le_bytes());
+    format!("{}-s{seed}-{h:016x}.txlog", w.name)
+}
+
+/// Returns the cached recording for `(w, seed)` if present and valid;
+/// otherwise calls `record`, stores the result (best-effort — a
+/// read-only target dir silently skips the store), and returns it.
+pub fn load_or_record(w: &Workload, seed: u64, record: impl FnOnce() -> EventLog) -> EventLog {
+    if !enabled() {
+        return record();
+    }
+    let path = cache_dir().join(cache_file(w, seed));
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(log) = EventLog::from_bytes(&bytes) {
+            return log;
+        }
+    }
+    let log = record();
+    if fs::create_dir_all(cache_dir()).is_ok() {
+        // Write-then-rename so a concurrent reader never sees a torn
+        // file; the pid suffix keeps concurrent writers off each other.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if fs::write(&tmp, log.to_bytes()).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_workloads::by_name;
+
+    #[test]
+    fn key_distinguishes_workload_seed_and_shape() {
+        let a = by_name("blackscholes", 2).unwrap();
+        let b = by_name("blackscholes", 4).unwrap();
+        let c = by_name("swaptions", 2).unwrap();
+        assert_ne!(cache_file(&a, 1), cache_file(&a, 2));
+        assert_ne!(cache_file(&a, 1), cache_file(&b, 1));
+        assert_ne!(cache_file(&a, 1), cache_file(&c, 1));
+    }
+
+    #[test]
+    fn cache_round_trips_a_recording() {
+        let w = by_name("blackscholes", 2).unwrap();
+        // Unusual seed so this test owns its cache entry.
+        let seed = 0xC0FFEE;
+        let path = cache_dir().join(cache_file(&w, seed));
+        let _ = fs::remove_file(&path);
+        let mut recorded = 0;
+        let first = load_or_record(&w, seed, || {
+            recorded += 1;
+            crate::runner::record_workload_uncached(&w, seed)
+        });
+        let second = load_or_record(&w, seed, || {
+            recorded += 1;
+            crate::runner::record_workload_uncached(&w, seed)
+        });
+        if path.exists() {
+            assert_eq!(recorded, 1, "second call should hit the cache");
+            let _ = fs::remove_file(&path);
+        }
+        assert_eq!(first.events(), second.events());
+        assert_eq!(first.final_memory(), second.final_memory());
+        assert_eq!(first.result(), second.result());
+        assert_eq!(first.census(), second.census());
+    }
+}

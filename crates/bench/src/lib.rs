@@ -7,13 +7,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod paper;
 pub mod pool;
 pub mod report;
 pub mod runner;
 
+pub use cache::{args_after_cache_flag, disable_trace_cache};
 pub use pool::{map_cells, pool_width};
 pub use report::{fmt_x, geomean, json_rows, JsonValue, Table};
 pub use runner::{
-    evaluate_app, record_workload, replay_scheme, run_scheme, AppResult, EvalOptions,
+    evaluate_app, record_workload, record_workload_uncached, replay_scheme, run_scheme, AppResult,
+    EvalOptions,
 };

@@ -19,8 +19,13 @@
 //! * **Best-effort aborts**: simulated context switches doom a transaction
 //!   with an empty status word (an *unknown* abort), and transient events
 //!   with `RETRY` only.
-//! * **Write buffering**: transactional stores are invisible until commit
-//!   and are discarded on abort.
+//! * **Isolated speculative stores**: a transaction's stores are never
+//!   observed by another thread and vanish on abort. By default stores go
+//!   to memory eagerly under a per-transaction undo journal that is
+//!   unwound the instant the transaction is doomed — before the
+//!   conflicting access proceeds — so isolation is preserved with O(1)
+//!   begin/commit and O(stores) rollback; a lazy write-buffer policy is
+//!   kept as the equivalence oracle (see [`VersionPolicy`]).
 //!
 //! Like the real hardware, the system reports *that* a transaction aborted
 //! and a status word — never which instruction, address, or other
@@ -36,11 +41,10 @@
 //! let (t0, t1) = (ThreadId(0), ThreadId(1));
 //!
 //! htm.xbegin(t0).unwrap();
-//! htm.write(t0, &mut mem, Addr(0x1000), 7);
-//! assert_eq!(mem.load(Addr(0x1000)), 0); // buffered, not visible
+//! htm.write(t0, &mut mem, Addr(0x1000), 7); // journaled, in place
 //!
 //! // t1's non-transactional read of the same line dooms t0 (requester
-//! // wins + strong isolation).
+//! // wins + strong isolation) and unwinds t0's journal first.
 //! let _ = htm.read(t1, &mut mem, Addr(0x1008));
 //! assert!(htm.is_doomed(t0).is_some());
 //! assert!(htm.xend(t0, &mut mem).is_err());
@@ -56,5 +60,7 @@ mod system;
 mod txn;
 
 pub use status::{AbortReason, AbortStatus};
-pub use system::{ConflictOracle, ConflictRecord, HtmConfig, HtmStats, HtmSystem, XbeginError};
+pub use system::{
+    ConflictOracle, ConflictRecord, HtmConfig, HtmStats, HtmSystem, VersionPolicy, XbeginError,
+};
 pub use txn::TxnState;

@@ -6,6 +6,41 @@ use txrace_sim::{Addr, CacheLine, InterruptKind, Memory, ThreadId};
 use crate::status::{AbortReason, AbortStatus};
 use crate::txn::{Txn, TxnState};
 
+/// How a transaction's stores are versioned while it is in flight.
+///
+/// All three policies are observationally equivalent — doom order, abort
+/// statistics, and every value any non-doomed access observes are
+/// bit-identical (verified by `tests/rollback_equivalence.rs`) — they
+/// differ only in what the simulator pays per access and per abort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VersionPolicy {
+    /// Eager in-place stores under a per-transaction undo journal
+    /// ([`txrace_sim::WriteJournal`]): transaction begin is an O(1)
+    /// journal mark, commit an O(1) truncate, rollback O(stores in the
+    /// transaction) — and transactional *reads* are plain memory loads
+    /// (no store-buffer lookup). The default.
+    #[default]
+    Undo,
+    /// Lazy write buffering: stores accumulate in a per-transaction
+    /// buffer and reach memory only at commit. The previous
+    /// implementation, kept as the equivalence oracle for the undo path.
+    Buffer,
+    /// Undo mechanics in the HTM plus a full simulated-memory checkpoint
+    /// cloned by the engine at every transaction begin and again at
+    /// abort: the O(heap)-per-begin clone-snapshot baseline that
+    /// `bench_live` quantifies the journal against. Detection outputs
+    /// are still bit-identical (restore goes through the journal; the
+    /// clones are pure cost).
+    CloneSnapshot,
+}
+
+impl VersionPolicy {
+    /// True when stores go to memory eagerly under an undo journal.
+    pub fn is_eager(self) -> bool {
+        !matches!(self, VersionPolicy::Buffer)
+    }
+}
+
 /// Hardware parameters of the simulated HTM.
 ///
 /// Defaults model a Haswell L1D: transactional *writes* must fit the
@@ -25,6 +60,9 @@ pub struct HtmConfig {
     /// report the conflicting cache line to the aborted transaction.
     /// Commodity RTM does not do this; keep `false` for fidelity.
     pub report_conflict_address: bool,
+    /// How in-flight stores are versioned (undo journal vs write buffer);
+    /// observationally equivalent, see [`VersionPolicy`].
+    pub version: VersionPolicy,
 }
 
 impl Default for HtmConfig {
@@ -35,6 +73,7 @@ impl Default for HtmConfig {
             read_set_max_lines: 4096,
             max_concurrent_txns: 8,
             report_conflict_address: false,
+            version: VersionPolicy::default(),
         }
     }
 }
@@ -313,14 +352,19 @@ impl HtmSystem {
             return Err(XbeginError::NoSlot);
         }
         // The slot's bookkeeping was reset when its last transaction
-        // finished, so starting one is just flipping the flag.
-        self.slots[t.index()].in_flight = true;
+        // finished, so starting one is just flipping the flag and taking
+        // an O(1) journal watermark — never O(state).
+        let slot = &mut self.slots[t.index()];
+        slot.in_flight = true;
+        slot.txn.begin = slot.txn.journal.mark();
         self.active += 1;
         Ok(())
     }
 
-    /// Ends thread `t`'s transaction: commits buffered writes, or reports
-    /// the abort status and discards them.
+    /// Ends thread `t`'s transaction: makes its stores permanent (for the
+    /// journaled policies they are already in memory, so commit is an O(1)
+    /// truncate; under [`VersionPolicy::Buffer`] the buffered writes are
+    /// applied here), or reports the abort status.
     ///
     /// # Errors
     ///
@@ -331,14 +375,22 @@ impl HtmSystem {
     ///
     /// Panics if `t` has no transaction in flight.
     pub fn xend(&mut self, t: ThreadId, mem: &mut Memory) -> Result<(), AbortStatus> {
+        let eager = self.cfg.version.is_eager();
         let slot = &mut self.slots[t.index()];
         assert!(slot.in_flight, "xend without a transaction in flight");
         slot.in_flight = false;
         let result = match slot.txn.doom {
             Some(status) => Err(status),
             None => {
-                for (addr, val) in slot.txn.write_buf.entries() {
-                    mem.store(addr, val);
+                if eager {
+                    // Journaled stores are already in memory; committing
+                    // is retiring the undo entries (`reset` truncates).
+                    let begin = slot.txn.begin;
+                    slot.txn.journal.commit_to(begin);
+                } else {
+                    for (addr, val) in slot.txn.write_buf.entries() {
+                        mem.store(addr, val);
+                    }
                 }
                 Ok(())
             }
@@ -380,85 +432,119 @@ impl HtmSystem {
     /// # Panics
     ///
     /// Panics if `t` has no transaction in flight.
-    pub fn xabort(&mut self, t: ThreadId, code: u8) {
+    pub fn xabort(&mut self, t: ThreadId, mem: &mut Memory, code: u8) {
         assert!(self.in_txn(t), "xabort outside a transaction");
-        self.doom(t, AbortStatus::explicit_with_code(code));
+        self.doom(mem, t, AbortStatus::explicit_with_code(code));
     }
 
     /// Delivers a simulated OS interrupt to thread `t`; any in-flight
     /// transaction aborts (unknown status for context switches, RETRY for
     /// transient events).
-    pub fn interrupt(&mut self, t: ThreadId, kind: InterruptKind) {
+    pub fn interrupt(&mut self, t: ThreadId, mem: &mut Memory, kind: InterruptKind) {
         if self.slots[t.index()].in_flight {
             let status = match kind {
                 InterruptKind::ContextSwitch => AbortStatus::UNKNOWN,
                 InterruptKind::Transient => AbortStatus::RETRY,
             };
-            self.doom(t, status);
+            self.doom(mem, t, status);
         }
     }
 
     /// Performs a read by `t` (transactional if `t` is in a transaction,
     /// non-transactional otherwise), returning the value observed.
-    pub fn read(&mut self, t: ThreadId, mem: &Memory, addr: Addr) -> u64 {
+    ///
+    /// Takes `&mut Memory` because requester-wins conflict detection may
+    /// doom another transaction, and under the journaled policies dooming
+    /// unwinds the victim's eager stores before this read observes memory.
+    pub fn read(&mut self, t: ThreadId, mem: &mut Memory, addr: Addr) -> u64 {
         let line = addr.line();
+        let eager = self.cfg.version.is_eager();
         let slot = &self.slots[t.index()];
         match (slot.in_flight, slot.txn.doom) {
             (true, None) => {
                 // Active transaction: requester-wins against others' writes.
-                self.conflict_scan(t, line, false, true);
+                self.conflict_scan(mem, t, line, false, true);
                 let cap = self.cfg.read_set_max_lines;
                 let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
                 if !txn.read_lines.contains(line) {
                     if txn.read_lines.len() >= cap {
-                        let val = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
-                        self.doom(t, AbortStatus::CAPACITY);
+                        // Capture before the self-doom: dooming unwinds
+                        // this transaction's own journal.
+                        let val = if eager {
+                            mem.load(addr)
+                        } else {
+                            txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
+                        };
+                        self.doom(mem, t, AbortStatus::CAPACITY);
                         return val;
                     }
                     txn.read_lines.insert(line);
                     Self::bump(&mut self.line_readers, line);
                 }
-                let txn = &self.slots[t.index()].txn;
-                txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
+                if eager {
+                    // Own stores are already in place: a transactional
+                    // read is a plain load, no buffer lookup.
+                    mem.load(addr)
+                } else {
+                    let txn = &self.slots[t.index()].txn;
+                    txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
+                }
             }
             (true, Some(_)) => {
                 // Zombie execution inside a doomed transaction: no coherence
-                // effects, value comes from the dead buffer or memory.
-                slot.txn
-                    .write_buf
-                    .get(addr)
-                    .unwrap_or_else(|| mem.load(addr))
+                // effects. Under the journaled policies the undo log was
+                // unwound at doom time, so memory is the pre-transaction
+                // state; under buffering the dead buffer still answers.
+                if eager {
+                    mem.load(addr)
+                } else {
+                    slot.txn
+                        .write_buf
+                        .get(addr)
+                        .unwrap_or_else(|| mem.load(addr))
+                }
             }
             (false, _) => {
-                // Non-transactional read: strong isolation dooms writers.
-                self.conflict_scan(t, line, false, false);
+                // Non-transactional read: strong isolation dooms writers
+                // (and unwinds their journals) before the load.
+                self.conflict_scan(mem, t, line, false, false);
                 mem.load(addr)
             }
         }
     }
 
-    /// Performs a write by `t` (buffered if transactional, direct
-    /// otherwise).
+    /// Performs a write by `t` (journaled in place or buffered if
+    /// transactional, per the version policy; direct otherwise).
     pub fn write(&mut self, t: ThreadId, mem: &mut Memory, addr: Addr, val: u64) {
         let line = addr.line();
+        let eager = self.cfg.version.is_eager();
         let slot = &self.slots[t.index()];
         match (slot.in_flight, slot.txn.doom) {
             (true, None) => {
-                self.conflict_scan(t, line, true, true);
-                if !self.reserve_write_line(t, line) {
+                self.conflict_scan(mem, t, line, true, true);
+                if !self.reserve_write_line(mem, t, line) {
                     return; // capacity doom; store never becomes visible
                 }
                 let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
-                txn.write_buf.insert(addr, val);
+                if eager {
+                    mem.store_logged(addr, val, &mut txn.journal);
+                } else {
+                    txn.write_buf.insert(addr, val);
+                }
             }
             (true, Some(_)) => {
-                let txn = &mut self.slots[t.index()].txn;
-                txn.write_buf.insert(addr, val); // dead buffer
+                // Zombie store: under journaling it simply vanishes (the
+                // undo log is already unwound and must stay retired);
+                // under buffering it lands in the dead buffer.
+                if !eager {
+                    let txn = &mut self.slots[t.index()].txn;
+                    txn.write_buf.insert(addr, val);
+                }
             }
             (false, _) => {
-                self.conflict_scan(t, line, true, false);
+                self.conflict_scan(mem, t, line, true, false);
                 mem.store(addr, val);
             }
         }
@@ -467,43 +553,61 @@ impl HtmSystem {
     /// Performs an atomic fetch-add by `t`, returning the previous value.
     pub fn rmw(&mut self, t: ThreadId, mem: &mut Memory, addr: Addr, delta: u64) -> u64 {
         let line = addr.line();
+        let eager = self.cfg.version.is_eager();
         let slot = &self.slots[t.index()];
         match (slot.in_flight, slot.txn.doom) {
             (true, None) => {
-                self.conflict_scan(t, line, true, true);
+                self.conflict_scan(mem, t, line, true, true);
                 // Reads and writes the line.
                 let cap = self.cfg.read_set_max_lines;
                 {
                     let txn = &mut self.slots[t.index()].txn;
                     if !txn.read_lines.contains(line) && txn.read_lines.len() >= cap {
-                        let old = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
-                        self.doom(t, AbortStatus::CAPACITY);
+                        // Pre-doom capture: the self-doom below unwinds
+                        // this transaction's own journal.
+                        let old = if eager {
+                            mem.load(addr)
+                        } else {
+                            txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
+                        };
+                        self.doom(mem, t, AbortStatus::CAPACITY);
                         return old;
                     }
                     if txn.read_lines.insert(line) {
                         Self::bump(&mut self.line_readers, line);
                     }
                 }
-                let old = {
+                let old = if eager {
+                    mem.load(addr)
+                } else {
                     let txn = &self.slots[t.index()].txn;
                     txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr))
                 };
-                if !self.reserve_write_line(t, line) {
+                if !self.reserve_write_line(mem, t, line) {
                     return old;
                 }
                 let txn = &mut self.slots[t.index()].txn;
                 txn.accesses += 1;
-                txn.write_buf.insert(addr, old.wrapping_add(delta));
+                if eager {
+                    mem.store_logged(addr, old.wrapping_add(delta), &mut txn.journal);
+                } else {
+                    txn.write_buf.insert(addr, old.wrapping_add(delta));
+                }
                 old
             }
             (true, Some(_)) => {
-                let txn = &mut self.slots[t.index()].txn;
-                let old = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
-                txn.write_buf.insert(addr, old.wrapping_add(delta));
-                old
+                // Zombie rmw: observe without publishing (see `write`).
+                if eager {
+                    mem.load(addr)
+                } else {
+                    let txn = &mut self.slots[t.index()].txn;
+                    let old = txn.write_buf.get(addr).unwrap_or_else(|| mem.load(addr));
+                    txn.write_buf.insert(addr, old.wrapping_add(delta));
+                    old
+                }
             }
             (false, _) => {
-                self.conflict_scan(t, line, true, false);
+                self.conflict_scan(mem, t, line, true, false);
                 let old = mem.load(addr);
                 mem.store(addr, old.wrapping_add(delta));
                 old
@@ -513,7 +617,7 @@ impl HtmSystem {
 
     /// Adds `line` to `t`'s write set, dooming `t` with CAPACITY if the
     /// L1-shaped structure overflows. Returns false on doom.
-    fn reserve_write_line(&mut self, t: ThreadId, line: CacheLine) -> bool {
+    fn reserve_write_line(&mut self, mem: &mut Memory, t: ThreadId, line: CacheLine) -> bool {
         let (sets, ways) = (self.cfg.write_sets, self.cfg.write_ways);
         let txn = &mut self.slots[t.index()].txn;
         if txn.write_lines.contains(line) {
@@ -524,7 +628,7 @@ impl HtmSystem {
             txn.set_occupancy = vec![0; sets];
         }
         if usize::from(txn.set_occupancy[set]) >= ways {
-            self.doom(t, AbortStatus::CAPACITY);
+            self.doom(mem, t, AbortStatus::CAPACITY);
             return false;
         }
         txn.set_occupancy[set] += 1;
@@ -537,6 +641,7 @@ impl HtmSystem {
     /// transaction whose tracked lines conflict with this access.
     fn conflict_scan(
         &mut self,
+        mem: &mut Memory,
         requester: ThreadId,
         line: CacheLine,
         is_write: bool,
@@ -586,7 +691,7 @@ impl HtmSystem {
                 };
             if conflicts {
                 let victim = ThreadId(i as u32);
-                self.doom(victim, AbortStatus::CONFLICT | AbortStatus::RETRY);
+                self.doom(mem, victim, AbortStatus::CONFLICT | AbortStatus::RETRY);
                 self.slots[i].txn.conflict_line.get_or_insert(line);
                 self.oracle.records.push(ConflictRecord {
                     requester,
@@ -600,7 +705,13 @@ impl HtmSystem {
 
     /// Marks `victim`'s transaction aborted and updates statistics. The
     /// first doom wins; later ones do not overwrite the status.
-    fn doom(&mut self, victim: ThreadId, status: AbortStatus) {
+    ///
+    /// Under the journaled policies this is also where isolation is
+    /// restored: the victim's undo log is unwound to its begin watermark
+    /// *before* the requester's own access proceeds, so no thread ever
+    /// observes a doomed transaction's stores.
+    fn doom(&mut self, mem: &mut Memory, victim: ThreadId, status: AbortStatus) {
+        let eager = self.cfg.version.is_eager();
         let slot = &mut self.slots[victim.index()];
         assert!(slot.in_flight, "dooming a thread without a transaction");
         let txn = &mut slot.txn;
@@ -608,6 +719,10 @@ impl HtmSystem {
             return;
         }
         txn.doom = Some(status);
+        if eager {
+            let begin = txn.begin;
+            txn.journal.rollback_to(mem, begin);
+        }
         match status.reason() {
             AbortReason::Conflict => self.stats.conflict_aborts += 1,
             AbortReason::Capacity => self.stats.capacity_aborts += 1,
@@ -630,13 +745,24 @@ mod tests {
         (HtmSystem::new(HtmConfig::default(), threads), Memory::new())
     }
 
+    fn fresh_with(version: VersionPolicy, threads: usize) -> (HtmSystem, Memory) {
+        let cfg = HtmConfig {
+            version,
+            ..HtmConfig::default()
+        };
+        (HtmSystem::new(cfg, threads), Memory::new())
+    }
+
     fn line_addr(line: u64) -> Addr {
         CacheLine(line).base()
     }
 
     #[test]
-    fn committed_writes_become_visible_atomically() {
-        let (mut htm, mut mem) = fresh(1);
+    fn buffered_committed_writes_become_visible_atomically() {
+        // Buffer is the only policy where uncommitted stores are invisible
+        // to a direct memory probe (under journaling they are in place and
+        // isolation comes from doom-time rollback instead).
+        let (mut htm, mut mem) = fresh_with(VersionPolicy::Buffer, 1);
         htm.xbegin(T0).unwrap();
         htm.write(T0, &mut mem, line_addr(1), 11);
         htm.write(T0, &mut mem, line_addr(2), 22);
@@ -649,13 +775,47 @@ mod tests {
     }
 
     #[test]
+    fn journaled_stores_land_eagerly_and_unwind_on_doom() {
+        let (mut htm, mut mem) = fresh(2);
+        mem.store(line_addr(1), 7);
+        htm.xbegin(T0).unwrap();
+        htm.write(T0, &mut mem, line_addr(1), 11);
+        htm.write(T0, &mut mem, line_addr(2), 22);
+        assert_eq!(mem.load(line_addr(1)), 11, "journaled store is in place");
+        assert_eq!(mem.load(line_addr(2)), 22);
+        // A conflicting non-transactional store dooms T0; the undo log
+        // unwinds before the requester's store lands.
+        htm.write(T1, &mut mem, line_addr(2), 99);
+        assert_eq!(mem.load(line_addr(1)), 7, "old value restored");
+        assert_eq!(mem.load(line_addr(2)), 99, "requester's store wins");
+        assert!(htm.xend(T0, &mut mem).is_err());
+    }
+
+    #[test]
+    fn journaled_commit_keeps_stores_in_place() {
+        let (mut htm, mut mem) = fresh(1);
+        htm.xbegin(T0).unwrap();
+        htm.write(T0, &mut mem, line_addr(1), 11);
+        htm.xend(T0, &mut mem).unwrap();
+        assert_eq!(mem.load(line_addr(1)), 11);
+        assert_eq!(htm.stats().committed, 1);
+        // The retired journal must not unwind a later doom's rollback past
+        // the committed store.
+        htm.xbegin(T0).unwrap();
+        htm.write(T0, &mut mem, line_addr(1), 12);
+        htm.interrupt(T0, &mut mem, InterruptKind::ContextSwitch);
+        assert_eq!(mem.load(line_addr(1)), 11, "rollback stops at commit");
+        assert!(htm.xend(T0, &mut mem).is_err());
+    }
+
+    #[test]
     fn transaction_reads_its_own_writes() {
         let (mut htm, mut mem) = fresh(1);
         mem.store(line_addr(1), 5);
         htm.xbegin(T0).unwrap();
-        assert_eq!(htm.read(T0, &mem, line_addr(1)), 5);
+        assert_eq!(htm.read(T0, &mut mem, line_addr(1)), 5);
         htm.write(T0, &mut mem, line_addr(1), 9);
-        assert_eq!(htm.read(T0, &mem, line_addr(1)), 9);
+        assert_eq!(htm.read(T0, &mut mem, line_addr(1)), 9);
     }
 
     #[test]
@@ -682,7 +842,7 @@ mod tests {
         let (mut htm, mut mem) = fresh(2);
         htm.xbegin(T0).unwrap();
         htm.xbegin(T1).unwrap();
-        let _ = htm.read(T0, &mem, line_addr(4));
+        let _ = htm.read(T0, &mut mem, line_addr(4));
         htm.write(T1, &mut mem, line_addr(4), 1);
         assert!(htm.is_doomed(T0).is_some());
         assert!(htm.is_doomed(T1).is_none());
@@ -694,7 +854,7 @@ mod tests {
         htm.xbegin(T0).unwrap();
         htm.xbegin(T1).unwrap();
         htm.write(T0, &mut mem, line_addr(4), 1);
-        let _ = htm.read(T1, &mem, line_addr(4));
+        let _ = htm.read(T1, &mut mem, line_addr(4));
         assert!(
             htm.is_doomed(T0).is_some(),
             "writer loses to reader-requester"
@@ -704,11 +864,11 @@ mod tests {
 
     #[test]
     fn read_read_never_conflicts() {
-        let (mut htm, mem) = fresh(2);
+        let (mut htm, mut mem) = fresh(2);
         htm.xbegin(T0).unwrap();
         htm.xbegin(T1).unwrap();
-        let _ = htm.read(T0, &mem, line_addr(4));
-        let _ = htm.read(T1, &mem, line_addr(4));
+        let _ = htm.read(T0, &mut mem, line_addr(4));
+        let _ = htm.read(T1, &mut mem, line_addr(4));
         assert!(htm.is_doomed(T0).is_none());
         assert!(htm.is_doomed(T1).is_none());
     }
@@ -741,8 +901,8 @@ mod tests {
         htm.xbegin(T0).unwrap();
         htm.xbegin(T1).unwrap();
         let flag = line_addr(12);
-        let _ = htm.read(T0, &mem, flag);
-        let _ = htm.read(T1, &mem, flag);
+        let _ = htm.read(T0, &mut mem, flag);
+        let _ = htm.read(T1, &mut mem, flag);
         // T2 is NOT in a transaction; its plain store must doom both.
         htm.write(T2, &mut mem, flag, 1);
         assert!(htm.is_doomed(T0).is_some());
@@ -757,8 +917,8 @@ mod tests {
         let (mut htm, mut mem) = fresh(2);
         htm.xbegin(T0).unwrap();
         htm.write(T0, &mut mem, line_addr(13), 5);
-        let v = htm.read(T1, &mem, line_addr(13));
-        assert_eq!(v, 0, "buffered transactional store must be invisible");
+        let v = htm.read(T1, &mut mem, line_addr(13));
+        assert_eq!(v, 0, "uncommitted transactional store must be invisible");
         assert!(htm.is_doomed(T0).is_some());
     }
 
@@ -782,7 +942,7 @@ mod tests {
         assert!(htm.is_doomed(T0).is_some());
         // T1 reads a line T0 "writes" post-doom; T1 must not be doomed.
         let probe = line_addr(16);
-        let _ = htm.read(T1, &mem, probe);
+        let _ = htm.read(T1, &mut mem, probe);
         htm.write(T0, &mut mem, probe, 3); // zombie write
         assert!(htm.is_doomed(T1).is_none());
         assert_eq!(mem.load(probe), 0);
@@ -814,13 +974,13 @@ mod tests {
             ..HtmConfig::default()
         };
         let mut htm = HtmSystem::new(cfg, 1);
-        let mem = Memory::new();
+        let mut mem = Memory::new();
         htm.xbegin(T0).unwrap();
         for i in 0..3 {
-            let _ = htm.read(T0, &mem, line_addr(20 + i));
+            let _ = htm.read(T0, &mut mem, line_addr(20 + i));
         }
         assert!(htm.is_doomed(T0).is_none());
-        let _ = htm.read(T0, &mem, line_addr(30));
+        let _ = htm.read(T0, &mut mem, line_addr(30));
         assert_eq!(htm.is_doomed(T0).unwrap().reason(), AbortReason::Capacity);
     }
 
@@ -831,36 +991,36 @@ mod tests {
             ..HtmConfig::default()
         };
         let mut htm = HtmSystem::new(cfg, 1);
-        let mem = Memory::new();
+        let mut mem = Memory::new();
         htm.xbegin(T0).unwrap();
         for _ in 0..100 {
-            let _ = htm.read(T0, &mem, line_addr(5));
+            let _ = htm.read(T0, &mut mem, line_addr(5));
         }
         assert!(htm.is_doomed(T0).is_none());
     }
 
     #[test]
     fn interrupt_dooms_with_unknown_status() {
-        let (mut htm, _mem) = fresh(1);
+        let (mut htm, mut mem) = fresh(1);
         htm.xbegin(T0).unwrap();
-        htm.interrupt(T0, InterruptKind::ContextSwitch);
+        htm.interrupt(T0, &mut mem, InterruptKind::ContextSwitch);
         assert_eq!(htm.is_doomed(T0).unwrap(), AbortStatus::UNKNOWN);
         assert_eq!(htm.stats().unknown_aborts, 1);
     }
 
     #[test]
     fn transient_interrupt_dooms_with_retry() {
-        let (mut htm, _mem) = fresh(1);
+        let (mut htm, mut mem) = fresh(1);
         htm.xbegin(T0).unwrap();
-        htm.interrupt(T0, InterruptKind::Transient);
+        htm.interrupt(T0, &mut mem, InterruptKind::Transient);
         assert_eq!(htm.is_doomed(T0).unwrap().reason(), AbortReason::Retry);
         assert_eq!(htm.stats().retry_aborts, 1);
     }
 
     #[test]
     fn interrupt_outside_txn_is_harmless() {
-        let (mut htm, _mem) = fresh(1);
-        htm.interrupt(T0, InterruptKind::ContextSwitch);
+        let (mut htm, mut mem) = fresh(1);
+        htm.interrupt(T0, &mut mem, InterruptKind::ContextSwitch);
         assert_eq!(htm.stats().unknown_aborts, 0);
     }
 
@@ -868,7 +1028,7 @@ mod tests {
     fn xabort_reports_code() {
         let (mut htm, mut mem) = fresh(1);
         htm.xbegin(T0).unwrap();
-        htm.xabort(T0, 0x42);
+        htm.xabort(T0, &mut mem, 0x42);
         let status = htm.xend(T0, &mut mem).unwrap_err();
         assert_eq!(status.explicit_code(), 0x42);
         assert_eq!(htm.stats().explicit_aborts, 1);
@@ -910,7 +1070,7 @@ mod tests {
         htm.xbegin(T0).unwrap();
         htm.write(T0, &mut mem, line_addr(5), 1);
         htm.write(T1, &mut mem, line_addr(5), 2); // conflict doom
-        htm.interrupt(T0, InterruptKind::ContextSwitch); // must not overwrite
+        htm.interrupt(T0, &mut mem, InterruptKind::ContextSwitch); // must not overwrite
         assert_eq!(htm.is_doomed(T0).unwrap().reason(), AbortReason::Conflict);
         assert_eq!(htm.stats().total_aborts(), 1);
     }
@@ -948,7 +1108,7 @@ mod tests {
         let old = htm.rmw(T0, &mut mem, line_addr(9), 5);
         assert_eq!(old, 10);
         // A non-tx READ by T1 hits T0's write set -> dooms T0.
-        let _ = htm.read(T1, &mem, line_addr(9));
+        let _ = htm.read(T1, &mut mem, line_addr(9));
         assert!(htm.is_doomed(T0).is_some());
         assert!(htm.xend(T0, &mut mem).is_err());
         assert_eq!(mem.load(line_addr(9)), 10, "rmw rolled back");
@@ -958,7 +1118,7 @@ mod tests {
     fn nontx_rmw_applies_directly_and_dooms_readers() {
         let (mut htm, mut mem) = fresh(2);
         htm.xbegin(T0).unwrap();
-        let _ = htm.read(T0, &mem, line_addr(9));
+        let _ = htm.read(T0, &mut mem, line_addr(9));
         let old = htm.rmw(T1, &mut mem, line_addr(9), 3);
         assert_eq!(old, 0);
         assert_eq!(mem.load(line_addr(9)), 3);
@@ -970,7 +1130,7 @@ mod tests {
         let (mut htm, mut mem) = fresh(1);
         htm.xbegin(T0).unwrap();
         assert_eq!(htm.txn_footprint_lines(T0), 0);
-        let _ = htm.read(T0, &mem, line_addr(1));
+        let _ = htm.read(T0, &mut mem, line_addr(1));
         htm.write(T0, &mut mem, line_addr(1).offset(8), 1); // same line
         htm.write(T0, &mut mem, line_addr(2), 1);
         assert_eq!(htm.txn_footprint_lines(T0), 2);

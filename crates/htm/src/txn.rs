@@ -12,7 +12,7 @@
 //! ([`txrace_sim::AddrMap`], O(touched) space) and generation-stamps the
 //! slots so reuse across transactions needs no per-entry reset.
 
-use txrace_sim::{Addr, AddrMap, CacheLine};
+use txrace_sim::{Addr, AddrMap, CacheLine, JournalMark, WriteJournal};
 
 use crate::status::AbortStatus;
 
@@ -170,8 +170,15 @@ pub(crate) struct Txn {
     pub read_lines: LineSet,
     /// Lines written.
     pub write_lines: LineSet,
-    /// Buffered stores, applied to memory only on commit.
+    /// Buffered stores, applied to memory only on commit
+    /// ([`VersionPolicy::Buffer`](crate::VersionPolicy) only).
     pub write_buf: WriteBuf,
+    /// Undo log of this transaction's eager in-place stores (the
+    /// journaled versioning policies): unwound at doom time, truncated
+    /// on commit.
+    pub journal: WriteJournal,
+    /// Journal watermark taken at `xbegin`.
+    pub begin: JournalMark,
     /// Doom status, if the hardware aborted this transaction.
     pub doom: Option<AbortStatus>,
     /// The first conflicting line (for the optional conflict-address
@@ -209,6 +216,8 @@ impl Txn {
         self.read_lines.clear();
         self.write_lines.clear();
         self.write_buf.clear();
+        self.journal.clear();
+        self.begin = JournalMark::default();
         self.doom = None;
         self.conflict_line = None;
         self.accesses = 0;

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use txrace_htm::{AbortReason, HtmConfig, HtmSystem};
+use txrace_htm::{AbortReason, HtmConfig, HtmSystem, VersionPolicy};
 use txrace_sim::{Addr, CacheLine, Memory, ThreadId};
 
 /// The abstract script step applied to a random thread/address.
@@ -89,7 +89,7 @@ proptest! {
                     let tid = ThreadId(t);
                     let a = addr_of(slot);
                     let doomed_before = htm.is_doomed(tid).is_some();
-                    let v = htm.read(tid, &mem, a);
+                    let v = htm.read(tid, &mut mem, a);
                     // Isolation: an observed value is always explainable by
                     // the model (own pending writes or global memory) —
                     // never another thread's buffer.
@@ -153,6 +153,20 @@ proptest! {
             }
         }
 
+        // Close out any still-in-flight transactions first: under the
+        // default journaled policy their live stores are already in place
+        // and only become permanent (or unwind) at xend.
+        for t in 0..threads as u32 {
+            if in_txn[t as usize] {
+                let pending = model.pending.remove(&t).expect("was in txn");
+                if htm.xend(ThreadId(t), &mut mem).is_ok() {
+                    for (a, v) in pending {
+                        model.mem.insert(a, v);
+                    }
+                }
+            }
+        }
+
         // Final memory must match the model exactly for all committed and
         // non-transactional state.
         for (a, v) in model.mem.iter() {
@@ -179,12 +193,12 @@ proptest! {
         if first_writes {
             htm.write(ThreadId(0), &mut mem, base.offset(off0 * 8), 1);
         } else {
-            let _ = htm.read(ThreadId(0), &mem, base.offset(off0 * 8));
+            let _ = htm.read(ThreadId(0), &mut mem, base.offset(off0 * 8));
         }
         if second_writes {
             htm.write(ThreadId(1), &mut mem, base.offset(off1 * 8), 2);
         } else {
-            let _ = htm.read(ThreadId(1), &mem, base.offset(off1 * 8));
+            let _ = htm.read(ThreadId(1), &mut mem, base.offset(off1 * 8));
         }
         let d0 = htm.is_doomed(ThreadId(0));
         let d1 = htm.is_doomed(ThreadId(1));
@@ -192,6 +206,69 @@ proptest! {
         // Requester-wins: the second accessor (thread 1) must survive.
         prop_assert!(d1.is_none(), "requester was doomed");
         prop_assert_eq!(d0.expect("doomed").reason(), AbortReason::Conflict);
+    }
+
+    /// Observational equivalence of the versioning policies: the same
+    /// script yields identical values at every non-doomed access,
+    /// identical commit/abort outcomes and statistics, and an identical
+    /// final committed memory — undo-journal rollback is indistinguishable
+    /// from lazy write buffering. (Doomed zombie accesses are excluded by
+    /// design: the engine never lets one execute.)
+    #[test]
+    fn undo_and_buffer_policies_are_observationally_equivalent(
+        script in proptest::collection::vec(step_strategy(3, 4), 1..120)
+    ) {
+        let run = |version: VersionPolicy| {
+            let threads = 3usize;
+            let cfg = HtmConfig { version, ..HtmConfig::default() };
+            let mut htm = HtmSystem::new(cfg, threads);
+            let mut mem = Memory::new();
+            let mut in_txn = vec![false; threads];
+            let mut observed: Vec<u64> = Vec::new();
+            for step in script.iter() {
+                match *step {
+                    Step::Begin(t) => {
+                        if !in_txn[t as usize] && htm.xbegin(ThreadId(t)).is_ok() {
+                            in_txn[t as usize] = true;
+                        }
+                    }
+                    Step::Read(t, slot) => {
+                        let doomed = htm.is_doomed(ThreadId(t)).is_some();
+                        let v = htm.read(ThreadId(t), &mut mem, addr_of(slot));
+                        if !doomed {
+                            observed.push(v);
+                        }
+                    }
+                    Step::Write(t, slot, val) => {
+                        htm.write(ThreadId(t), &mut mem, addr_of(slot), val);
+                    }
+                    Step::Rmw(t, slot, delta) => {
+                        let doomed = htm.is_doomed(ThreadId(t)).is_some();
+                        let v = htm.rmw(ThreadId(t), &mut mem, addr_of(slot), delta);
+                        if !doomed {
+                            observed.push(v);
+                        }
+                    }
+                    Step::End(t) => {
+                        if in_txn[t as usize] {
+                            in_txn[t as usize] = false;
+                            observed.push(u64::from(htm.xend(ThreadId(t), &mut mem).is_ok()));
+                        }
+                    }
+                }
+            }
+            for t in 0..threads as u32 {
+                if in_txn[t as usize] {
+                    let _ = htm.xend(ThreadId(t), &mut mem);
+                }
+            }
+            (observed, *htm.stats(), mem)
+        };
+        let undo = run(VersionPolicy::Undo);
+        let buffer = run(VersionPolicy::Buffer);
+        prop_assert_eq!(undo.0, buffer.0, "observed values diverged");
+        prop_assert_eq!(undo.1, buffer.1, "abort statistics diverged");
+        prop_assert_eq!(undo.2, buffer.2, "final memory diverged");
     }
 
     /// Capacity: a transaction writing more distinct lines than the write

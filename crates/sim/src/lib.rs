@@ -65,7 +65,7 @@ pub use ids::{BarrierId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
 pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
-pub use mem::Memory;
+pub use mem::{JournalMark, Memory, WriteJournal};
 pub use replay::{Live, TraceConsumer};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
 pub use summary::{summarize, Phase, ProgramSummary, SiteAccess};

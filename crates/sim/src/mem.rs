@@ -104,6 +104,130 @@ impl Memory {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Stores `v` at `a` while appending the cell's previous state to
+    /// `journal`, so the store can later be undone by
+    /// [`WriteJournal::rollback_to`]. This is the write primitive of the
+    /// eager (undo-log) transactional versioning: the store lands in
+    /// memory immediately and rollback costs O(stores journaled), never
+    /// O(heap).
+    #[inline]
+    pub fn store_logged(&mut self, a: Addr, v: u64, journal: &mut WriteJournal) {
+        let i = a.0 as usize;
+        let (prev, was_written) = match self.pages.get(i >> PAGE_BITS) {
+            Some(Some(page)) => {
+                let off = i & (PAGE_SIZE - 1);
+                (page.vals[off], page.is_written(off))
+            }
+            _ => (0, false),
+        };
+        journal.entries.push(JournalEntry {
+            addr: a,
+            prev,
+            was_written,
+        });
+        self.store(a, v);
+    }
+
+    /// Reverts the cell at `a` to a journaled previous state. A cell that
+    /// was never written before the journaled store returns to pristine:
+    /// value zeroed, written bit cleared, count decremented — required
+    /// because [`Memory::load`], equality, and iteration must all agree
+    /// with a memory that never saw the store.
+    fn unstore(&mut self, a: Addr, prev: u64, was_written: bool) {
+        if was_written {
+            self.store(a, prev);
+            return;
+        }
+        let i = a.0 as usize;
+        let Some(Some(page)) = self.pages.get_mut(i >> PAGE_BITS) else {
+            return; // the journaled store itself must have allocated it
+        };
+        let off = i & (PAGE_SIZE - 1);
+        if page.is_written(off) {
+            page.vals[off] = 0;
+            page.written[off / 64] &= !(1 << (off % 64));
+            self.count -= 1;
+        }
+    }
+}
+
+/// A position in a [`WriteJournal`], obtained from [`WriteJournal::mark`]
+/// in O(1). Rolling back or committing to a mark discards everything
+/// journaled after it.
+/// The default mark is the start of an (empty) journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JournalMark(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    addr: Addr,
+    prev: u64,
+    was_written: bool,
+}
+
+/// A write-ahead undo log over [`Memory`]: every
+/// [`Memory::store_logged`] appends the overwritten cell's previous
+/// state, so a region of stores can be undone in O(stores) — the
+/// snapshot that replaces O(heap) memory clones on the transactional
+/// fast path.
+///
+/// The watermark API is nestable: take a [`mark`](WriteJournal::mark)
+/// before a speculative region, then either
+/// [`commit_to`](WriteJournal::commit_to) it (O(1), keep the stores) or
+/// [`rollback_to`](WriteJournal::rollback_to) it (restore in reverse
+/// order, so overlapping stores of the same address unwind correctly).
+#[derive(Debug, Clone, Default)]
+pub struct WriteJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl WriteJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current watermark (O(1)).
+    #[inline]
+    pub fn mark(&self) -> JournalMark {
+        JournalMark(self.entries.len())
+    }
+
+    /// Entries journaled since `m`.
+    pub fn len_since(&self, m: JournalMark) -> usize {
+        self.entries.len() - m.0
+    }
+
+    /// True when nothing is journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keeps every store journaled up to `m` as permanent: the entries
+    /// after `m` are dropped in O(1) (truncate), the stores stay in
+    /// memory.
+    pub fn commit_to(&mut self, m: JournalMark) {
+        debug_assert!(m.0 <= self.entries.len(), "mark from a later epoch");
+        self.entries.truncate(m.0);
+    }
+
+    /// Undoes every store journaled after `m`, newest first, restoring
+    /// `mem` to its exact state at [`mark`](WriteJournal::mark) time —
+    /// including written-bit and cell-count bookkeeping for cells the
+    /// region touched first. O(stores since `m`).
+    pub fn rollback_to(&mut self, mem: &mut Memory, m: JournalMark) {
+        debug_assert!(m.0 <= self.entries.len(), "mark from a later epoch");
+        while self.entries.len() > m.0 {
+            let e = self.entries.pop().expect("len checked");
+            mem.unstore(e.addr, e.prev, e.was_written);
+        }
+    }
+
+    /// Drops all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 impl PartialEq for Memory {
@@ -181,5 +305,67 @@ mod tests {
         let mut m = Memory::new();
         m.store(Addr(8), 5);
         assert_eq!(format!("{m:?}"), "{Addr(8): 5}");
+    }
+
+    #[test]
+    fn journal_rollback_restores_exact_state() {
+        let mut m = Memory::new();
+        let mut j = WriteJournal::new();
+        m.store(Addr(8), 1);
+        let before = m.clone();
+        let mark = j.mark();
+        m.store_logged(Addr(8), 2, &mut j); // overwrite
+        m.store_logged(Addr(64), 3, &mut j); // fresh cell
+        m.store_logged(Addr(8), 4, &mut j); // overwrite again
+        assert_eq!(m.load(Addr(8)), 4);
+        assert_eq!(m.len(), 2);
+        j.rollback_to(&mut m, mark);
+        assert_eq!(m, before, "rollback must be exact, incl. count/bits");
+        assert_eq!(m.load(Addr(64)), 0);
+        assert_eq!(m.len(), 1);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn journal_rollback_unwrites_fresh_zero_stores() {
+        let mut m = Memory::new();
+        let mut j = WriteJournal::new();
+        let mark = j.mark();
+        m.store_logged(Addr(16), 0, &mut j); // a written zero is a state change
+        assert_eq!(m.len(), 1);
+        j.rollback_to(&mut m, mark);
+        assert!(m.is_empty(), "written-zero must become unwritten again");
+        assert_eq!(m, Memory::new());
+    }
+
+    #[test]
+    fn journal_commit_is_truncate_only() {
+        let mut m = Memory::new();
+        let mut j = WriteJournal::new();
+        let outer = j.mark();
+        m.store_logged(Addr(8), 1, &mut j);
+        let inner = j.mark();
+        assert_eq!(j.len_since(outer), 1);
+        m.store_logged(Addr(8), 2, &mut j);
+        j.commit_to(inner); // keep the inner store
+        assert_eq!(m.load(Addr(8)), 2);
+        j.rollback_to(&mut m, outer); // outer region still undoable
+        assert_eq!(m.load(Addr(8)), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn journal_nested_marks_unwind_in_order() {
+        let mut m = Memory::new();
+        let mut j = WriteJournal::new();
+        m.store(Addr(0), 7);
+        let a = j.mark();
+        m.store_logged(Addr(0), 8, &mut j);
+        let b = j.mark();
+        m.store_logged(Addr(0), 9, &mut j);
+        j.rollback_to(&mut m, b);
+        assert_eq!(m.load(Addr(0)), 8);
+        j.rollback_to(&mut m, a);
+        assert_eq!(m.load(Addr(0)), 7);
     }
 }

@@ -12,7 +12,7 @@
 //! side table.
 
 use crate::addr::Addr;
-use crate::exec::{Directive, OpEvent, RunResult, Runtime, StepLimit};
+use crate::exec::{Directive, OpEvent, RunResult, RunStatus, Runtime, StepLimit};
 use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
 use crate::ir::{Op, Program, SyscallKind};
 use crate::mem::Memory;
@@ -321,6 +321,135 @@ impl EventLog {
         (b, &self.arrivals[start as usize..(start + len) as usize])
     }
 
+    /// Serializes the log to a stable, self-describing byte format
+    /// (little-endian, magic + version header) for the on-disk trace
+    /// cache. [`from_bytes`](EventLog::from_bytes) round-trips exactly:
+    /// replaying a deserialized log drives a consumer through the
+    /// identical call sequence.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.events.len() * 17 + self.memory.len() * 16);
+        put_u64(&mut out, LOG_MAGIC);
+        put_u64(&mut out, LOG_VERSION);
+        put_u64(&mut out, self.threads as u64);
+        put_u64(&mut out, self.census.mem_accesses);
+        put_u64(&mut out, self.census.compute_units);
+        put_u64(&mut out, self.census.sync_ops);
+        put_u64(&mut out, self.census.syscalls);
+        put_u64(&mut out, self.result.steps);
+        match &self.result.status {
+            RunStatus::Done => put_u64(&mut out, 0),
+            RunStatus::Deadlock => put_u64(&mut out, 1),
+            RunStatus::StepLimit => put_u64(&mut out, 2),
+            RunStatus::Fault(msg) => {
+                put_u64(&mut out, 3);
+                put_u64(&mut out, msg.len() as u64);
+                out.extend_from_slice(msg.as_bytes());
+            }
+        }
+        put_u64(&mut out, self.events.len() as u64);
+        for e in &self.events {
+            out.push(e.kind as u8);
+            out.extend_from_slice(&e.thread.0.to_le_bytes());
+            out.extend_from_slice(&e.site.0.to_le_bytes());
+            put_u64(&mut out, e.arg);
+        }
+        put_u64(&mut out, self.arrivals.len() as u64);
+        for &(t, s) in &self.arrivals {
+            out.extend_from_slice(&t.0.to_le_bytes());
+            out.extend_from_slice(&s.0.to_le_bytes());
+        }
+        put_u64(&mut out, self.releases.len() as u64);
+        for &(b, start, len) in &self.releases {
+            out.extend_from_slice(&b.0.to_le_bytes());
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        put_u64(&mut out, self.memory.len() as u64);
+        for (a, v) in self.memory.iter() {
+            put_u64(&mut out, a.0);
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Deserializes a log written by [`to_bytes`](EventLog::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// A description of the corruption (bad magic, unknown version,
+    /// truncation, invalid event kind). Cache readers treat any error as
+    /// a miss and re-record.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EventLog, String> {
+        let mut c = Cursor { b: bytes, pos: 0 };
+        if c.u64()? != LOG_MAGIC {
+            return Err("bad magic".into());
+        }
+        let version = c.u64()?;
+        if version != LOG_VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let threads = c.u64()? as usize;
+        let census = OpCensus {
+            mem_accesses: c.u64()?,
+            compute_units: c.u64()?,
+            sync_ops: c.u64()?,
+            syscalls: c.u64()?,
+        };
+        let steps = c.u64()?;
+        let status = match c.u64()? {
+            0 => RunStatus::Done,
+            1 => RunStatus::Deadlock,
+            2 => RunStatus::StepLimit,
+            3 => {
+                let len = c.u64()? as usize;
+                let raw = c.take(len)?;
+                RunStatus::Fault(String::from_utf8(raw.to_vec()).map_err(|_| "bad fault string")?)
+            }
+            s => return Err(format!("unknown run status {s}")),
+        };
+        let n_events = c.u64()? as usize;
+        let mut events = Vec::with_capacity(n_events.min(bytes.len() / 17));
+        for _ in 0..n_events {
+            let code = c.u8()?;
+            let kind = kind_from_code(code).ok_or_else(|| format!("bad event kind {code}"))?;
+            events.push(TraceEvent {
+                kind,
+                thread: ThreadId(c.u32()?),
+                site: SiteId(c.u32()?),
+                arg: c.u64()?,
+            });
+        }
+        let n_arrivals = c.u64()? as usize;
+        let mut arrivals = Vec::with_capacity(n_arrivals.min(bytes.len() / 8));
+        for _ in 0..n_arrivals {
+            arrivals.push((ThreadId(c.u32()?), SiteId(c.u32()?)));
+        }
+        let n_releases = c.u64()? as usize;
+        let mut releases = Vec::with_capacity(n_releases.min(bytes.len() / 12));
+        for _ in 0..n_releases {
+            releases.push((BarrierId(c.u32()?), c.u32()?, c.u32()?));
+        }
+        let n_cells = c.u64()? as usize;
+        let mut memory = Memory::new();
+        for _ in 0..n_cells {
+            let a = Addr(c.u64()?);
+            let v = c.u64()?;
+            memory.store(a, v);
+        }
+        if c.pos != bytes.len() {
+            return Err("trailing bytes".into());
+        }
+        Ok(EventLog {
+            threads,
+            events,
+            arrivals,
+            releases,
+            census,
+            result: RunResult { status, steps },
+            memory,
+        })
+    }
+
     /// Drives `consumer` through the recorded event stream. The call
     /// sequence is identical to what the consumer would have observed
     /// live inside [`Live`] during the recorded run.
@@ -512,6 +641,70 @@ impl<R: Runtime> Runtime for Recording<R> {
     }
 }
 
+/// `b"TXLOG\0\0\x01"` as a little-endian u64: identifies a serialized
+/// [`EventLog`].
+const LOG_MAGIC: u64 = u64::from_le_bytes(*b"TXLOG\0\0\x01");
+/// Bump on any layout change; readers reject other versions.
+const LOG_VERSION: u64 = 1;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a serialized log.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or("truncated log")?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Inverse of `kind as u8` over [`TraceEventKind`]'s `#[repr(u8)]`
+/// declaration order.
+fn kind_from_code(code: u8) -> Option<TraceEventKind> {
+    use TraceEventKind::*;
+    Some(match code {
+        0 => Read,
+        1 => Write,
+        2 => Rmw,
+        3 => Acquire,
+        4 => Release,
+        5 => Signal,
+        6 => Wait,
+        7 => Spawn,
+        8 => Join,
+        9 => BarrierArrive,
+        10 => BarrierRelease,
+        11 => ThreadDone,
+        12 => Compute,
+        13 => Syscall,
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,60 +761,60 @@ mod tests {
         assert_eq!(rt.events().len(), 10);
     }
 
+    // A consumer that fingerprints every call, order-sensitively.
+    #[derive(Default, PartialEq, Debug)]
+    struct Fp(Vec<(u8, u32, u32, u64)>);
+    impl TraceConsumer for Fp {
+        fn read(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+            self.0.push((0, t.0, s.0, a.0));
+        }
+        fn write(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+            self.0.push((1, t.0, s.0, a.0));
+        }
+        fn rmw(&mut self, t: ThreadId, s: SiteId, a: Addr) {
+            self.0.push((2, t.0, s.0, a.0));
+        }
+        fn acquire(&mut self, t: ThreadId, s: SiteId, l: LockId) {
+            self.0.push((3, t.0, s.0, u64::from(l.0)));
+        }
+        fn release(&mut self, t: ThreadId, s: SiteId, l: LockId) {
+            self.0.push((4, t.0, s.0, u64::from(l.0)));
+        }
+        fn signal(&mut self, t: ThreadId, s: SiteId, c: CondId) {
+            self.0.push((5, t.0, s.0, u64::from(c.0)));
+        }
+        fn wait(&mut self, t: ThreadId, s: SiteId, c: CondId) {
+            self.0.push((6, t.0, s.0, u64::from(c.0)));
+        }
+        fn spawn(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
+            self.0.push((7, t.0, s.0, u64::from(u.0)));
+        }
+        fn join(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
+            self.0.push((8, t.0, s.0, u64::from(u.0)));
+        }
+        fn barrier_arrive(&mut self, t: ThreadId, s: SiteId, b: BarrierId) {
+            self.0.push((9, t.0, s.0, u64::from(b.0)));
+        }
+        fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+            self.0.push((10, b.0, 0, arrivals.len() as u64));
+            for &(t, s) in arrivals {
+                self.0.push((11, t.0, s.0, 0));
+            }
+        }
+        fn compute(&mut self, t: ThreadId, s: SiteId, n: u32) {
+            self.0.push((12, t.0, s.0, u64::from(n)));
+        }
+        fn syscall(&mut self, t: ThreadId, s: SiteId, k: crate::ir::SyscallKind) {
+            self.0.push((13, t.0, s.0, syscall_code(k)));
+        }
+        fn thread_done(&mut self, t: ThreadId) {
+            self.0.push((14, t.0, 0, 0));
+        }
+    }
+
     #[test]
     fn event_log_replay_reproduces_the_live_stream() {
         use crate::replay::Live;
-
-        // A consumer that fingerprints every call, order-sensitively.
-        #[derive(Default, PartialEq, Debug)]
-        struct Fp(Vec<(u8, u32, u32, u64)>);
-        impl TraceConsumer for Fp {
-            fn read(&mut self, t: ThreadId, s: SiteId, a: Addr) {
-                self.0.push((0, t.0, s.0, a.0));
-            }
-            fn write(&mut self, t: ThreadId, s: SiteId, a: Addr) {
-                self.0.push((1, t.0, s.0, a.0));
-            }
-            fn rmw(&mut self, t: ThreadId, s: SiteId, a: Addr) {
-                self.0.push((2, t.0, s.0, a.0));
-            }
-            fn acquire(&mut self, t: ThreadId, s: SiteId, l: LockId) {
-                self.0.push((3, t.0, s.0, u64::from(l.0)));
-            }
-            fn release(&mut self, t: ThreadId, s: SiteId, l: LockId) {
-                self.0.push((4, t.0, s.0, u64::from(l.0)));
-            }
-            fn signal(&mut self, t: ThreadId, s: SiteId, c: CondId) {
-                self.0.push((5, t.0, s.0, u64::from(c.0)));
-            }
-            fn wait(&mut self, t: ThreadId, s: SiteId, c: CondId) {
-                self.0.push((6, t.0, s.0, u64::from(c.0)));
-            }
-            fn spawn(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
-                self.0.push((7, t.0, s.0, u64::from(u.0)));
-            }
-            fn join(&mut self, t: ThreadId, s: SiteId, u: ThreadId) {
-                self.0.push((8, t.0, s.0, u64::from(u.0)));
-            }
-            fn barrier_arrive(&mut self, t: ThreadId, s: SiteId, b: BarrierId) {
-                self.0.push((9, t.0, s.0, u64::from(b.0)));
-            }
-            fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
-                self.0.push((10, b.0, 0, arrivals.len() as u64));
-                for &(t, s) in arrivals {
-                    self.0.push((11, t.0, s.0, 0));
-                }
-            }
-            fn compute(&mut self, t: ThreadId, s: SiteId, n: u32) {
-                self.0.push((12, t.0, s.0, u64::from(n)));
-            }
-            fn syscall(&mut self, t: ThreadId, s: SiteId, k: crate::ir::SyscallKind) {
-                self.0.push((13, t.0, s.0, syscall_code(k)));
-            }
-            fn thread_done(&mut self, t: ThreadId) {
-                self.0.push((14, t.0, 0, 0));
-            }
-        }
 
         // Exercise every event kind: locks, signal/wait, spawn/join,
         // barriers, RMWs, indexed accesses, compute, syscalls.
@@ -671,6 +864,57 @@ mod tests {
         assert_eq!(log.thread_count(), 3);
         assert!(!log.is_empty());
         assert_eq!(log.len(), log.events().len());
+    }
+
+    #[test]
+    fn serialized_log_round_trips_exactly() {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let arr = b.array("arr", 16);
+        let l = b.lock_id("l");
+        let c = b.cond_id("c");
+        let bar = b.barrier_id("bar");
+        b.thread(0)
+            .spawn(ThreadId(2))
+            .write(x, 1)
+            .signal(c)
+            .lock(l)
+            .rmw(x, 1)
+            .unlock(l)
+            .barrier(bar)
+            .join(ThreadId(2))
+            .syscall(crate::ir::SyscallKind::Io);
+        b.thread(1)
+            .wait(c)
+            .loop_n(4, |t| {
+                t.read_arr(arr, 8).compute(3);
+            })
+            .barrier(bar);
+        b.thread(2).read(x);
+        let p = b.build();
+
+        let mut sched = crate::sched::RandomSched::new(9);
+        let log = record_run(&p, &mut sched, StepLimit::default());
+        let bytes = log.to_bytes();
+        let back = EventLog::from_bytes(&bytes).expect("round trip");
+
+        assert_eq!(back.events(), log.events());
+        assert_eq!(back.thread_count(), log.thread_count());
+        assert_eq!(back.census(), log.census());
+        assert_eq!(back.result(), log.result());
+        assert_eq!(back.final_memory(), log.final_memory());
+        let mut live = Fp::default();
+        log.replay(&mut live);
+        let mut reloaded = Fp::default();
+        back.replay(&mut reloaded);
+        assert_eq!(live, reloaded, "replay diverged after deserialization");
+
+        // Corruption is a readable error, never a panic.
+        assert!(EventLog::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(EventLog::from_bytes(&[0u8; 16]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(EventLog::from_bytes(&extra).is_err());
     }
 
     #[test]

@@ -26,7 +26,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use txrace_hb::{FastTrack, RaceSet, ShadowMode};
-use txrace_htm::{AbortReason, AbortStatus, HtmConfig, HtmStats, HtmSystem, XbeginError};
+use txrace_htm::{
+    AbortReason, AbortStatus, HtmConfig, HtmStats, HtmSystem, VersionPolicy, XbeginError,
+};
 use txrace_sim::CacheLine;
 use txrace_sim::{
     Addr, BarrierId, Directive, Interner, LoopId, Memory, Op, OpEvent, RegionId, Runtime, SiteId,
@@ -176,6 +178,11 @@ pub struct TxRaceEngine {
     breakdown: CycleBreakdown,
     mode: Vec<Mode>,
     snaps: Vec<Option<(Snapshot, RegionId)>>,
+    /// [`VersionPolicy::CloneSnapshot`] only: the full-memory checkpoint
+    /// cloned at transaction begin (and again on abort). Pure modeled
+    /// cost — restoration always goes through the HTM's undo journal, so
+    /// detection outputs are identical across policies.
+    clone_snaps: Vec<Option<Memory>>,
     pending_slow: Vec<Option<(RegionId, SlowTrigger)>>,
     txn_base_acc: Vec<u64>,
     retry_count: Vec<u32>,
@@ -220,6 +227,7 @@ impl TxRaceEngine {
             breakdown: CycleBreakdown::default(),
             mode: vec![Mode::Outside; n],
             snaps: vec![None; n],
+            clone_snaps: vec![None; n],
             pending_slow: vec![None; n],
             txn_base_acc: vec![0; n],
             retry_count: vec![0; n],
@@ -294,6 +302,7 @@ impl TxRaceEngine {
         self.breakdown.baseline += self.txn_base_acc[ti];
         self.txn_base_acc[ti] = 0;
         self.retry_count[ti] = 0;
+        self.clone_snaps[ti] = None;
     }
 
     /// Consumes any pending slow-path demand for thread `ti`, entering
@@ -334,7 +343,16 @@ impl TxRaceEngine {
         match self.htm.xbegin(t) {
             Ok(()) => {
                 self.mode[ti] = Mode::Fast(r);
+                // O(1): the interpreter snapshot is pc + loop stack, and
+                // memory rollback state is the HTM's journal watermark.
                 self.snaps[ti] = Some((ev.snapshot(), r));
+                if self.htm.config().version == VersionPolicy::CloneSnapshot {
+                    // Baseline policy: checkpoint the whole simulated
+                    // memory at every begin (the O(heap) cost the journal
+                    // removes). black_box keeps the clone from being
+                    // optimized away — it is never read back.
+                    self.clone_snaps[ti] = Some(std::hint::black_box(mem.clone()));
+                }
                 self.breakdown.txn_mgmt += self.cost.xbegin;
                 self.loopcut.on_txn_start(t);
                 // Subscribe to artificial aborts: every transaction reads
@@ -389,6 +407,7 @@ impl TxRaceEngine {
                 debug_assert_eq!(cur, r, "TxEnd region mismatch (slow)");
                 self.retry_count[ti] = 0;
                 self.snaps[ti] = None;
+                self.clone_snaps[ti] = None;
                 self.last_cut_loop[ti] = None;
                 self.slow_hint[ti] = None;
                 self.mode[ti] = Mode::Outside;
@@ -432,7 +451,12 @@ impl TxRaceEngine {
             let s = self.htm.abort_rollback(t);
             debug_assert_eq!(s, status);
         }
-        let (snap, r) = self.snaps[ti].clone().expect("abort without a snapshot");
+        if self.htm.config().version == VersionPolicy::CloneSnapshot {
+            // Baseline policy: the abort path re-checkpoints memory (the
+            // second O(heap) clone the journal removes).
+            self.clone_snaps[ti] = Some(std::hint::black_box(mem.clone()));
+        }
+        let r = self.snaps[ti].as_ref().expect("abort without a snapshot").1;
         let reason = status.reason();
         // Wasted transactional work plus the rollback itself are overhead
         // attributed to the abort reason.
@@ -499,13 +523,25 @@ impl TxRaceEngine {
                 }
             }
         };
-        match trigger {
+        // The slot is consumed on the slow-path triggers (the rollback
+        // lands on an op that consumes `pending_slow` instead), so take
+        // the stored snapshot rather than cloning it; only a fast-path
+        // retry re-reads the slot and must leave it in place.
+        let snap = match trigger {
             Some(trig) => {
                 *self.bucket_of(trig) += wasted;
                 self.pending_slow[ti] = Some((r, trig));
+                self.snaps[ti].take().expect("abort without a snapshot").0
             }
-            None => self.breakdown.unknown += wasted,
-        }
+            None => {
+                self.breakdown.unknown += wasted;
+                self.snaps[ti]
+                    .as_ref()
+                    .expect("abort without a snapshot")
+                    .0
+                    .clone()
+            }
+        };
         self.last_cut_loop[ti] = None;
         self.mode[ti] = Mode::Outside;
         Directive::Rollback(snap)
@@ -603,7 +639,7 @@ impl Runtime for TxRaceEngine {
         let t = ev.thread;
         // Simulated OS interrupts abort in-flight transactions.
         if let Some(kind) = ev.interrupted {
-            self.htm.interrupt(t, kind);
+            self.htm.interrupt(t, mem, kind);
         }
         // A doomed transaction is observed at the thread's next operation
         // (the hardware transfers control lazily in this simulation, which
