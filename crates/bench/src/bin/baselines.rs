@@ -16,8 +16,9 @@
 //! cargo run --release -p txrace-bench --bin baselines [workers] [seed]
 //! ```
 
-use txrace::{CostModel, LocksetConsumer, Scheme};
-use txrace_bench::{fmt_x, record_workload, replay_scheme, run_scheme, Table};
+use txrace::{CostModel, Detector, LocksetConsumer, PanelConsumer, Scheme};
+use txrace_bench::{fmt_x, record_workload, run_scheme, Table};
+use txrace_sim::fan_out;
 use txrace_workloads::all_workloads;
 
 fn main() {
@@ -36,16 +37,32 @@ fn main() {
         "TxRace ovh",
     ]);
     for w in all_workloads(workers) {
-        // Record the workload ONCE; TSan and lockset both replay the same
-        // trace, so their reports disagree only where the detection
-        // algorithms do — never because of interleaving luck. TxRace
-        // steers execution and still runs live.
+        // Record the workload ONCE; TSan and lockset ride a single
+        // heterogeneous fan-out pass over the same trace, so their
+        // reports disagree only where the detection algorithms do —
+        // never because of interleaving luck. TxRace steers execution
+        // and still runs live.
         let log = record_workload(&w, seed);
-        let tsan = replay_scheme(&w, &log, Scheme::Tsan, seed);
+        let d = Detector::new(w.config(Scheme::Tsan, seed));
+        let panel = vec![
+            PanelConsumer::Tsan(d.consumer(&w.program)),
+            PanelConsumer::Lockset(LocksetConsumer::new(
+                w.program.thread_count(),
+                CostModel::default(),
+            )),
+        ];
+        let mut replayed = fan_out(&log, panel, 2).into_iter();
+        let tsan_consumer = replayed
+            .next()
+            .and_then(|r| r.consumer.into_tsan())
+            .expect("fan_out preserves panel order");
+        let tsan = d.outcome_of_replayed(tsan_consumer, &log);
+        let ls = replayed
+            .next()
+            .and_then(|r| r.consumer.into_lockset())
+            .expect("fan_out preserves panel order");
         let tx = run_scheme(&w, Scheme::txrace(), seed);
 
-        let mut ls = LocksetConsumer::new(w.program.thread_count(), CostModel::default());
-        log.replay(&mut ls);
         let base = CostModel::default().baseline_cycles(&w.program);
         let ls_ovh = ls.breakdown().overhead_vs(base);
 

@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use txrace::{RunOutcome, Scheme};
 use txrace_bench::{
-    geomean, json_rows, map_cells, pool_width, record_workload, replay_scheme, run_scheme,
-    JsonValue,
+    geomean, json_rows, map_cells, pool_width, record_workload, replay_scheme,
+    replay_schemes_fanout, run_scheme, JsonValue,
 };
 use txrace_hb::RaceReport;
 use txrace_workloads::{all_workloads, by_name, Workload};
@@ -81,6 +81,48 @@ fn replayed(spec: &FigSpec) -> Vec<CellResult> {
     })
 }
 
+/// One consumer's observability row out of the fan-out strategy.
+struct ConsumerRow {
+    unit: usize,
+    scheme: String,
+    wall_ns: u64,
+    events: u64,
+}
+
+/// Short stable scheme label for JSON rows.
+fn scheme_label(s: &Scheme) -> String {
+    match s {
+        Scheme::Tsan => "tsan".to_string(),
+        Scheme::TsanSampling { rate } => format!("tsan@{rate}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// The parallel strategy: record each unit once, then fan *all* schemes
+/// over that unit's shared log in a single concurrent pass. Returns the
+/// cell results in [`cells`] grid order plus per-consumer wall-time /
+/// event-count rows (the shard-imbalance observability).
+fn fanned(spec: &FigSpec) -> (Vec<CellResult>, Vec<ConsumerRow>) {
+    let logs = map_cells(pool_width(), &spec.units, |_, (w, seed)| {
+        record_workload(w, *seed)
+    });
+    let mut results = Vec::new();
+    let mut consumer_rows = Vec::new();
+    for (u, ((w, seed), log)) in spec.units.iter().zip(&logs).enumerate() {
+        let outs = replay_schemes_fanout(w, log, &spec.schemes, *seed, pool_width());
+        for (f, scheme) in outs.iter().zip(&spec.schemes) {
+            results.push(CellResult::of(&f.outcome));
+            consumer_rows.push(ConsumerRow {
+                unit: u,
+                scheme: scheme_label(scheme),
+                wall_ns: f.wall_ns,
+                events: f.events,
+            });
+        }
+    }
+    (results, consumer_rows)
+}
+
 fn rate_sweep() -> Vec<Scheme> {
     let mut schemes = vec![Scheme::Tsan];
     schemes.extend((0..=100).step_by(10).map(|pct| Scheme::TsanSampling {
@@ -137,6 +179,8 @@ fn main() {
     for spec in &specs {
         let mut reexec_ns = u64::MAX;
         let mut replay_ns = u64::MAX;
+        let mut fanout_ns = u64::MAX;
+        let mut fanout_rows = Vec::new();
         for _ in 0..REPS {
             let t0 = Instant::now();
             let old = reexec(spec);
@@ -149,6 +193,18 @@ fn main() {
                 "{}: replay path diverged from re-execution",
                 spec.name
             );
+            let t2 = Instant::now();
+            let (par, consumers) = fanned(spec);
+            let ns = t2.elapsed().as_nanos() as u64;
+            if ns < fanout_ns {
+                fanout_ns = ns;
+                fanout_rows = consumers;
+            }
+            assert!(
+                par == new,
+                "{}: fan-out pass diverged from serial replay",
+                spec.name
+            );
         }
         let speedup = reexec_ns as f64 / replay_ns.max(1) as f64;
         speedups.push(speedup);
@@ -158,11 +214,22 @@ fn main() {
             ("recordings", JsonValue::Int(spec.units.len() as u64)),
             ("wall_ns", JsonValue::Int(replay_ns)),
             ("reexec_wall_ns", JsonValue::Int(reexec_ns)),
+            ("fanout_wall_ns", JsonValue::Int(fanout_ns)),
             (
                 "speedup",
                 JsonValue::Num((speedup * 1000.0).round() / 1000.0),
             ),
         ]);
+        for c in fanout_rows {
+            rows.push(vec![
+                ("app", JsonValue::Str(spec.name.to_string())),
+                ("row", JsonValue::Str("consumer".to_string())),
+                ("unit", JsonValue::Int(c.unit as u64)),
+                ("scheme", JsonValue::Str(c.scheme)),
+                ("wall_ns", JsonValue::Int(c.wall_ns)),
+                ("events", JsonValue::Int(c.events)),
+            ]);
+        }
     }
     rows.push(vec![
         ("app", JsonValue::Str("(total)".to_string())),

@@ -8,7 +8,7 @@
 //! ```
 
 use txrace::Scheme;
-use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_scheme, Table};
+use txrace_bench::{pool_width, record_workload, replay_schemes_fanout, run_scheme, Table};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -20,30 +20,27 @@ fn main() {
     let w = by_name("bodytrack", workers).expect("bodytrack exists");
 
     // Record bodytrack ONCE; the whole sweep — full TSan reference plus
-    // the eleven sampling rates — replays that single trace as one batch
-    // of independent pool cells. Only TxRace re-executes (it steers the
-    // run, so it cannot consume a fixed trace).
+    // the eleven sampling rates — rides a single fan-out pass over that
+    // one shared trace (every consumer on its own thread, the log walked
+    // concurrently). Only TxRace re-executes (it steers the run, so it
+    // cannot consume a fixed trace).
     let log = record_workload(&w, seed);
     let mut schemes = vec![Scheme::Tsan];
     schemes.extend((0..=100).step_by(10).map(|pct| Scheme::TsanSampling {
         rate: pct as f64 / 100.0,
     }));
-    schemes.push(Scheme::txrace());
-    let outs = map_cells(pool_width(), &schemes, |_, s| match s {
-        Scheme::TxRace(_) => run_scheme(&w, s.clone(), seed),
-        _ => replay_scheme(&w, &log, s.clone(), seed),
-    });
-    let full = &outs[0];
+    let outs = replay_schemes_fanout(&w, &log, &schemes, seed, pool_width());
+    let full = &outs[0].outcome;
     let full_extra = (full.overhead - 1.0).max(1e-9);
 
     let mut t = Table::new(&["sampling rate", "normalized overhead"]);
-    for (pct, out) in (0..=100).step_by(10).zip(&outs[1..]) {
-        let norm = (out.overhead - 1.0).max(0.0) / full_extra;
+    for (pct, f) in (0..=100).step_by(10).zip(&outs[1..]) {
+        let norm = (f.outcome.overhead - 1.0).max(0.0) / full_extra;
         t.row(vec![format!("{pct}%"), format!("{norm:.2}")]);
     }
     println!("{}", t.render());
 
-    let tx = outs.last().expect("txrace cell");
+    let tx = run_scheme(&w, Scheme::txrace(), seed);
     let tx_norm = (tx.overhead - 1.0).max(0.0) / full_extra;
     println!(
         "TxRace: {:.2} of full TSan (paper: 0.69, equivalent to ~25.5% sampling)",

@@ -13,7 +13,9 @@
 //! probabilistic).
 
 use txrace::{recall, Scheme};
-use txrace_bench::{map_cells, pool_width, record_workload, replay_scheme, run_scheme, Table};
+use txrace_bench::{
+    map_cells, pool_width, record_workload, replay_schemes_fanout, run_scheme, Table,
+};
 use txrace_workloads::by_name;
 
 fn main() {
@@ -28,45 +30,39 @@ fn main() {
     // the TSan truth below replay these traces instead of re-executing.
     let seeds: Vec<u64> = (0..nseeds).collect();
     let logs = map_cells(pool_width(), &seeds, |_, &seed| record_workload(&w, seed));
-    let truths: Vec<_> = seeds
+
+    // Phase 2: one fan-out pass per seed carries the TSan truth plus all
+    // eleven sampling rates over that seed's shared trace — twelve
+    // consumers, one concurrent log walk. Recall is computed against the
+    // truth consumer of the same pass.
+    let pcts: Vec<u64> = (0..=100).step_by(10).collect();
+    let mut schemes = vec![Scheme::Tsan];
+    schemes.extend(pcts.iter().map(|&pct| Scheme::TsanSampling {
+        rate: pct as f64 / 100.0,
+    }));
+    // per_seed[si] = (truth races, recall of each rate) under seed `si`.
+    let per_seed: Vec<(txrace_hb::RaceSet, Vec<f64>)> = seeds
         .iter()
         .zip(&logs)
-        .map(|(&seed, log)| replay_scheme(&w, log, Scheme::Tsan, seed))
-        .collect();
-
-    // Phase 2: every (rate, seed) cell plus the (TxRace, seed) cells, all
-    // independent; recall is computed against the phase-1 truths.
-    let pcts: Vec<u64> = (0..=100).step_by(10).collect();
-    let mut grid: Vec<(Scheme, usize)> = pcts
-        .iter()
-        .flat_map(|&pct| {
-            seeds.iter().enumerate().map(move |(si, _)| {
-                (
-                    Scheme::TsanSampling {
-                        rate: pct as f64 / 100.0,
-                    },
-                    si,
-                )
-            })
+        .map(|(&seed, log)| {
+            let outs = replay_schemes_fanout(&w, log, &schemes, seed, pool_width());
+            let truth = outs[0].outcome.races.clone();
+            let recalls = outs[1..]
+                .iter()
+                .map(|f| recall(&f.outcome.races, &truth))
+                .collect();
+            (truth, recalls)
         })
         .collect();
-    grid.extend(
-        seeds
-            .iter()
-            .enumerate()
-            .map(|(si, _)| (Scheme::txrace(), si)),
-    );
-    let recalls = map_cells(pool_width(), &grid, |_, (scheme, si)| {
-        let out = match scheme {
-            Scheme::TxRace(_) => run_scheme(&w, scheme.clone(), seeds[*si]),
-            _ => replay_scheme(&w, &logs[*si], scheme.clone(), seeds[*si]),
-        };
-        recall(&out.races, &truths[*si].races)
+    // TxRace steers execution, so its per-seed cells still run live.
+    let tx_recalls = map_cells(pool_width(), &seeds, |si, &seed| {
+        let out = run_scheme(&w, Scheme::txrace(), seed);
+        recall(&out.races, &per_seed[si].0)
     });
 
     let mut t = Table::new(&["sampling rate", "recall"]);
-    for (pct, per_seed) in pcts.iter().zip(recalls.chunks(seeds.len())) {
-        let acc: f64 = per_seed.iter().sum();
+    for (ri, pct) in pcts.iter().enumerate() {
+        let acc: f64 = per_seed.iter().map(|(_, recalls)| recalls[ri]).sum();
         t.row(vec![
             format!("{pct}%"),
             format!("{:.2}", acc / nseeds as f64),
@@ -74,7 +70,7 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let acc: f64 = recalls[pcts.len() * seeds.len()..].iter().sum();
+    let acc: f64 = tx_recalls.iter().sum();
     println!(
         "TxRace recall: {:.2} (paper: 0.75, equivalent to ~47.2% sampling)",
         acc / nseeds as f64

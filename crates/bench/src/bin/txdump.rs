@@ -7,11 +7,17 @@
 //! txdump <app> [--seed <n>] [--workers <n>] [--thread <t>]
 //!              [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats]
 //!              [--no-trace-cache]
+//! txdump --cache-clear
 //! ```
 //!
-//! `--stats` prints per-kind event counts, the app's write density, and
-//! the top-N hottest addresses (N from `--head`, default 10) instead of
-//! the event stream.
+//! `--stats` prints per-kind event counts, the app's write density, the
+//! top-N hottest addresses (N from `--head`, default 10), and the
+//! on-disk trace-cache footprint instead of the event stream.
+//!
+//! `--cache-clear` (no app needed) wipes `target/trace-cache` and
+//! reports what was removed. The cache is also bounded automatically:
+//! set `TXRACE_TRACE_CACHE_MAX_BYTES` and every recording binary evicts
+//! oldest entries after each store until the cache fits.
 //!
 //! Kinds: `read write rmw acquire release signal wait spawn join
 //! barrier-arrive barrier-release thread-done compute syscall`.
@@ -29,7 +35,8 @@ use txrace_workloads::by_name;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  txdump <app> [--seed <n>] [--workers <n>] [--thread <t>] \
-         [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--no-trace-cache]"
+         [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--no-trace-cache]\n  \
+         txdump --cache-clear"
     );
     std::process::exit(2);
 }
@@ -116,10 +123,30 @@ fn print_stats(log: &EventLog, top_n: usize) {
     for (addr, (r, w)) in hottest.into_iter().take(top_n) {
         println!("  {:#016x} {r:>9} {w:>9} {:>9}", addr, r + w);
     }
+
+    let cache = txrace_bench::cache_stats();
+    println!("\ntrace cache (target/trace-cache):");
+    println!(
+        "  {} entries, {} bytes{}",
+        cache.entries,
+        cache.bytes,
+        match std::env::var("TXRACE_TRACE_CACHE_MAX_BYTES") {
+            Ok(cap) => format!(" (cap {cap})"),
+            Err(_) => " (uncapped; set TXRACE_TRACE_CACHE_MAX_BYTES)".to_string(),
+        }
+    );
 }
 
 fn main() {
     let args: Vec<String> = txrace_bench::args_after_cache_flag();
+    if args.iter().any(|a| a == "--cache-clear") {
+        let removed = txrace_bench::clear_trace_cache();
+        println!(
+            "trace cache cleared: {} entries, {} bytes removed",
+            removed.entries, removed.bytes
+        );
+        return;
+    }
     let Some(app) = args.first() else { usage() };
     let mut seed = 42u64;
     let mut workers = 4usize;

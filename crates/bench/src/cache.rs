@@ -11,6 +11,12 @@
 //! miss and the workload is re-recorded. The key hashes the program IR,
 //! scheduler policy, and interrupt model, so editing a workload simply
 //! misses the old entry rather than replaying a stale schedule.
+//!
+//! The cache is bounded: set `TXRACE_TRACE_CACHE_MAX_BYTES` to cap its
+//! on-disk footprint — after every store the oldest entries (by
+//! modification time) are evicted until the total fits. Inspect the
+//! footprint with `txdump --stats` ([`cache_stats`]) and wipe it with
+//! `txdump --cache-clear` ([`clear_trace_cache`]).
 
 use std::fs;
 use std::path::PathBuf;
@@ -76,6 +82,8 @@ fn cache_file(w: &Workload, seed: u64) -> String {
 /// Returns the cached recording for `(w, seed)` if present and valid;
 /// otherwise calls `record`, stores the result (best-effort — a
 /// read-only target dir silently skips the store), and returns it.
+/// Stores respect the `TXRACE_TRACE_CACHE_MAX_BYTES` cap (oldest
+/// entries evicted first).
 pub fn load_or_record(w: &Workload, seed: u64, record: impl FnOnce() -> EventLog) -> EventLog {
     if !enabled() {
         return record();
@@ -94,8 +102,92 @@ pub fn load_or_record(w: &Workload, seed: u64, record: impl FnOnce() -> EventLog
         if fs::write(&tmp, log.to_bytes()).is_ok() {
             let _ = fs::rename(&tmp, &path);
         }
+        if let Some(cap) = byte_cap() {
+            enforce_byte_cap(&cache_dir(), cap);
+        }
     }
     log
+}
+
+/// On-disk footprint of the trace cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of cached recordings (`.txlog` files).
+    pub entries: usize,
+    /// Total bytes those entries occupy.
+    pub bytes: u64,
+}
+
+/// Every cache entry in `dir` as `(path, len, mtime)`, unsorted. Stray
+/// `.tmp.*` leftovers from killed writers are included so stats and
+/// eviction cover the real footprint.
+fn entries_in(dir: &std::path::Path) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
+    let Ok(dir) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    dir.flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if !(name.ends_with(".txlog") || name.contains(".tmp.")) {
+                return None;
+            }
+            let md = e.metadata().ok()?;
+            let mtime = md.modified().unwrap_or(std::time::UNIX_EPOCH);
+            Some((e.path(), md.len(), mtime))
+        })
+        .collect()
+}
+
+/// Current entry/byte counts for the trace cache directory.
+pub fn cache_stats() -> CacheStats {
+    stats_of(&cache_dir())
+}
+
+fn stats_of(dir: &std::path::Path) -> CacheStats {
+    let es = entries_in(dir);
+    CacheStats {
+        entries: es.len(),
+        bytes: es.iter().map(|&(_, len, _)| len).sum(),
+    }
+}
+
+/// Deletes every cached recording, returning what was removed.
+pub fn clear_trace_cache() -> CacheStats {
+    let mut removed = CacheStats::default();
+    for (path, len, _) in entries_in(&cache_dir()) {
+        if fs::remove_file(&path).is_ok() {
+            removed.entries += 1;
+            removed.bytes += len;
+        }
+    }
+    removed
+}
+
+/// The `TXRACE_TRACE_CACHE_MAX_BYTES` cap, if set to a parseable u64.
+fn byte_cap() -> Option<u64> {
+    std::env::var("TXRACE_TRACE_CACHE_MAX_BYTES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}
+
+/// Evicts oldest-first (by mtime, path as tiebreak for determinism)
+/// until the cache in `dir` fits in `cap` bytes.
+fn enforce_byte_cap(dir: &std::path::Path, cap: u64) {
+    let mut es = entries_in(dir);
+    let mut total: u64 = es.iter().map(|&(_, len, _)| len).sum();
+    if total <= cap {
+        return;
+    }
+    es.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+    for (path, len, _) in es {
+        if total <= cap {
+            break;
+        }
+        if fs::remove_file(&path).is_ok() {
+            total -= len;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +203,57 @@ mod tests {
         assert_ne!(cache_file(&a, 1), cache_file(&a, 2));
         assert_ne!(cache_file(&a, 1), cache_file(&b, 1));
         assert_ne!(cache_file(&a, 1), cache_file(&c, 1));
+    }
+
+    #[test]
+    fn stats_count_entries_and_eviction_is_oldest_first() {
+        // A scratch dir of our own, so the test neither touches nor is
+        // touched by real recordings from concurrently running tests.
+        let dir = cache_dir().with_file_name(format!("trace-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("hygiene-old.txlog");
+        let new = dir.join("hygiene-new.txlog");
+        let skip = dir.join("not-a-cache-entry.json");
+        fs::write(&old, vec![0u8; 64]).unwrap();
+        // Distinct mtimes: backdate the old entry instead of sleeping.
+        let past = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        filetime_set(&old, past).unwrap();
+        fs::write(&new, vec![0u8; 64]).unwrap();
+        fs::write(&skip, b"ignored").unwrap();
+
+        let stats = stats_of(&dir);
+        assert_eq!(
+            stats,
+            CacheStats {
+                entries: 2,
+                bytes: 128
+            },
+            "non-.txlog files don't count"
+        );
+
+        // A cap the cache already fits evicts nothing.
+        enforce_byte_cap(&dir, 128);
+        assert!(old.exists() && new.exists());
+
+        // Evicting down to 64 bytes must take `old` (oldest mtime).
+        enforce_byte_cap(&dir, 64);
+        assert!(!old.exists(), "oldest entry evicted first");
+        assert!(new.exists(), "newer entry survives");
+        assert_eq!(
+            stats_of(&dir),
+            CacheStats {
+                entries: 1,
+                bytes: 64
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Sets `path`'s mtime (std-only: open + `File::set_times`).
+    fn filetime_set(path: &std::path::Path, t: std::time::SystemTime) -> std::io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_times(fs::FileTimes::new().set_modified(t))
     }
 
     #[test]

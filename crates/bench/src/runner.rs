@@ -114,6 +114,60 @@ pub fn replay_scheme(w: &Workload, log: &EventLog, scheme: Scheme, seed: u64) ->
     out
 }
 
+/// One scheme's result from a fan-out replay pass, with the observed
+/// per-consumer timing (the observability the JSON rows expose).
+#[derive(Debug)]
+pub struct FanoutOutcome {
+    /// The outcome, byte-identical to a serial [`replay_scheme`] call.
+    pub outcome: RunOutcome,
+    /// Wall time of this consumer's replay, in nanoseconds.
+    pub wall_ns: u64,
+    /// Events the consumer observed (the log length).
+    pub events: u64,
+}
+
+/// Replays one recorded trace of `w` under every scheme in `schemes`
+/// concurrently — a single [`txrace_sim::fan_out`] pass over the shared
+/// log on `width` scoped threads — and returns the outcomes in scheme
+/// order. Each outcome is byte-identical to the serial
+/// [`replay_scheme`] result for that scheme: consumers are pure
+/// observers with private state, so concurrency cannot change what any
+/// of them sees.
+///
+/// # Panics
+///
+/// Panics like [`replay_scheme`] (TxRace schemes, incomplete runs).
+pub fn replay_schemes_fanout(
+    w: &Workload,
+    log: &EventLog,
+    schemes: &[Scheme],
+    seed: u64,
+    width: usize,
+) -> Vec<FanoutOutcome> {
+    let detectors: Vec<Detector> = schemes
+        .iter()
+        .map(|s| Detector::new(w.config(s.clone(), seed)))
+        .collect();
+    let consumers = detectors.iter().map(|d| d.consumer(&w.program)).collect();
+    txrace_sim::fan_out(log, consumers, width)
+        .into_iter()
+        .zip(&detectors)
+        .map(|(r, d)| {
+            let outcome = d.outcome_of_replayed(r.consumer, log);
+            assert!(
+                outcome.completed(),
+                "{}: recorded run did not complete",
+                w.name
+            );
+            FanoutOutcome {
+                outcome,
+                wall_ns: r.wall_ns,
+                events: r.events,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +181,26 @@ mod tests {
         assert!(r.recall >= 0.0 && r.recall <= 1.0);
         assert!(r.txrace.htm.is_some());
         assert!(r.tsan.htm.is_none());
+    }
+
+    #[test]
+    fn fanout_replay_matches_serial_per_scheme() {
+        let w = by_name("bodytrack", 2).unwrap();
+        let log = record_workload_uncached(&w, 7);
+        let schemes = [
+            Scheme::Tsan,
+            Scheme::TsanSampling { rate: 0.1 },
+            Scheme::TsanSampling { rate: 0.5 },
+        ];
+        let fanned = replay_schemes_fanout(&w, &log, &schemes, 7, 3);
+        assert_eq!(fanned.len(), schemes.len());
+        for (f, scheme) in fanned.iter().zip(&schemes) {
+            let serial = replay_scheme(&w, &log, scheme.clone(), 7);
+            assert_eq!(f.outcome.races.reports(), serial.races.reports());
+            assert_eq!(f.outcome.breakdown, serial.breakdown);
+            assert_eq!(f.outcome.checks, serial.checks);
+            assert_eq!(f.events, log.len() as u64);
+        }
     }
 
     #[test]

@@ -69,6 +69,13 @@ impl VectorClock {
         }
     }
 
+    /// The raw per-thread components (indexed by thread index), for hot
+    /// loops that want one bounds check instead of one per component.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        &self.clocks
+    }
+
     /// Iterates `(thread, clock)` pairs with nonzero clocks.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (ThreadId, u32)> + '_ {
         self.clocks

@@ -30,14 +30,22 @@ pub enum ShadowMode {
     },
 }
 
+/// Concurrent readers: a read vector clock plus per-thread sites.
+#[derive(Debug, Clone)]
+struct SharedReaders {
+    vc: Vec<u32>,
+    sites: Vec<SiteId>,
+}
+
 #[derive(Debug, Clone)]
 enum ReadState {
     /// No reads since the last write.
     Bottom,
     /// A single reader epoch (FastTrack's common case).
     Single(Epoch, SiteId),
-    /// Concurrent readers: a read vector clock plus per-thread sites.
-    Shared(Vec<u32>, Vec<SiteId>),
+    /// Concurrent readers, boxed so the common Bottom/Single states keep
+    /// [`VarState`] at half a cache line instead of spilling past one.
+    Shared(Box<SharedReaders>),
 }
 
 #[derive(Debug, Clone)]
@@ -171,7 +179,7 @@ impl FastTrack {
         // Same-epoch fast path.
         match &state.r {
             ReadState::Single(e, _) if *e == my => return,
-            ReadState::Shared(vc, _) if vc[t.index()] == my.clock => return,
+            ReadState::Shared(s) if s.vc[t.index()] == my.clock => return,
             _ => {}
         }
 
@@ -211,10 +219,11 @@ impl FastTrack {
                     sites[e.tid.index()] = s;
                     vc[t.index()] = my.clock;
                     sites[t.index()] = site;
-                    state.r = ReadState::Shared(vc, sites);
+                    state.r = ReadState::Shared(Box::new(SharedReaders { vc, sites }));
                 }
             }
-            ReadState::Shared(vc, sites) => {
+            ReadState::Shared(shared) => {
+                let SharedReaders { vc, sites } = shared.as_mut();
                 let is_new_reader = vc[t.index()] == 0;
                 if is_new_reader {
                     if let Some(cap) = self.cell_cap {
@@ -289,7 +298,8 @@ impl FastTrack {
                     self.races.record(report);
                 }
             }
-            ReadState::Shared(vc, sites) => {
+            ReadState::Shared(shared) => {
+                let SharedReaders { vc, sites } = shared.as_ref();
                 for u in 0..self.n {
                     if u == t.index() || vc[u] == 0 {
                         continue;
@@ -379,16 +389,28 @@ impl FastTrack {
 
     /// Tracks a barrier release over all `participants`: all clocks join.
     pub fn barrier(&mut self, b: BarrierId, participants: &[ThreadId]) {
+        self.barrier_join(b, participants.len(), |i| participants[i]);
+    }
+
+    /// [`FastTrack::barrier`] fed directly from a recorded arrival list
+    /// (`(thread, site)` pairs), avoiding the intermediate thread vector
+    /// on the replay hot path.
+    pub fn barrier_arrivals(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        self.barrier_join(b, arrivals.len(), |i| arrivals[i].0);
+    }
+
+    fn barrier_join<F: Fn(usize) -> ThreadId>(&mut self, b: BarrierId, count: usize, tid: F) {
         self.sync_ops += 1;
         let n = self.n;
         if self.barriers.len() <= b.index() {
             self.barriers.resize(b.index() + 1, VectorClock::zero(n));
         }
         let mut joined = self.barriers[b.index()].clone();
-        for &t in participants {
-            joined.join(&self.clocks[t.index()]);
+        for i in 0..count {
+            joined.join(&self.clocks[tid(i).index()]);
         }
-        for &t in participants {
+        for i in 0..count {
+            let t = tid(i);
             self.clocks[t.index()].join(&joined);
             self.clocks[t.index()].inc(t);
         }
@@ -436,8 +458,7 @@ impl txrace_sim::TraceConsumer for FastTrack {
     }
 
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
-        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
-        self.barrier(b, &threads);
+        self.barrier_arrivals(b, arrivals);
     }
 }
 

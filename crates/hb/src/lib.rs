@@ -40,10 +40,14 @@ pub mod clock;
 pub mod fasttrack;
 pub mod lockset;
 pub mod report;
+pub mod sharded;
 pub mod vcref;
 
 pub use clock::{Epoch, VectorClock};
 pub use fasttrack::{FastTrack, ShadowMode};
 pub use lockset::{Lockset, LocksetReport};
 pub use report::{AccessInfo, AccessKind, RacePair, RaceReport, RaceSet};
+pub use sharded::{
+    shard_of, ShardStats, ShardedFastTrack, ShardedFtOutcome, ShardedLockset, ShardedLsOutcome,
+};
 pub use vcref::VectorClockDetector;

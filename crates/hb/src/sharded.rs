@@ -1,0 +1,553 @@
+//! Address-sharded replay detection: FastTrack / lockset shadow state
+//! partitioned across W workers, each replaying the same [`EventLog`].
+//!
+//! The parallelization rule is the classic one for per-variable race
+//! detectors:
+//!
+//! * **Data accesses route.** Each address is owned by exactly one shard
+//!   ([`shard_of`]); a shard checks only the accesses it owns, so the
+//!   shadow-state work — the dominant cost on access-heavy traces — is
+//!   split W ways.
+//! * **Sync events broadcast.** Every shard processes every
+//!   lock/unlock/signal/wait/spawn/join/barrier event, so each shard
+//!   maintains the *full* vector-clock state. A variable's race verdict
+//!   depends only on the sync history plus that variable's own accesses,
+//!   both of which its owning shard sees completely — hence every
+//!   per-access verdict is identical to the serial detector's.
+//! * **Reports merge deterministically.** Each shard tags its reports
+//!   with the global index of the triggering event (all shards count
+//!   every event, so indices agree). Concatenating the per-shard report
+//!   lists in shard order and stable-sorting by event index reconstructs
+//!   the serial discovery order exactly; feeding that sequence through a
+//!   fresh [`RaceSet`] reproduces the serial first-report-per-pair
+//!   dedup, because a pair's globally-first report is also first within
+//!   its own shard (an address lives on one shard only).
+//!
+//! Sharding supports [`ShadowMode::Exact`] only: `Cells` mode draws
+//! evictions from a single global RNG stream whose state depends on the
+//! interleaved access order across *all* addresses, which no
+//! partitioning can reproduce.
+
+use std::time::Instant;
+
+use txrace_sim::{Addr, BarrierId, CondId, EventLog, LockId, SiteId, ThreadId, TraceConsumer};
+
+use crate::fasttrack::{FastTrack, ShadowMode};
+use crate::lockset::{Lockset, LocksetReport};
+use crate::report::{RaceReport, RaceSet};
+
+/// The shard owning `addr` among `shards` shards.
+///
+/// Routing hashes the 8-byte word index (Fibonacci multiplicative hash)
+/// and maps the hash to `0..shards` through its *top* bits (128-bit
+/// multiply-shift) rather than a plain modulo: scalar variables are
+/// allocated one per 64-byte cache line, so `word_index % shards` would
+/// alias every scalar onto one shard whenever `shards` divides 8, and
+/// the low bits of a multiplicative hash step too slowly for strided
+/// inputs. The top-bits mapping spreads both line-aligned scalars and
+/// dense array strides evenly.
+#[inline]
+pub fn shard_of(addr: Addr, shards: usize) -> usize {
+    let h = (addr.0 >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h as u128 * shards as u128) >> 64) as usize
+}
+
+/// Per-shard timing and work counters, for imbalance diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Total events this shard observed (identical across shards).
+    pub events: u64,
+    /// Access checks this shard performed (its routed share).
+    pub checks: u64,
+    /// Dynamic reports this shard produced before the merge.
+    pub races_found: u64,
+    /// Wall time of this shard's replay pass, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One FastTrack shard: full sync state, 1/W of the shadow state.
+///
+/// Bumps a global event counter in *every* consumer method so report
+/// tags align with absolute log positions across shards.
+struct FtShard {
+    shard: usize,
+    shards: usize,
+    ft: FastTrack,
+    event_idx: u64,
+    /// `(global event index, report)` in within-shard discovery order.
+    tagged: Vec<(u64, RaceReport)>,
+}
+
+impl FtShard {
+    fn new(threads: usize, shard: usize, shards: usize) -> Self {
+        FtShard {
+            shard,
+            shards,
+            ft: FastTrack::new(threads, ShadowMode::Exact),
+            event_idx: 0,
+            tagged: Vec::new(),
+        }
+    }
+
+    /// Tags any reports the last access produced with the event index.
+    fn collect_new_reports(&mut self, idx: u64, before: usize) {
+        for r in &self.ft.races().reports()[before..] {
+            self.tagged.push((idx, *r));
+        }
+    }
+
+    fn owns(&self, addr: Addr) -> bool {
+        shard_of(addr, self.shards) == self.shard
+    }
+}
+
+impl TraceConsumer for FtShard {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        let idx = self.event_idx;
+        self.event_idx += 1;
+        if self.owns(addr) {
+            let before = self.ft.races().reports().len();
+            self.ft.read(t, site, addr);
+            self.collect_new_reports(idx, before);
+        }
+    }
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        let idx = self.event_idx;
+        self.event_idx += 1;
+        if self.owns(addr) {
+            let before = self.ft.races().reports().len();
+            self.ft.write(t, site, addr);
+            self.collect_new_reports(idx, before);
+        }
+    }
+    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
+        self.event_idx += 1; // atomics are never checked (C11 model)
+    }
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.event_idx += 1;
+        self.ft.lock_acquire(t, l);
+    }
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.event_idx += 1;
+        self.ft.lock_release(t, l);
+    }
+    fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        self.event_idx += 1;
+        self.ft.signal(t, c);
+    }
+    fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
+        self.event_idx += 1;
+        self.ft.wait(t, c);
+    }
+    fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        self.event_idx += 1;
+        self.ft.spawn(t, child);
+    }
+    fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
+        self.event_idx += 1;
+        self.ft.join(t, child);
+    }
+    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
+        self.event_idx += 1;
+    }
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        self.event_idx += 1;
+        self.ft.barrier_arrivals(b, arrivals);
+    }
+    fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
+        self.event_idx += 1;
+    }
+    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: txrace_sim::SyscallKind) {
+        self.event_idx += 1;
+    }
+    fn thread_done(&mut self, _t: ThreadId) {
+        self.event_idx += 1;
+    }
+}
+
+/// Result of a sharded FastTrack replay pass.
+#[derive(Debug)]
+pub struct ShardedFtOutcome {
+    /// Merged races, byte-identical to a serial Exact-mode replay.
+    pub races: RaceSet,
+    /// Total access checks (sums to the serial count — each access is
+    /// checked on exactly one shard).
+    pub checks: u64,
+    /// Sync operations tracked (per shard; identical on every shard
+    /// because sync events broadcast).
+    pub sync_ops: u64,
+    /// Per-shard work/timing breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+/// One FastTrack shard's raw output before the merge: its stats, its
+/// event-index-tagged reports, and its sync-op count.
+type FtShardResult = (ShardStats, Vec<(u64, RaceReport)>, u64);
+
+/// FastTrack with shadow state partitioned across `workers` shards.
+///
+/// `run` replays the log once per shard on scoped threads; the merged
+/// outcome is byte-identical to a serial
+/// `FastTrack::new(threads, ShadowMode::Exact)` replay of the same log
+/// (races, report order, check totals). See the module docs for the
+/// equivalence argument and why `Cells` mode is excluded.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedFastTrack {
+    threads: usize,
+    workers: usize,
+}
+
+impl ShardedFastTrack {
+    /// Creates a sharded detector over `workers >= 1` shards.
+    pub fn new(threads: usize, workers: usize) -> Self {
+        ShardedFastTrack {
+            threads,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Replays `log` across all shards on scoped threads (one per
+    /// shard) and merges the verdicts.
+    pub fn run(&self, log: &EventLog) -> ShardedFtOutcome {
+        let results = if self.workers == 1 {
+            vec![self.run_shard(log, 0)]
+        } else {
+            run_sharded(self.workers, |shard| self.run_shard(log, shard))
+        };
+        self.merge(results)
+    }
+
+    /// [`ShardedFastTrack::run`] with the shards executed sequentially
+    /// on the calling thread. Shards are fully independent, so the
+    /// outcome is identical to the threaded path — this exists for
+    /// single-core hosts (threading cannot help there) and for clean
+    /// per-shard [`ShardStats::wall_ns`] measurements, which the
+    /// threaded path pollutes with preemption whenever shards outnumber
+    /// cores.
+    pub fn run_serial(&self, log: &EventLog) -> ShardedFtOutcome {
+        self.merge((0..self.workers).map(|s| self.run_shard(log, s)).collect())
+    }
+
+    fn run_shard(&self, log: &EventLog, shard: usize) -> FtShardResult {
+        let t0 = Instant::now();
+        let mut w = FtShard::new(self.threads, shard, self.workers);
+        log.replay(&mut w);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let stats = ShardStats {
+            shard,
+            events: w.event_idx,
+            checks: w.ft.checks(),
+            races_found: w.tagged.len() as u64,
+            wall_ns,
+        };
+        (stats, w.tagged, w.ft.sync_ops())
+    }
+
+    fn merge(&self, results: Vec<FtShardResult>) -> ShardedFtOutcome {
+        let mut tagged: Vec<(u64, RaceReport)> = Vec::new();
+        let mut shards = Vec::with_capacity(self.workers);
+        let mut checks = 0;
+        let sync_ops = results[0].2;
+        for (stats, t, _) in results {
+            checks += stats.checks;
+            shards.push(stats);
+            tagged.extend(t);
+        }
+        // Stable sort: same-event reports all come from one shard (an
+        // address has one owner), so their within-shard order survives.
+        tagged.sort_by_key(|&(idx, _)| idx);
+        let races: RaceSet = tagged.into_iter().map(|(_, r)| r).collect();
+        ShardedFtOutcome {
+            races,
+            checks,
+            sync_ops,
+            shards,
+        }
+    }
+}
+
+/// One lockset shard: full held-lock state, 1/W of the variable state.
+struct LsShard {
+    shard: usize,
+    shards: usize,
+    ls: Lockset,
+    event_idx: u64,
+    checks: u64,
+    tagged: Vec<(u64, LocksetReport)>,
+}
+
+impl LsShard {
+    fn new(threads: usize, shard: usize, shards: usize) -> Self {
+        LsShard {
+            shard,
+            shards,
+            ls: Lockset::new(threads),
+            event_idx: 0,
+            checks: 0,
+            tagged: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, t: ThreadId, site: SiteId, addr: Addr, is_write: bool) {
+        let idx = self.event_idx;
+        self.event_idx += 1;
+        if shard_of(addr, self.shards) != self.shard {
+            return;
+        }
+        self.checks += 1;
+        let before = self.ls.reports().len();
+        if is_write {
+            self.ls.write(t, site, addr);
+        } else {
+            self.ls.read(t, site, addr);
+        }
+        for r in &self.ls.reports()[before..] {
+            self.tagged.push((idx, *r));
+        }
+    }
+}
+
+impl TraceConsumer for LsShard {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.access(t, site, addr, false);
+    }
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        self.access(t, site, addr, true);
+    }
+    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
+        self.event_idx += 1;
+    }
+    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.event_idx += 1;
+        self.ls.lock_acquire(t, l);
+    }
+    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
+        self.event_idx += 1;
+        self.ls.lock_release(t, l);
+    }
+    fn signal(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
+        self.event_idx += 1; // Eraser is blind to non-mutex sync
+    }
+    fn wait(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
+        self.event_idx += 1;
+    }
+    fn spawn(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
+        self.event_idx += 1;
+    }
+    fn join(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
+        self.event_idx += 1;
+    }
+    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
+        self.event_idx += 1;
+    }
+    fn barrier_release(&mut self, _b: BarrierId, _arrivals: &[(ThreadId, SiteId)]) {
+        self.event_idx += 1;
+    }
+    fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
+        self.event_idx += 1;
+    }
+    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: txrace_sim::SyscallKind) {
+        self.event_idx += 1;
+    }
+    fn thread_done(&mut self, _t: ThreadId) {
+        self.event_idx += 1;
+    }
+}
+
+/// Result of a sharded lockset replay pass.
+#[derive(Debug)]
+pub struct ShardedLsOutcome {
+    /// Merged violations, in serial discovery order.
+    pub reports: Vec<LocksetReport>,
+    /// Per-shard work/timing breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+/// Eraser lockset with variable state partitioned across `workers`
+/// shards: accesses route by address, mutex events broadcast. Each
+/// variable reports at most once and lives on exactly one shard, so
+/// merging per-shard reports by global event index reproduces the
+/// serial report list exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedLockset {
+    threads: usize,
+    workers: usize,
+}
+
+impl ShardedLockset {
+    /// Creates a sharded detector over `workers >= 1` shards.
+    pub fn new(threads: usize, workers: usize) -> Self {
+        ShardedLockset {
+            threads,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Replays `log` across all shards on scoped threads (one per
+    /// shard) and merges the verdicts.
+    pub fn run(&self, log: &EventLog) -> ShardedLsOutcome {
+        let results = if self.workers == 1 {
+            vec![self.run_shard(log, 0)]
+        } else {
+            run_sharded(self.workers, |shard| self.run_shard(log, shard))
+        };
+        self.merge(results)
+    }
+
+    /// [`ShardedLockset::run`] with the shards executed sequentially on
+    /// the calling thread — identical outcome, clean per-shard timing
+    /// (see [`ShardedFastTrack::run_serial`]).
+    pub fn run_serial(&self, log: &EventLog) -> ShardedLsOutcome {
+        self.merge((0..self.workers).map(|s| self.run_shard(log, s)).collect())
+    }
+
+    fn run_shard(&self, log: &EventLog, shard: usize) -> (ShardStats, Vec<(u64, LocksetReport)>) {
+        let t0 = Instant::now();
+        let mut w = LsShard::new(self.threads, shard, self.workers);
+        log.replay(&mut w);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let stats = ShardStats {
+            shard,
+            events: w.event_idx,
+            checks: w.checks,
+            races_found: w.tagged.len() as u64,
+            wall_ns,
+        };
+        (stats, w.tagged)
+    }
+
+    fn merge(&self, results: Vec<(ShardStats, Vec<(u64, LocksetReport)>)>) -> ShardedLsOutcome {
+        let mut tagged: Vec<(u64, LocksetReport)> = Vec::new();
+        let mut shards = Vec::with_capacity(self.workers);
+        for (stats, t) in results {
+            shards.push(stats);
+            tagged.extend(t);
+        }
+        tagged.sort_by_key(|&(idx, _)| idx);
+        ShardedLsOutcome {
+            reports: tagged.into_iter().map(|(_, r)| r).collect(),
+            shards,
+        }
+    }
+}
+
+/// Runs `f(0..workers)` on scoped threads, returning results in shard
+/// order.
+fn run_sharded<R: Send>(workers: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (shard, slot) in slots.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(shard));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard thread fills its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_sim::{record_run, FairSched, ProgramBuilder, StepLimit};
+
+    /// A 4-thread program with races on several addresses so reports
+    /// span shards, plus locks/barriers so sync broadcast matters.
+    fn racy_log(seed: u64) -> (EventLog, usize) {
+        let n = 4;
+        let mut b = ProgramBuilder::new(n);
+        let vars: Vec<_> = (0..8).map(|i| b.var(&format!("v{i}"))).collect();
+        let l = b.lock_id("l");
+        let bar = b.barrier_id("bar");
+        for t in 0..n {
+            let mut tb = b.thread(t);
+            for (i, &v) in vars.iter().enumerate() {
+                if i % 2 == 0 {
+                    tb.write(v, t as u64 + 1);
+                } else {
+                    tb.read(v);
+                }
+            }
+            tb.lock(l).rmw(vars[0], 1).unlock(l).barrier(bar);
+            for &v in &vars {
+                tb.read(v);
+            }
+        }
+        let p = b.build();
+        let mut sched = FairSched::new(seed, 0.1);
+        (record_run(&p, &mut sched, StepLimit::default()), n)
+    }
+
+    #[test]
+    fn sharded_fasttrack_matches_serial_for_every_worker_count() {
+        for seed in [1, 9, 77] {
+            let (log, n) = racy_log(seed);
+            let mut serial = FastTrack::new(n, ShadowMode::Exact);
+            log.replay(&mut serial);
+            for workers in [1, 2, 3, 4, 8] {
+                let out = ShardedFastTrack::new(n, workers).run(&log);
+                assert_eq!(
+                    out.races.reports(),
+                    serial.races().reports(),
+                    "seed={seed} workers={workers}"
+                );
+                let seq = ShardedFastTrack::new(n, workers).run_serial(&log);
+                assert_eq!(
+                    seq.races.reports(),
+                    out.races.reports(),
+                    "sequential and threaded shard execution must agree"
+                );
+                assert_eq!(out.checks, serial.checks(), "seed={seed} workers={workers}");
+                assert_eq!(out.sync_ops, serial.sync_ops());
+                assert_eq!(out.shards.len(), workers);
+                let routed: u64 = out.shards.iter().map(|s| s.checks).sum();
+                assert_eq!(routed, serial.checks(), "routing must partition accesses");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_lockset_matches_serial_for_every_worker_count() {
+        for seed in [1, 9, 77] {
+            let (log, n) = racy_log(seed);
+            let mut serial = Lockset::new(n);
+            log.replay(&mut serial);
+            for workers in [1, 2, 4, 8] {
+                let out = ShardedLockset::new(n, workers).run(&log);
+                assert_eq!(
+                    out.reports,
+                    serial.reports(),
+                    "seed={seed} workers={workers}"
+                );
+                let seq = ShardedLockset::new(n, workers).run_serial(&log);
+                assert_eq!(seq.reports, out.reports);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_expose_balanced_event_counts() {
+        let (log, n) = racy_log(5);
+        let out = ShardedFastTrack::new(n, 4).run(&log);
+        for s in &out.shards {
+            assert_eq!(s.events, log.len() as u64, "broadcast sees every event");
+        }
+        assert!(out.shards.iter().filter(|s| s.checks > 0).count() > 1);
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable() {
+        for shards in 1..=8 {
+            for a in 0..64u64 {
+                let s = shard_of(Addr(a * 8), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(Addr(a * 8), shards));
+            }
+        }
+    }
+}

@@ -6,34 +6,31 @@
 //! compression can merge which static pair is blamed first, but never
 //! which variables race).
 
-use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, ThreadId};
+use txrace_sim::{Addr, AddrMap, BarrierId, CondId, LockId, SiteId, ThreadId};
 
 use crate::clock::VectorClock;
 use crate::report::{AccessInfo, AccessKind, RaceReport, RaceSet};
 
-#[derive(Debug, Clone)]
-struct VarVc {
-    /// Per-thread clock of that thread's last write (0 = none).
-    w: Vec<u32>,
-    w_sites: Vec<SiteId>,
-    /// Per-thread clock of that thread's last read.
-    r: Vec<u32>,
-    r_sites: Vec<SiteId>,
-}
-
-impl VarVc {
-    fn fresh(n: usize) -> Self {
-        VarVc {
-            w: vec![0; n],
-            w_sites: vec![SiteId(0); n],
-            r: vec![0; n],
-            r_sites: vec![SiteId(0); n],
-        }
-    }
+/// One thread's slice of a variable's access history: the clock and site
+/// of that thread's last write and last read (clock 0 = none). Packing
+/// all four into 16 bytes keeps a whole variable's history on one or two
+/// cache lines instead of four separate arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    w: u32,
+    r: u32,
+    w_site: SiteId,
+    r_site: SiteId,
 }
 
 /// The full-vector-clock (DJIT+-style) reference detector. Same API shape
 /// as [`crate::FastTrack`].
+///
+/// Shadow state is a flat table keyed by dense first-touch ids: variable
+/// `v`'s per-thread `Cell`s live at `[v*n, (v+1)*n)`. An untouched
+/// variable reads as all-zero clocks — exactly what the old
+/// lazily-inserted per-variable record held, so every race decision and
+/// report is unchanged.
 #[derive(Debug)]
 pub struct VectorClockDetector {
     n: usize,
@@ -41,10 +38,9 @@ pub struct VectorClockDetector {
     locks: Vec<VectorClock>,
     conds: Vec<VectorClock>,
     barriers: Vec<VectorClock>,
-    /// Per-variable vector clocks indexed directly by `Addr.0`; an
-    /// untouched slot equals `VarVc::fresh` (all-zero clocks), matching
-    /// the old map's lazy insertion.
-    shadow: Vec<VarVc>,
+    /// `Addr -> dense variable id`, assigned on first access.
+    shadow_ids: AddrMap,
+    cells: Vec<Cell>,
     races: RaceSet,
 }
 
@@ -59,18 +55,22 @@ impl VectorClockDetector {
             locks: Vec::new(),
             conds: Vec::new(),
             barriers: Vec::new(),
-            shadow: Vec::new(),
+            shadow_ids: AddrMap::new(),
+            cells: Vec::new(),
             races: RaceSet::new(),
         }
     }
 
+    /// The base offset of `addr`'s per-thread cells, growing the flat
+    /// table by one variable (n zeroed cells) on first touch.
     #[inline]
-    fn shadow_mut(shadow: &mut Vec<VarVc>, addr: Addr, n: usize) -> &mut VarVc {
-        let i = addr.0 as usize;
-        if i >= shadow.len() {
-            shadow.resize_with(i + 1, || VarVc::fresh(n));
+    fn shadow_base(&mut self, addr: Addr) -> usize {
+        let i = self.shadow_ids.resolve(addr) as usize;
+        let base = i * self.n;
+        if base == self.cells.len() {
+            self.cells.resize(base + self.n, Cell::default());
         }
-        &mut shadow[i]
+        base
     }
 
     /// Races found so far.
@@ -88,17 +88,18 @@ impl VectorClockDetector {
     /// Checks a read.
     pub fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         let n = self.n;
-        let ct = &self.clocks[t.index()];
-        let state = Self::shadow_mut(&mut self.shadow, addr, n);
-        for u in 0..n {
-            if u == t.index() || state.w[u] == 0 {
+        let base = self.shadow_base(addr);
+        let ct = self.clocks[t.index()].as_slice();
+        let cells = &self.cells[base..base + n];
+        for (u, (cell, &cu)) in cells.iter().zip(ct).enumerate() {
+            if u == t.index() || cell.w == 0 {
                 continue;
             }
-            if state.w[u] > ct.get(ThreadId(u as u32)) {
+            if cell.w > cu {
                 self.races.record(RaceReport {
                     addr,
                     prior: AccessInfo {
-                        site: state.w_sites[u],
+                        site: cell.w_site,
                         thread: ThreadId(u as u32),
                         kind: AccessKind::Write,
                     },
@@ -112,27 +113,29 @@ impl VectorClockDetector {
         }
         // Keep the *first* site of each epoch (FastTrack's same-epoch
         // shortcut has the same blame behaviour).
-        if state.r[t.index()] != ct.get(t) {
-            state.r_sites[t.index()] = site;
+        let me = ct[t.index()];
+        let mine = &mut self.cells[base + t.index()];
+        if mine.r != me {
+            mine.r_site = site;
         }
-        state.r[t.index()] = ct.get(t);
+        mine.r = me;
     }
 
     /// Checks a write.
     pub fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         let n = self.n;
-        let ct = &self.clocks[t.index()];
-        let state = Self::shadow_mut(&mut self.shadow, addr, n);
-        for u in 0..n {
+        let base = self.shadow_base(addr);
+        let ct = self.clocks[t.index()].as_slice();
+        let cells = &self.cells[base..base + n];
+        for (u, (cell, &cu)) in cells.iter().zip(ct).enumerate() {
             if u == t.index() {
                 continue;
             }
-            let cu = ct.get(ThreadId(u as u32));
-            if state.w[u] > 0 && state.w[u] > cu {
+            if cell.w > 0 && cell.w > cu {
                 self.races.record(RaceReport {
                     addr,
                     prior: AccessInfo {
-                        site: state.w_sites[u],
+                        site: cell.w_site,
                         thread: ThreadId(u as u32),
                         kind: AccessKind::Write,
                     },
@@ -143,11 +146,11 @@ impl VectorClockDetector {
                     },
                 });
             }
-            if state.r[u] > 0 && state.r[u] > cu {
+            if cell.r > 0 && cell.r > cu {
                 self.races.record(RaceReport {
                     addr,
                     prior: AccessInfo {
-                        site: state.r_sites[u],
+                        site: cell.r_site,
                         thread: ThreadId(u as u32),
                         kind: AccessKind::Read,
                     },
@@ -160,10 +163,12 @@ impl VectorClockDetector {
             }
         }
         // First-in-epoch blame, mirroring FastTrack's same-epoch shortcut.
-        if state.w[t.index()] != ct.get(t) {
-            state.w_sites[t.index()] = site;
+        let me = ct[t.index()];
+        let mine = &mut self.cells[base + t.index()];
+        if mine.w != me {
+            mine.w_site = site;
         }
-        state.w[t.index()] = ct.get(t);
+        mine.w = me;
     }
 
     /// Tracks a mutex acquire.
@@ -207,15 +212,26 @@ impl VectorClockDetector {
 
     /// Tracks a barrier release.
     pub fn barrier(&mut self, b: BarrierId, participants: &[ThreadId]) {
+        self.barrier_join(b, participants.len(), |i| participants[i]);
+    }
+
+    /// [`VectorClockDetector::barrier`] fed directly from a recorded
+    /// arrival list, avoiding the intermediate thread vector on replay.
+    pub fn barrier_arrivals(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        self.barrier_join(b, arrivals.len(), |i| arrivals[i].0);
+    }
+
+    fn barrier_join<F: Fn(usize) -> ThreadId>(&mut self, b: BarrierId, count: usize, tid: F) {
         let n = self.n;
         if self.barriers.len() <= b.index() {
             self.barriers.resize(b.index() + 1, VectorClock::zero(n));
         }
         let mut joined = self.barriers[b.index()].clone();
-        for &t in participants {
-            joined.join(&self.clocks[t.index()]);
+        for i in 0..count {
+            joined.join(&self.clocks[tid(i).index()]);
         }
-        for &t in participants {
+        for i in 0..count {
+            let t = tid(i);
             self.clocks[t.index()].join(&joined);
             self.clocks[t.index()].inc(t);
         }
@@ -261,8 +277,7 @@ impl txrace_sim::TraceConsumer for VectorClockDetector {
     }
 
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
-        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
-        self.barrier(b, &threads);
+        self.barrier_arrivals(b, arrivals);
     }
 }
 

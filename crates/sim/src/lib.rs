@@ -66,7 +66,7 @@ pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
 pub use mem::{JournalMark, Memory, WriteJournal};
-pub use replay::{Live, TraceConsumer};
+pub use replay::{fan_out, FanOutReport, Live, TraceConsumer};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
 pub use summary::{summarize, Phase, ProgramSummary, SiteAccess};
 pub use trace::{record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind};

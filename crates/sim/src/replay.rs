@@ -15,11 +15,16 @@
 //! The TxRace engine itself is *not* a pure observer (it rolls threads
 //! back), so it stays a [`Runtime`] and is excluded from this boundary.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use crate::addr::Addr;
 use crate::exec::{Directive, OpEvent, Runtime};
 use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
 use crate::ir::{Op, SyscallKind};
 use crate::mem::Memory;
+use crate::trace::EventLog;
 
 /// A pure observer of one execution's schedule-visible event stream.
 ///
@@ -101,6 +106,202 @@ pub trait TraceConsumer {
     fn thread_done(&mut self, t: ThreadId) {
         let _ = t;
     }
+}
+
+/// Boxed consumers forward every event, so heterogeneous detector sets
+/// (`Vec<Box<dyn TraceConsumer + Send>>`) can ride one [`fan_out`] pass.
+impl<C: TraceConsumer + ?Sized> TraceConsumer for Box<C> {
+    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        (**self).read(t, site, addr);
+    }
+    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        (**self).write(t, site, addr);
+    }
+    fn rmw(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
+        (**self).rmw(t, site, addr);
+    }
+    fn acquire(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        (**self).acquire(t, site, l);
+    }
+    fn release(&mut self, t: ThreadId, site: SiteId, l: LockId) {
+        (**self).release(t, site, l);
+    }
+    fn signal(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        (**self).signal(t, site, c);
+    }
+    fn wait(&mut self, t: ThreadId, site: SiteId, c: CondId) {
+        (**self).wait(t, site, c);
+    }
+    fn spawn(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        (**self).spawn(t, site, child);
+    }
+    fn join(&mut self, t: ThreadId, site: SiteId, child: ThreadId) {
+        (**self).join(t, site, child);
+    }
+    fn barrier_arrive(&mut self, t: ThreadId, site: SiteId, b: BarrierId) {
+        (**self).barrier_arrive(t, site, b);
+    }
+    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        (**self).barrier_release(b, arrivals);
+    }
+    fn compute(&mut self, t: ThreadId, site: SiteId, units: u32) {
+        (**self).compute(t, site, units);
+    }
+    fn syscall(&mut self, t: ThreadId, site: SiteId, kind: SyscallKind) {
+        (**self).syscall(t, site, kind);
+    }
+    fn thread_done(&mut self, t: ThreadId) {
+        (**self).thread_done(t);
+    }
+}
+
+/// One consumer's slice of a [`fan_out`] pass: the consumer itself plus
+/// the observability the parallel harnesses report (which broadcast
+/// group carried it, how long that group's pass took, and how many
+/// events it was driven through).
+#[derive(Debug)]
+pub struct FanOutReport<C> {
+    /// The consumer, after consuming the whole log.
+    pub consumer: C,
+    /// The broadcast group (worker thread) that carried this consumer.
+    pub group: usize,
+    /// Wall-clock nanoseconds of the broadcast pass that carried this
+    /// consumer. Consumers in one group share a single pass over the
+    /// log, so they report the same wall time.
+    pub wall_ns: u64,
+    /// Events the consumer was driven through (the log length).
+    pub events: u64,
+}
+
+/// One fan-out group's consumers, tagged with their input indices so
+/// results scatter back to input order afterwards.
+type Bucket<C> = Vec<(usize, C)>;
+
+/// One fan-out group's finished reports, tagged like [`Bucket`].
+type GroupResult<C> = Vec<(usize, FanOutReport<C>)>;
+
+/// Replays one shared [`EventLog`] into every consumer — the
+/// multi-consumer fan-out of the parallel replay engine.
+///
+/// Consumers are split round-robin into at most `width` groups; each
+/// group rides **one** broadcast pass over the log
+/// ([`EventLog::replay_many`]: every event decoded once, dispatched to
+/// the whole group), and groups run concurrently on scoped threads. The
+/// group count is additionally capped at the machine's available
+/// parallelism — an extra group means an extra walk of the log, which
+/// costs memory bandwidth without buying any concurrency once every
+/// core already has a walk.
+///
+/// Each consumer observes the *identical* call sequence
+/// [`EventLog::replay`] produces, so results are byte-identical to a
+/// serial loop over the consumers regardless of `width`, the group
+/// assignment, or the core count; the log is read-only and shared, so
+/// nothing is re-read or re-decoded per consumer within a group.
+/// Results come back in input order regardless of completion order.
+///
+/// ```
+/// use txrace_sim::replay::{fan_out, TraceConsumer};
+/// use txrace_sim::{record_run, ProgramBuilder, RoundRobin, StepLimit, ThreadId};
+///
+/// #[derive(Default)]
+/// struct CountWrites(u64);
+/// impl TraceConsumer for CountWrites {
+///     fn write(&mut self, _: ThreadId, _: txrace_sim::SiteId, _: txrace_sim::Addr) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new(1);
+/// let x = b.var("x");
+/// b.thread(0).write(x, 1).write(x, 2);
+/// let p = b.build();
+/// let log = record_run(&p, &mut RoundRobin::new(), StepLimit::default());
+/// let counters = vec![CountWrites::default(), CountWrites::default()];
+/// for r in fan_out(&log, counters, 2) {
+///     assert_eq!(r.consumer.0, 2);
+/// }
+/// ```
+pub fn fan_out<C: TraceConsumer + Send>(
+    log: &EventLog,
+    consumers: Vec<C>,
+    width: usize,
+) -> Vec<FanOutReport<C>> {
+    let n = consumers.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let events = log.len() as u64;
+    let hw = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let groups = width.clamp(1, hw).min(n);
+
+    // Round-robin assignment; each bucket keeps its consumers' input
+    // indices so results scatter back to input order afterwards.
+    let mut buckets: Vec<Bucket<C>> = (0..groups).map(|_| Vec::new()).collect();
+    for (i, c) in consumers.into_iter().enumerate() {
+        buckets[i % groups].push((i, c));
+    }
+    let run_group = |group: usize, bucket: Bucket<C>| -> GroupResult<C> {
+        let (idxs, mut cs): (Vec<usize>, Vec<C>) = bucket.into_iter().unzip();
+        let t0 = Instant::now();
+        log.replay_many(&mut cs);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        idxs.into_iter()
+            .zip(cs)
+            .map(|(i, consumer)| {
+                (
+                    i,
+                    FanOutReport {
+                        consumer,
+                        group,
+                        wall_ns,
+                        events,
+                    },
+                )
+            })
+            .collect()
+    };
+
+    let finished: Vec<GroupResult<C>> = if groups == 1 {
+        vec![run_group(0, buckets.pop().expect("one bucket"))]
+    } else {
+        let jobs: Vec<Mutex<Option<Bucket<C>>>> =
+            buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
+        let slots: Vec<Mutex<Option<GroupResult<C>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..groups {
+                scope.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= jobs.len() {
+                        break;
+                    }
+                    let bucket = jobs[g]
+                        .lock()
+                        .expect("fan-out job poisoned")
+                        .take()
+                        .expect("each group is claimed once");
+                    *slots[g].lock().expect("fan-out slot poisoned") = Some(run_group(g, bucket));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("fan-out slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    };
+
+    let mut out: Vec<Option<FanOutReport<C>>> = (0..n).map(|_| None).collect();
+    for (i, r) in finished.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every input index is carried by exactly one group"))
+        .collect()
 }
 
 /// Adapts a [`TraceConsumer`] to the live [`Runtime`] interface: memory
@@ -280,6 +481,110 @@ mod tests {
         let rel_pos = script.iter().position(|s| s.starts_with("relbar")).unwrap();
         let last_arr = script.iter().rposition(|s| s.starts_with("arr")).unwrap();
         assert!(rel_pos > last_arr);
+    }
+
+    #[test]
+    fn fan_out_matches_serial_replay_for_every_width() {
+        use crate::exec::StepLimit;
+        use crate::trace::record_run;
+
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        let bar = b.barrier_id("bar");
+        for t in 0..3 {
+            b.thread(t).lock(l).rmw(x, 1).unlock(l).barrier(bar).read(x);
+        }
+        let p = b.build();
+        let mut sched = crate::sched::RandomSched::new(11);
+        let log = record_run(&p, &mut sched, StepLimit::default());
+
+        let serial: Vec<Vec<String>> = (0..4)
+            .map(|_| {
+                let mut c = Script::default();
+                log.replay(&mut c);
+                c.0
+            })
+            .collect();
+        for width in [1, 2, 4, 8] {
+            let consumers: Vec<Script> = (0..4).map(|_| Script::default()).collect();
+            let reports = fan_out(&log, consumers, width);
+            assert_eq!(reports.len(), 4);
+            for (r, want) in reports.iter().zip(&serial) {
+                assert_eq!(&r.consumer.0, want, "width={width}");
+                assert_eq!(r.events, log.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_accepts_boxed_heterogeneous_consumers() {
+        use crate::exec::StepLimit;
+        use crate::trace::record_run;
+
+        #[derive(Default)]
+        struct CountReads(u64);
+        impl TraceConsumer for CountReads {
+            fn read(&mut self, _: ThreadId, _: SiteId, _: Addr) {
+                self.0 += 1;
+            }
+        }
+
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).read(x).read(x).write(x, 1);
+        let p = b.build();
+        let log = record_run(&p, &mut RoundRobin::new(), StepLimit::default());
+
+        let consumers: Vec<Box<dyn TraceConsumer + Send>> =
+            vec![Box::new(CountReads::default()), Box::new(Script::default())];
+        let out = fan_out(&log, consumers, 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn replay_many_matches_replay_per_consumer() {
+        use crate::exec::StepLimit;
+        use crate::trace::record_run;
+
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        let bar = b.barrier_id("bar");
+        for t in 0..3 {
+            b.thread(t)
+                .write(x, t as u64)
+                .lock(l)
+                .rmw(x, 1)
+                .unlock(l)
+                .barrier(bar)
+                .read(x);
+        }
+        let p = b.build();
+        let mut sched = crate::sched::RandomSched::new(5);
+        let log = record_run(&p, &mut sched, StepLimit::default());
+
+        let mut want = Script::default();
+        log.replay(&mut want);
+        let mut many: Vec<Script> = (0..3).map(|_| Script::default()).collect();
+        log.replay_many(&mut many);
+        for m in &many {
+            assert_eq!(m.0, want.0, "broadcast must equal per-consumer replay");
+        }
+    }
+
+    #[test]
+    fn fan_out_of_nothing_is_empty() {
+        use crate::exec::StepLimit;
+        use crate::trace::record_run;
+
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write(x, 1);
+        let p = b.build();
+        let log = record_run(&p, &mut RoundRobin::new(), StepLimit::default());
+        let none: Vec<Script> = vec![];
+        assert!(fan_out(&log, none, 4).is_empty());
     }
 
     #[test]

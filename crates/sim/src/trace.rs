@@ -481,6 +481,96 @@ impl EventLog {
             }
         }
     }
+
+    /// Replays the log into *every* consumer in one pass over the event
+    /// stream: each event is decoded once and dispatched to all
+    /// consumers in slice order — the broadcast primitive under
+    /// [`crate::replay::fan_out`].
+    ///
+    /// Byte-identical to calling [`EventLog::replay`] on each consumer
+    /// separately (consumers are independent; each still observes the
+    /// full call sequence in execution order), but the event stream is
+    /// walked and decoded once instead of once per consumer — on a
+    /// multi-megabyte log that is the difference between streaming the
+    /// log through the cache N times and once.
+    pub fn replay_many<C: TraceConsumer>(&self, consumers: &mut [C]) {
+        for e in &self.events {
+            let (t, site) = (e.thread, e.site);
+            match e.kind {
+                TraceEventKind::Read => {
+                    for c in consumers.iter_mut() {
+                        c.read(t, site, Addr(e.arg));
+                    }
+                }
+                TraceEventKind::Write => {
+                    for c in consumers.iter_mut() {
+                        c.write(t, site, Addr(e.arg));
+                    }
+                }
+                TraceEventKind::Rmw => {
+                    for c in consumers.iter_mut() {
+                        c.rmw(t, site, Addr(e.arg));
+                    }
+                }
+                TraceEventKind::Acquire => {
+                    for c in consumers.iter_mut() {
+                        c.acquire(t, site, LockId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::Release => {
+                    for c in consumers.iter_mut() {
+                        c.release(t, site, LockId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::Signal => {
+                    for c in consumers.iter_mut() {
+                        c.signal(t, site, CondId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::Wait => {
+                    for c in consumers.iter_mut() {
+                        c.wait(t, site, CondId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::Spawn => {
+                    for c in consumers.iter_mut() {
+                        c.spawn(t, site, ThreadId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::Join => {
+                    for c in consumers.iter_mut() {
+                        c.join(t, site, ThreadId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::BarrierArrive => {
+                    for c in consumers.iter_mut() {
+                        c.barrier_arrive(t, site, BarrierId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::BarrierRelease => {
+                    let (b, arrivals) = self.release_arrivals(e.arg);
+                    for c in consumers.iter_mut() {
+                        c.barrier_release(b, arrivals);
+                    }
+                }
+                TraceEventKind::ThreadDone => {
+                    for c in consumers.iter_mut() {
+                        c.thread_done(t);
+                    }
+                }
+                TraceEventKind::Compute => {
+                    for c in consumers.iter_mut() {
+                        c.compute(t, site, e.arg as u32);
+                    }
+                }
+                TraceEventKind::Syscall => {
+                    for c in consumers.iter_mut() {
+                        c.syscall(t, site, SYSCALL_CODES[e.arg as usize]);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Records one execution of `p` under `sched` into an [`EventLog`]: the

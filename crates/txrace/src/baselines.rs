@@ -18,6 +18,26 @@ use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, SyscallKind, ThreadId,
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::sa::SiteClassTable;
 
+/// Event tallies a consumer accumulates on the hot path; the cycle
+/// breakdown is derived from them on demand (`count * unit_cost` is the
+/// same u64 as adding `unit_cost` per event, without the per-event
+/// arithmetic).
+#[derive(Debug, Default, Clone, Copy)]
+struct EventTally {
+    /// Memory-access events (read + write + rmw).
+    mem: u64,
+    /// Sync ops whose happens-before tracking is charged.
+    sync: u64,
+    /// Barrier arrivals (architectural cost only).
+    barrier_arrive: u64,
+    /// Total threads released across all barrier releases.
+    barrier_released: u64,
+    /// Total `Compute` units.
+    compute_units: u64,
+    /// Syscall events.
+    syscalls: u64,
+}
+
 /// The always-on software detector: FastTrack checks on every shared
 /// access (the paper's "TSan" baseline), optionally sampling accesses at a
 /// fixed rate (the paper's "TSan+Sampling" comparison).
@@ -26,7 +46,7 @@ pub struct TsanConsumer {
     ft: FastTrack,
     cost: CostModel,
     eff_check: u64,
-    breakdown: CycleBreakdown,
+    tally: EventTally,
     sampler: Option<(f64, StdRng)>,
     prune: Option<SiteClassTable>,
     checked: u64,
@@ -41,7 +61,7 @@ impl TsanConsumer {
             ft: FastTrack::new(threads, shadow),
             eff_check: cost.effective_tsan_check(shadow_factor),
             cost,
-            breakdown: CycleBreakdown::default(),
+            tally: EventTally::default(),
             sampler: None,
             prune: None,
             checked: 0,
@@ -82,9 +102,21 @@ impl TsanConsumer {
         self.ft.races()
     }
 
-    /// Cycle breakdown (`baseline` + `checks`).
+    /// Cycle breakdown (`baseline` + `checks`), derived from the event
+    /// tallies. Equal, term for term, to what per-event accumulation
+    /// would have produced.
     pub fn breakdown(&self) -> CycleBreakdown {
-        self.breakdown
+        let t = &self.tally;
+        CycleBreakdown {
+            baseline: t.mem * self.cost.mem_access
+                + (t.sync + t.barrier_arrive) * self.cost.sync_op
+                + t.compute_units * self.cost.compute_unit
+                + t.syscalls * self.cost.syscall,
+            checks: self.checked * self.eff_check
+                + (t.sync + t.barrier_released) * self.cost.tsan_sync,
+            elided: self.elided * self.eff_check,
+            ..CycleBreakdown::default()
+        }
     }
 
     /// Accesses actually checked.
@@ -102,19 +134,17 @@ impl TsanConsumer {
         self.elided
     }
 
-    /// True when the prune table elides the check at `site`; records the
-    /// avoided cost.
+    /// True when the prune table elides the check at `site`.
     fn prune_elides(&mut self, site: SiteId) -> bool {
         if self.prune.as_ref().is_some_and(|t| t.is_race_free(site)) {
             self.elided += 1;
-            self.breakdown.elided += self.eff_check;
             true
         } else {
             false
         }
     }
 
-    /// Decides whether this access is checked; charges accordingly.
+    /// Decides whether this access is checked.
     fn sample(&mut self) -> bool {
         let take = match &mut self.sampler {
             None => true,
@@ -122,17 +152,10 @@ impl TsanConsumer {
         };
         if take {
             self.checked += 1;
-            self.breakdown.checks += self.eff_check;
         } else {
             self.skipped += 1;
         }
         take
-    }
-
-    /// Charges the architectural cost of a sync op plus its HB tracking.
-    fn charge_sync(&mut self) {
-        self.breakdown.baseline += self.cost.sync_op;
-        self.breakdown.checks += self.cost.tsan_sync;
     }
 
     #[cfg(test)]
@@ -143,14 +166,14 @@ impl TsanConsumer {
 
 impl TraceConsumer for TsanConsumer {
     fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        self.breakdown.baseline += self.cost.mem_access;
+        self.tally.mem += 1;
         if !self.prune_elides(site) && self.sample() {
             self.ft.read(t, site, addr);
         }
     }
 
     fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        self.breakdown.baseline += self.cost.mem_access;
+        self.tally.mem += 1;
         if !self.prune_elides(site) && self.sample() {
             self.ft.write(t, site, addr);
         }
@@ -159,55 +182,54 @@ impl TraceConsumer for TsanConsumer {
     fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
         // Atomics are never data races under the C11 model; TSan does not
         // check them either.
-        self.breakdown.baseline += self.cost.mem_access;
+        self.tally.mem += 1;
     }
 
     fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
         self.ft.lock_acquire(t, l);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
         self.ft.lock_release(t, l);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
         self.ft.signal(t, c);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
         self.ft.wait(t, c);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
         self.ft.spawn(t, child);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
         self.ft.join(t, child);
-        self.charge_sync();
+        self.tally.sync += 1;
     }
 
     fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.barrier_arrive += 1;
     }
 
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
-        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
-        self.ft.barrier(b, &threads);
-        self.breakdown.checks += self.cost.tsan_sync * arrivals.len() as u64;
+        self.ft.barrier_arrivals(b, arrivals);
+        self.tally.barrier_released += arrivals.len() as u64;
     }
 
     fn compute(&mut self, _t: ThreadId, _site: SiteId, units: u32) {
-        self.breakdown.baseline += u64::from(units) * self.cost.compute_unit;
+        self.tally.compute_units += u64::from(units);
     }
 
     fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: SyscallKind) {
-        self.breakdown.baseline += self.cost.syscall;
+        self.tally.syscalls += 1;
     }
 }
 
@@ -369,7 +391,9 @@ mod tests {
 pub struct LocksetConsumer {
     ls: Lockset,
     cost: CostModel,
-    breakdown: CycleBreakdown,
+    tally: EventTally,
+    /// Accesses that paid the lockset check (reads + writes).
+    checked: u64,
 }
 
 impl LocksetConsumer {
@@ -378,7 +402,8 @@ impl LocksetConsumer {
         LocksetConsumer {
             ls: Lockset::new(threads),
             cost,
-            breakdown: CycleBreakdown::default(),
+            tally: EventTally::default(),
+            checked: 0,
         }
     }
 
@@ -388,70 +413,80 @@ impl LocksetConsumer {
         self.ls.reports()
     }
 
-    /// Cycle breakdown (`baseline` + `checks`).
+    /// Cycle breakdown (`baseline` + `checks`), derived from the event
+    /// tallies exactly as per-event accumulation would have produced.
+    ///
+    /// Lockset checks are cheaper than vector-clock checks: a set
+    /// intersection against the held set, modeled at half a TSan check.
     pub fn breakdown(&self) -> CycleBreakdown {
-        self.breakdown
+        let t = &self.tally;
+        CycleBreakdown {
+            baseline: t.mem * self.cost.mem_access
+                + t.sync * self.cost.sync_op
+                + t.compute_units * self.cost.compute_unit
+                + t.syscalls * self.cost.syscall,
+            checks: self.checked * (self.cost.tsan_check / 2),
+            ..CycleBreakdown::default()
+        }
     }
 }
 
 impl TraceConsumer for LocksetConsumer {
     fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         self.ls.read(t, site, addr);
-        self.breakdown.baseline += self.cost.mem_access;
-        // Lockset checks are cheaper than vector-clock checks: a set
-        // intersection against the held set, modeled at half a TSan check.
-        self.breakdown.checks += self.cost.tsan_check / 2;
+        self.tally.mem += 1;
+        self.checked += 1;
     }
 
     fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
         self.ls.write(t, site, addr);
-        self.breakdown.baseline += self.cost.mem_access;
-        self.breakdown.checks += self.cost.tsan_check / 2;
+        self.tally.mem += 1;
+        self.checked += 1;
     }
 
     fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
-        self.breakdown.baseline += self.cost.mem_access;
+        self.tally.mem += 1;
     }
 
     fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
         self.ls.lock_acquire(t, l);
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
         self.ls.lock_release(t, l);
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     // Eraser is blind to every other synchronization primitive — that
     // blindness is its incompleteness — but their architectural cost is
     // still paid.
     fn signal(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn wait(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn spawn(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn join(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
-        self.breakdown.baseline += self.cost.sync_op;
+        self.tally.sync += 1;
     }
 
     fn compute(&mut self, _t: ThreadId, _site: SiteId, units: u32) {
-        self.breakdown.baseline += u64::from(units) * self.cost.compute_unit;
+        self.tally.compute_units += u64::from(units);
     }
 
     fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: SyscallKind) {
-        self.breakdown.baseline += self.cost.syscall;
+        self.tally.syscalls += 1;
     }
 }
 

@@ -494,12 +494,7 @@ impl Detector {
     /// seed)` (see [`Detector::record`]).
     pub fn replay(&self, log: &EventLog, mut consumer: TsanConsumer) -> RunOutcome {
         log.replay(&mut consumer);
-        self.tsan_outcome(
-            consumer,
-            self.cfg.cost.baseline_cycles_of_census(&log.census()),
-            log.final_memory().clone(),
-            log.result().clone(),
-        )
+        self.outcome_of_replayed(consumer, log)
     }
 
     /// Replays a recorded log through an arbitrary [`TraceConsumer`] and
@@ -508,6 +503,21 @@ impl Detector {
     pub fn replay_into<C: TraceConsumer>(&self, log: &EventLog, mut consumer: C) -> C {
         log.replay(&mut consumer);
         consumer
+    }
+
+    /// Assembles the [`RunOutcome`] for a consumer that has *already*
+    /// been replayed over `log` — the tail half of [`Detector::replay`],
+    /// split out so parallel drivers ([`txrace_sim::fan_out`]) can run
+    /// many consumers over one log and assemble outcomes afterwards.
+    /// `Detector::replay(log, c)` ≡
+    /// `{ log.replay(&mut c); Detector::outcome_of_replayed(c, log) }`.
+    pub fn outcome_of_replayed(&self, consumer: TsanConsumer, log: &EventLog) -> RunOutcome {
+        self.tsan_outcome(
+            consumer,
+            self.cfg.cost.baseline_cycles_of_census(&log.census()),
+            log.final_memory().clone(),
+            log.result().clone(),
+        )
     }
 }
 

@@ -735,8 +735,7 @@ impl Runtime for TxRaceEngine {
         if !self.track_fast_sync {
             return; // ablation: see after_sync
         }
-        let threads: Vec<ThreadId> = arrivals.iter().map(|&(t, _)| t).collect();
-        self.ft.barrier(b, &threads);
+        self.ft.barrier_arrivals(b, arrivals);
         self.breakdown.txn_mgmt += self.cost.tsan_sync * arrivals.len() as u64;
     }
 }

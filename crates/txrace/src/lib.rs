@@ -55,6 +55,7 @@ pub mod detector;
 pub mod engine;
 pub mod instrument;
 pub mod loopcut;
+pub mod parallel;
 pub mod sa;
 
 pub use baselines::{LocksetConsumer, TsanConsumer};
@@ -67,4 +68,5 @@ pub use instrument::{
     instrument_pruned, InstrumentConfig, InstrumentedProgram, RegionInfo, RegionKind,
 };
 pub use loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
+pub use parallel::PanelConsumer;
 pub use sa::{PruneStats, RaceFreeReason, SiteClass, SiteClassTable, StaticPruneMode};

@@ -1,0 +1,184 @@
+//! The parallel replay contract: fanning one [`EventLog`] to N
+//! consumers on scoped threads, and sharding FastTrack/lockset shadow
+//! state by address across W workers, are both *byte-identical* to a
+//! serial single-consumer replay — for every detector, every worker
+//! count, and every width.
+//!
+//! Fan-out is trivially equivalent (consumers are pure observers with
+//! private state; concurrency can't change what any of them sees), so
+//! the tests there guard the harness plumbing: ordering, panel
+//! recovery, outcome assembly. Sharding is the interesting case — the
+//! routing/broadcast/merge rules of `txrace_hb::sharded` are what these
+//! tests pin down, including the deterministic reconstruction of the
+//! serial report *order* from per-shard report lists.
+
+use proptest::prelude::*;
+use txrace::{CostModel, Detector, LocksetConsumer, PanelConsumer, RunConfig, Scheme};
+use txrace_hb::{
+    shard_of, FastTrack, Lockset, ShadowMode, ShardedFastTrack, ShardedLockset, VectorClockDetector,
+};
+use txrace_sim::{fan_out, Addr, EventLog, Program};
+use txrace_workloads::{all_workloads, random_program, GenConfig};
+
+/// Worker counts / fan-out widths exercised everywhere.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Checks both parallel layers against fresh serial replays of `log`.
+fn check_parallel_equivalence(app: &str, p: &Program, d: &Detector, log: &EventLog) {
+    let n = p.thread_count();
+
+    // --- Serial references: one single-threaded replay per detector. ---
+    let serial_out = d.replay(log, d.consumer(p));
+    let mut serial_ft = FastTrack::new(n, ShadowMode::Exact);
+    log.replay(&mut serial_ft);
+    let mut serial_vc = VectorClockDetector::new(n);
+    log.replay(&mut serial_vc);
+    let mut serial_ls = Lockset::new(n);
+    log.replay(&mut serial_ls);
+
+    // --- Layer 1: heterogeneous fan-out at every width. ---
+    for width in WORKERS {
+        let panel = vec![
+            PanelConsumer::Tsan(d.consumer(p)),
+            PanelConsumer::FastTrack(FastTrack::new(n, ShadowMode::Exact)),
+            PanelConsumer::VcRef(VectorClockDetector::new(n)),
+            PanelConsumer::Lockset(LocksetConsumer::new(n, CostModel::default())),
+        ];
+        let mut fanned = fan_out(log, panel, width).into_iter();
+
+        let tsan = fanned
+            .next()
+            .and_then(|r| r.consumer.into_tsan())
+            .expect("fan_out preserves panel order");
+        let out = d.outcome_of_replayed(tsan, log);
+        assert_eq!(
+            out.races.reports(),
+            serial_out.races.reports(),
+            "{app}: tsan races diverged at width {width}"
+        );
+        assert_eq!(out.breakdown, serial_out.breakdown, "{app} w={width}");
+        assert_eq!(out.checks, serial_out.checks, "{app} w={width}");
+        assert_eq!(out.memory, serial_out.memory, "{app} w={width}");
+
+        let ft = fanned
+            .next()
+            .and_then(|r| r.consumer.into_fasttrack())
+            .expect("fan_out preserves panel order");
+        assert_eq!(
+            ft.races().reports(),
+            serial_ft.races().reports(),
+            "{app}: fasttrack races diverged at width {width}"
+        );
+        assert_eq!(ft.checks(), serial_ft.checks(), "{app} w={width}");
+
+        let vc = fanned
+            .next()
+            .and_then(|r| r.consumer.into_vcref())
+            .expect("fan_out preserves panel order");
+        assert_eq!(
+            vc.races().reports(),
+            serial_vc.races().reports(),
+            "{app}: vcref races diverged at width {width}"
+        );
+
+        let ls = fanned
+            .next()
+            .and_then(|r| r.consumer.into_lockset())
+            .expect("fan_out preserves panel order");
+        assert_eq!(
+            ls.reports(),
+            serial_ls.reports(),
+            "{app}: lockset reports diverged at width {width}"
+        );
+    }
+
+    // --- Layer 2: address-sharded detectors at every worker count. ---
+    for workers in WORKERS {
+        let out = ShardedFastTrack::new(n, workers).run(log);
+        assert_eq!(
+            out.races.reports(),
+            serial_ft.races().reports(),
+            "{app}: sharded fasttrack races diverged at {workers} workers"
+        );
+        assert_eq!(
+            out.races.distinct_count(),
+            serial_ft.races().distinct_count(),
+            "{app} workers={workers}"
+        );
+        assert_eq!(out.checks, serial_ft.checks(), "{app} workers={workers}");
+        assert_eq!(
+            out.sync_ops,
+            serial_ft.sync_ops(),
+            "{app} workers={workers}"
+        );
+        // Threaded and sequential shard execution must agree (shards
+        // are independent; only the merge sees all of them).
+        let seq = ShardedFastTrack::new(n, workers).run_serial(log);
+        assert_eq!(
+            seq.races.reports(),
+            out.races.reports(),
+            "{app}: threaded vs sequential shard execution, {workers} workers"
+        );
+        // Routing partitions the checks: per-shard shares sum to the
+        // serial total, and every shard saw the whole event stream.
+        let routed: u64 = out.shards.iter().map(|s| s.checks).sum();
+        assert_eq!(routed, serial_ft.checks(), "{app} workers={workers}");
+        for s in &out.shards {
+            assert_eq!(s.events, log.len() as u64, "{app} workers={workers}");
+        }
+
+        let ls_out = ShardedLockset::new(n, workers).run(log);
+        assert_eq!(
+            ls_out.reports,
+            serial_ls.reports(),
+            "{app}: sharded lockset reports diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_parallel_replay_identically_across_seeds() {
+    for seed in [11, 42, 1234] {
+        for w in all_workloads(4) {
+            let d = Detector::new(w.config(Scheme::Tsan, seed));
+            let log = d.record(&w.program);
+            check_parallel_equivalence(w.name, &w.program, &d, &log);
+        }
+    }
+}
+
+#[test]
+fn shard_routing_is_a_partition() {
+    // Every address maps to exactly one shard for every worker count —
+    // the property the sharded detectors' correctness rests on.
+    for shards in 1..=8 {
+        for word in 0..512u64 {
+            let addr = Addr(word * 8);
+            let s = shard_of(addr, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of(addr, shards), "routing must be stable");
+        }
+    }
+    // One shard means everything routes to it (sharded == serial by
+    // construction).
+    for word in 0..64u64 {
+        assert_eq!(shard_of(Addr(word * 8), 1), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random programs: both parallel layers reproduce the serial
+    /// replay byte for byte, for every worker count.
+    #[test]
+    fn random_programs_parallel_replay_identically(
+        gen_seed in 0u64..400,
+        sched_seed in 0u64..40,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let d = Detector::new(RunConfig::new(Scheme::Tsan, sched_seed));
+        let log = d.record(&p);
+        check_parallel_equivalence("random", &p, &d, &log);
+    }
+}
