@@ -230,21 +230,26 @@ fn static_prune_ablation(workers: usize, seed: u64) {
     let mut t = Table::new(&[
         "application",
         "pruned sites",
+        "dyn pruned",
         "off",
         "checks-only",
         "full",
-        "races (off/full)",
+        "full-flow",
+        "races (off/full/flow)",
     ]);
     let mut off_ovh = Vec::new();
     let mut checks_ovh = Vec::new();
     let mut full_ovh = Vec::new();
+    let mut flow_ovh = Vec::new();
     let apps = all_workloads(workers);
     let results = map_cells(pool_width(), &apps, |_, w| {
         let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
+        let flow_stats = SiteClassTable::analyze_flow(&w.program).stats(&w.program);
         let mut runs = [
             StaticPruneMode::Off,
             StaticPruneMode::ChecksOnly,
             StaticPruneMode::Full,
+            StaticPruneMode::FullFlow,
         ]
         .into_iter()
         .map(|mode| {
@@ -254,13 +259,14 @@ fn static_prune_ablation(workers: usize, seed: u64) {
             out
         });
         (
-            stats,
+            (stats, flow_stats),
+            runs.next().unwrap(),
             runs.next().unwrap(),
             runs.next().unwrap(),
             runs.next().unwrap(),
         )
     });
-    for (w, (stats, off, checks, full)) in apps.iter().zip(results) {
+    for (w, ((stats, flow_stats), off, checks, full, flow)) in apps.iter().zip(results) {
         // ChecksOnly is schedule-preserving, so its race set must match
         // exactly; checking it here keeps the ablation honest.
         let same: Vec<_> = off.races.pairs().collect();
@@ -272,31 +278,44 @@ fn static_prune_ablation(workers: usize, seed: u64) {
         t.row(vec![
             w.name.to_string(),
             format!(
-                "{}/{} ({:.0}%)",
+                "{}/{} ({:.0}%), flow {}/{}",
                 stats.race_free,
                 stats.data_sites,
-                stats.pruned_fraction() * 100.0
+                stats.static_pruned_fraction() * 100.0,
+                flow_stats.race_free,
+                flow_stats.data_sites,
+            ),
+            format!(
+                "{:.1}%/{:.1}%",
+                stats.pruned_fraction() * 100.0,
+                flow_stats.pruned_fraction() * 100.0
             ),
             fmt_x(off.overhead),
             fmt_x(checks.overhead),
             fmt_x(full.overhead),
+            fmt_x(flow.overhead),
             format!(
-                "{}/{}",
+                "{}/{}/{}",
                 off.races.distinct_count(),
-                full.races.distinct_count()
+                full.races.distinct_count(),
+                flow.races.distinct_count()
             ),
         ]);
         off_ovh.push(off.overhead);
         checks_ovh.push(checks.overhead);
         full_ovh.push(full.overhead);
+        flow_ovh.push(flow.overhead);
     }
     println!("{}", t.render());
     println!(
-        "geo.mean: off {} -> checks-only {} -> full {}\n\
+        "geo.mean: off {} -> checks-only {} -> full {} -> full-flow {}\n\
          checks-only skips FastTrack checks at provably race-free sites;\n\
-         full also strips the transaction markers around fully-pruned regions.",
+         full also strips the transaction markers around fully-pruned regions;\n\
+         full-flow adds must-lockset + MHP dataflow, redundant-check\n\
+         elimination, and benign-atomic footprint pruning.",
         fmt_x(geomean(&off_ovh)),
         fmt_x(geomean(&checks_ovh)),
         fmt_x(geomean(&full_ovh)),
+        fmt_x(geomean(&flow_ovh)),
     );
 }

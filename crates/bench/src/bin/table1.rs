@@ -16,13 +16,12 @@ use txrace_bench::{
 };
 use txrace_workloads::{all_workloads, Workload};
 
-/// The "TxRace+SA" run: Full static pruning on top of the default
-/// TxRace configuration (race-free regions lose their transaction
-/// markers entirely; surviving slow paths skip race-free sites).
-fn run_pruned(w: &Workload, seed: u64) -> RunOutcome {
-    let cfg = w
-        .config(Scheme::txrace(), seed)
-        .with_prune(StaticPruneMode::Full);
+/// A "TxRace+SA" run: static pruning on top of the default TxRace
+/// configuration (race-free regions lose their transaction markers
+/// entirely; surviving slow paths skip race-free sites). `Full` uses the
+/// flow-insensitive layer; `FullFlow` adds the dataflow passes.
+fn run_pruned(w: &Workload, seed: u64, mode: StaticPruneMode) -> RunOutcome {
+    let cfg = w.config(Scheme::txrace(), seed).with_prune(mode);
     let out = Detector::new(cfg).run(&w.program);
     assert!(out.completed(), "{}: pruned run did not complete", w.name);
     out
@@ -31,17 +30,33 @@ fn run_pruned(w: &Workload, seed: u64) -> RunOutcome {
 /// Everything one table row needs; computed per app, in parallel across
 /// the worker pool (each cell is an independent deterministic simulation,
 /// so the fan-out changes wall-clock only, never the results).
-fn eval_cell(w: &Workload, seed: u64) -> (AppResult, RunOutcome, txrace::PruneStats) {
-    let r = evaluate_app(
+struct Cell {
+    base: AppResult,
+    sa: RunOutcome,
+    flow: RunOutcome,
+    stats: txrace::PruneStats,
+    flow_stats: txrace::PruneStats,
+}
+
+fn eval_cell(w: &Workload, seed: u64) -> Cell {
+    let base = evaluate_app(
         w,
         EvalOptions {
             seed,
             ..Default::default()
         },
     );
-    let sa = run_pruned(w, seed);
+    let sa = run_pruned(w, seed, StaticPruneMode::Full);
+    let flow = run_pruned(w, seed, StaticPruneMode::FullFlow);
     let stats = SiteClassTable::analyze(&w.program).stats(&w.program);
-    (r, sa, stats)
+    let flow_stats = SiteClassTable::analyze_flow(&w.program).stats(&w.program);
+    Cell {
+        base,
+        sa,
+        flow,
+        stats,
+        flow_stats,
+    }
 }
 
 fn main() {
@@ -70,14 +85,17 @@ fn main() {
         "TxRace ovh",
         "pruned",
         "TxRace+SA ovh",
+        "TxRace+SA-flow ovh",
     ]);
     let mut tsan_ovh = Vec::new();
     let mut tx_ovh = Vec::new();
     let mut sa_ovh = Vec::new();
+    let mut flow_ovh = Vec::new();
 
     let apps = all_workloads(workers);
     let results = map_cells(pool_width(), &apps, |_, w| eval_cell(w, seed));
-    for (w, (r, sa, stats)) in apps.iter().zip(results) {
+    for (w, c) in apps.iter().zip(results) {
+        let r = &c.base;
         let htm = r.txrace.htm.expect("txrace stats");
         let p = paper::row(w.name).expect("paper row");
         t.row(vec![
@@ -94,14 +112,21 @@ fn main() {
                 fmt_x(r.txrace.overhead),
                 fmt_x(p.txrace_overhead)
             ),
-            format!("{:.0}%", stats.pruned_fraction() * 100.0),
-            fmt_x(sa.overhead),
+            format!(
+                "{:.0}%/{:.0}%",
+                c.stats.pruned_fraction() * 100.0,
+                c.flow_stats.pruned_fraction() * 100.0
+            ),
+            fmt_x(c.sa.overhead),
+            fmt_x(c.flow.overhead),
         ]);
         tsan_ovh.push(r.tsan.overhead);
         tx_ovh.push(r.txrace.overhead);
-        sa_ovh.push(sa.overhead);
+        sa_ovh.push(c.sa.overhead);
+        flow_ovh.push(c.flow.overhead);
     }
     println!("{}", t.render());
+    println!("(pruned column: dynamic-access fraction, Full/FullFlow)");
     println!(
         "geo.mean overhead: TSan {} (paper {}), TxRace {} (paper {} Prof / {} Dyn)",
         fmt_x(geomean(&tsan_ovh)),
@@ -112,10 +137,16 @@ fn main() {
     );
     let tx = geomean(&tx_ovh);
     let sa = geomean(&sa_ovh);
+    let flow = geomean(&flow_ovh);
     println!(
         "with static pruning (TxRace+SA): {} geo.mean ({:.0}% of TxRace's extra overhead elided)",
         fmt_x(sa),
         (1.0 - (sa - 1.0) / (tx - 1.0).max(1e-9)) * 100.0,
+    );
+    println!(
+        "with flow-sensitive pruning (TxRace+SA-flow): {} geo.mean ({:.0}% elided)",
+        fmt_x(flow),
+        (1.0 - (flow - 1.0) / (tx - 1.0).max(1e-9)) * 100.0,
     );
 }
 
@@ -124,7 +155,8 @@ fn print_json(workers: usize, seed: u64) {
     let mut rows = Vec::new();
     let apps = all_workloads(workers);
     let results = map_cells(pool_width(), &apps, |_, w| eval_cell(w, seed));
-    for (w, (r, sa, stats)) in apps.iter().zip(results) {
+    for (w, c) in apps.iter().zip(results) {
+        let r = &c.base;
         let h = r.txrace.htm.expect("txrace stats");
         rows.push(vec![
             ("app", JsonValue::Str(w.name.to_string())),
@@ -143,12 +175,21 @@ fn print_json(workers: usize, seed: u64) {
             ("tsan_overhead", JsonValue::Num(r.tsan.overhead)),
             ("txrace_overhead", JsonValue::Num(r.txrace.overhead)),
             ("recall", JsonValue::Num(r.recall)),
-            ("pruned_fraction", JsonValue::Num(stats.pruned_fraction())),
+            ("pruned_fraction", JsonValue::Num(c.stats.pruned_fraction())),
+            (
+                "pruned_fraction_flow",
+                JsonValue::Num(c.flow_stats.pruned_fraction()),
+            ),
             (
                 "txrace_sa_races",
-                JsonValue::Int(sa.races.distinct_count() as u64),
+                JsonValue::Int(c.sa.races.distinct_count() as u64),
             ),
-            ("txrace_sa_overhead", JsonValue::Num(sa.overhead)),
+            ("txrace_sa_overhead", JsonValue::Num(c.sa.overhead)),
+            (
+                "txrace_saflow_races",
+                JsonValue::Int(c.flow.races.distinct_count() as u64),
+            ),
+            ("txrace_saflow_overhead", JsonValue::Num(c.flow.overhead)),
         ]);
     }
     println!("{}", json_rows(&rows));

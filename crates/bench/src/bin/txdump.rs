@@ -6,13 +6,18 @@
 //! ```text
 //! txdump <app> [--seed <n>] [--workers <n>] [--thread <t>]
 //!              [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats]
-//!              [--no-trace-cache]
+//!              [--sites] [--no-trace-cache]
 //! txdump --cache-clear
 //! ```
 //!
 //! `--stats` prints per-kind event counts, the app's write density, the
 //! top-N hottest addresses (N from `--head`, default 10), and the
 //! on-disk trace-cache footprint instead of the event stream.
+//!
+//! `--sites` skips recording entirely and prints the static analysis
+//! view: every data site with its flow-insensitive (`Full`) and
+//! flow-sensitive (`FullFlow`) classification, redundancy witnesses, and
+//! the static may-race candidate pairs.
 //!
 //! `--cache-clear` (no app needed) wipes `target/trace-cache` and
 //! reports what was removed. The cache is also bounded automatically:
@@ -35,7 +40,8 @@ use txrace_workloads::by_name;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  txdump <app> [--seed <n>] [--workers <n>] [--thread <t>] \
-         [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--no-trace-cache]\n  \
+         [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--sites] \
+         [--no-trace-cache]\n  \
          txdump --cache-clear"
     );
     std::process::exit(2);
@@ -137,6 +143,72 @@ fn print_stats(log: &EventLog, top_n: usize) {
     );
 }
 
+/// `--sites`: the static analysis view of one workload — per-site
+/// classification under both pruning layers, plus the may-race pairs.
+fn print_sites(w: &txrace_workloads::Workload) {
+    use txrace::{FlowAnalysis, SiteClass, SiteClassTable};
+
+    let p = &w.program;
+    let base = SiteClassTable::analyze(p);
+    let fa = FlowAnalysis::run(p);
+    let class_str = |c: SiteClass| match c {
+        SiteClass::PotentiallyRacy => "RACY".to_string(),
+        SiteClass::RaceFree(r) => r.to_string(),
+    };
+    let op_str = |op: &txrace_sim::Op| match op {
+        txrace_sim::Op::Read(_) => "read",
+        txrace_sim::Op::Write(_, _) => "write",
+        txrace_sim::Op::Rmw(_, _) => "rmw",
+        txrace_sim::Op::ReadArr { .. } => "read[]",
+        txrace_sim::Op::WriteArr { .. } => "write[]",
+        _ => "other",
+    };
+    println!(
+        "\nsite classification ({} data sites):",
+        fa.table.stats(p).data_sites
+    );
+    println!(
+        "  {:>6} {:>3} {:<8} {:<22} {:<14} {:<16} witness",
+        "site", "thr", "op", "label", "full", "full-flow"
+    );
+    p.visit_static(&mut |t, site, op| {
+        if !op.is_data_access() {
+            return;
+        }
+        let label = p.label_of(site).unwrap_or("-");
+        let witness = fa
+            .table
+            .witness_of(site)
+            .map(|ws| {
+                p.label_of(ws)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("site {}", ws.0))
+            })
+            .unwrap_or_default();
+        println!(
+            "  {:>6} {:>3} {:<8} {:<22} {:<14} {:<16} {}",
+            site.0,
+            t.0,
+            op_str(op),
+            label,
+            class_str(base.class(site)),
+            class_str(fa.table.class(site)),
+            witness
+        );
+    });
+
+    println!("\nmay-race candidate pairs ({}):", fa.pairs.len());
+    for pr in fa.pairs.pairs() {
+        let name = |s: txrace_sim::SiteId| {
+            p.label_of(s)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("site {}", s.0))
+        };
+        let addr = fa.pairs.witness_addr(pr).expect("pair has a witness");
+        println!("  {:<22} x {:<22} @ {:#x}", name(pr.a), name(pr.b), addr.0);
+    }
+}
+
 fn main() {
     let args: Vec<String> = txrace_bench::args_after_cache_flag();
     if args.iter().any(|a| a == "--cache-clear") {
@@ -147,7 +219,7 @@ fn main() {
         );
         return;
     }
-    let Some(app) = args.first() else { usage() };
+    let mut app: Option<String> = None;
     let mut seed = 42u64;
     let mut workers = 4usize;
     let mut thread: Option<u32> = None;
@@ -155,8 +227,9 @@ fn main() {
     let mut head: Option<usize> = None;
     let mut summary = false;
     let mut stats = false;
+    let mut sites = false;
 
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| it.next().cloned().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -167,14 +240,25 @@ fn main() {
             "--head" => head = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--summary" => summary = true,
             "--stats" => stats = true,
+            "--sites" => sites = true,
+            // The one positional argument is the app; flags go anywhere.
+            s if !s.starts_with('-') && app.is_none() => app = Some(s.to_string()),
             _ => usage(),
         }
     }
+    let Some(app) = app else { usage() };
+    let app = app.as_str();
 
     let Some(w) = by_name(app, workers) else {
         eprintln!("unknown app {app:?}; try `txrace-cli list`");
         std::process::exit(2);
     };
+    if sites {
+        // Pure static analysis: no recording needed.
+        println!("{app} ({workers} workers): static site classification");
+        print_sites(&w);
+        return;
+    }
     let log = txrace_bench::record_workload(&w, seed);
 
     let census = log.census();

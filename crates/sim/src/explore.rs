@@ -110,7 +110,7 @@ impl Scheduler for DfsSched {
 /// is reported to `visit` via [`RunStatus::Deadlock`], not panicked.
 pub fn explore<R, F, V>(
     program: &Program,
-    mut make_rt: F,
+    make_rt: F,
     mut visit: V,
     limits: ExploreLimits,
 ) -> ExploreStats
@@ -118,6 +118,33 @@ where
     R: crate::exec::Runtime,
     F: FnMut() -> R,
     V: FnMut(&Machine, &R, &RunResult),
+{
+    explore_until(
+        program,
+        make_rt,
+        |m, rt, r| {
+            visit(m, rt, r);
+            false
+        },
+        limits,
+    )
+}
+
+/// [`explore`] with early exit: the visitor returns `true` to stop the
+/// search after the current path (reported as `complete: false` unless it
+/// happened to be the last path anyway). This is the driver for targeted
+/// searches — e.g. confirming a static race-pair candidate set, where
+/// exploration can stop as soon as every candidate has been witnessed.
+pub fn explore_until<R, F, V>(
+    program: &Program,
+    mut make_rt: F,
+    mut visit: V,
+    limits: ExploreLimits,
+) -> ExploreStats
+where
+    R: crate::exec::Runtime,
+    F: FnMut() -> R,
+    V: FnMut(&Machine, &R, &RunResult) -> bool,
 {
     let mut sched = DfsSched {
         choices: Vec::new(),
@@ -139,9 +166,11 @@ where
         if let RunStatus::Fault(msg) = &result.status {
             panic!("explored path faulted: {msg}");
         }
-        visit(&machine, &rt, &result);
+        let stop = visit(&machine, &rt, &result);
         paths += 1;
-        if limits.max_paths > 0 && paths >= limits.max_paths {
+        if stop || (limits.max_paths > 0 && paths >= limits.max_paths) {
+            // A stop on what would have been the final path is still an
+            // incomplete claim — we did not verify there was nothing left.
             return ExploreStats {
                 paths,
                 complete: false,
@@ -267,6 +296,30 @@ mod tests {
         assert!(stats.complete);
         assert!(deadlocks > 0, "AB/BA deadlock must be reachable");
         assert!(dones > 0, "non-deadlocking orders exist too");
+    }
+
+    #[test]
+    fn explore_until_stops_on_visitor_signal() {
+        // Same 6-interleaving program as above; stop after the third path.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.thread(0).write(x, 1).write(x, 2);
+        b.thread(1).write(y, 1).write(y, 2);
+        let p = b.build();
+        let mut seen = 0u64;
+        let stats = explore_until(
+            &p,
+            DirectRuntime::default,
+            |_, _, _| {
+                seen += 1;
+                seen == 3
+            },
+            ExploreLimits::default(),
+        );
+        assert!(!stats.complete);
+        assert_eq!(stats.paths, 3);
+        assert_eq!(seen, 3);
     }
 
     #[test]

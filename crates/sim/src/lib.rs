@@ -68,7 +68,7 @@ pub use lint::{lint, LintIssue};
 pub use mem::{JournalMark, Memory, WriteJournal};
 pub use replay::{fan_out, FanOutReport, Live, TraceConsumer};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
-pub use summary::{summarize, Phase, ProgramSummary, SiteAccess};
+pub use summary::{dynamic_site_counts, summarize, Phase, ProgramSummary, SiteAccess};
 pub use trace::{record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind};
 
 /// A runtime that executes memory operations directly against memory with

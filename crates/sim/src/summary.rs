@@ -74,6 +74,36 @@ impl ProgramSummary {
     }
 }
 
+/// Trip-weighted dynamic access counts per static site: `counts[s]` is
+/// the number of times site `s`'s op executes in one run (loop trips
+/// multiply; zero-trip loops contribute nothing). Only data-access sites
+/// get non-zero counts — sync ops, computes, and syscalls stay zero —
+/// so the vector sums to [`Program::dynamic_access_count`].
+///
+/// This is the weighting the prune-statistics report uses: a fraction of
+/// *sites* pruned overstates pruning on loop-heavy programs where the
+/// surviving sites are exactly the hot ones.
+pub fn dynamic_site_counts(p: &Program) -> Vec<u64> {
+    fn walk(stmts: &[Stmt], mult: u64, counts: &mut [u64]) {
+        for s in stmts {
+            match s {
+                Stmt::Op { site, op } if op.is_data_access() => {
+                    counts[site.index()] += mult;
+                }
+                Stmt::Op { .. } => {}
+                Stmt::Loop { trips, body, .. } => {
+                    walk(body, mult * u64::from(*trips), counts);
+                }
+            }
+        }
+    }
+    let mut counts = vec![0u64; p.site_count() as usize];
+    for t in 0..p.thread_count() {
+        walk(p.thread(ThreadId(t as u32)), 1, &mut counts);
+    }
+    counts
+}
+
 /// Builds the access summary of `p`.
 pub fn summarize(p: &Program) -> ProgramSummary {
     let mut w = Walker {
@@ -393,6 +423,33 @@ mod tests {
         let p = b.build();
         let s = summarize(&p);
         assert_eq!(record(&s, &p, "w").phase, Phase::PreSpawn);
+    }
+
+    #[test]
+    fn dynamic_site_counts_are_trip_weighted_and_total_consistent() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).write_l(x, 1, "once").loop_n(3, |tb| {
+            tb.read_l(x, "outer");
+            tb.loop_n(4, |tb| {
+                tb.write_l(x, 2, "inner");
+            });
+            tb.loop_n(0, |tb| {
+                tb.write_l(x, 3, "dead");
+            });
+        });
+        b.thread(1).lock(l).read(x).unlock(l);
+        let p = b.build();
+        let counts = dynamic_site_counts(&p);
+        let at = |label: &str| counts[p.site(label).unwrap().index()];
+        assert_eq!(at("once"), 1);
+        assert_eq!(at("outer"), 3);
+        assert_eq!(at("inner"), 12);
+        assert_eq!(at("dead"), 0);
+        // Sync sites count zero; the vector sums to the program's total
+        // dynamic access count.
+        assert_eq!(counts.iter().sum::<u64>(), p.dynamic_access_count());
     }
 
     #[test]

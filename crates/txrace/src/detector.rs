@@ -251,6 +251,7 @@ impl Detector {
         match self.cfg.prune {
             StaticPruneMode::Off => None,
             StaticPruneMode::ChecksOnly | StaticPruneMode::Full => Some(SiteClassTable::analyze(p)),
+            StaticPruneMode::FullFlow => Some(SiteClassTable::analyze_flow(p)),
         }
     }
 
@@ -280,7 +281,7 @@ impl Detector {
             Scheme::Tsan | Scheme::TsanSampling { .. } => self.run_tsan(program, table),
             Scheme::TxRace(opts) => {
                 let ip = match self.cfg.prune {
-                    StaticPruneMode::Full => {
+                    StaticPruneMode::Full | StaticPruneMode::FullFlow => {
                         instrument_pruned(program, &opts.instrument, table.as_ref())
                     }
                     _ => instrument(program, &opts.instrument),

@@ -198,6 +198,7 @@ pub struct TxRaceEngine {
     episode_hint: Option<CacheLine>,
     sampler: Option<(f64, StdRng)>,
     prune: Option<SiteClassTable>,
+    sync_dead: bool,
     stats: EngineStats,
 }
 
@@ -218,6 +219,19 @@ impl TxRaceEngine {
         ft.reserve_addrs(interner.addr_capacity());
         let mut loopcut = LoopcutState::new(cfg.loopcut, n, cfg.profile.as_ref());
         loopcut.reserve_loops(interner.loop_count() as usize);
+        // Happens-before tracking exists to order slow-path checks; when
+        // the prune table proves every checkable site race-free, no check
+        // can ever consult the FastTrack state, so the per-sync-op
+        // tracking is dead and its cost is elided with the checks.
+        let sync_dead = cfg.prune.as_ref().is_some_and(|table| {
+            let mut live = false;
+            ip.program.visit_static(&mut |_, site, op| {
+                if crate::sa::op_is_checkable(op) && !table.is_race_free(site) {
+                    live = true;
+                }
+            });
+            !live
+        });
         TxRaceEngine {
             regions: ip.regions.clone(),
             htm,
@@ -245,6 +259,7 @@ impl TxRaceEngine {
                 .slow_sampling
                 .map(|rate| (rate.clamp(0.0, 1.0), StdRng::seed_from_u64(0x7852_11e5))),
             prune: cfg.prune,
+            sync_dead,
             stats: EngineStats::default(),
         }
     }
@@ -718,6 +733,22 @@ impl Runtime for TxRaceEngine {
         if !self.track_fast_sync && !matches!(self.mode[t.index()], Mode::Slow(_, _)) {
             return; // ablation: fast-path sync edges are lost
         }
+        if self.sync_dead {
+            // Nothing will ever consult the happens-before state: record
+            // the avoided tracking cost with the elided checks.
+            if matches!(
+                ev.op,
+                Op::Lock(_)
+                    | Op::Unlock(_)
+                    | Op::Signal(_)
+                    | Op::Wait(_)
+                    | Op::Spawn(_)
+                    | Op::Join(_)
+            ) {
+                self.breakdown.elided += self.cost.tsan_sync;
+            }
+            return;
+        }
         match ev.op {
             Op::Lock(l) => self.ft.lock_acquire(t, l),
             Op::Unlock(l) => self.ft.lock_release(t, l),
@@ -734,6 +765,10 @@ impl Runtime for TxRaceEngine {
     fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         if !self.track_fast_sync {
             return; // ablation: see after_sync
+        }
+        if self.sync_dead {
+            self.breakdown.elided += self.cost.tsan_sync * arrivals.len() as u64;
+            return;
         }
         self.ft.barrier_arrivals(b, arrivals);
         self.breakdown.txn_mgmt += self.cost.tsan_sync * arrivals.len() as u64;

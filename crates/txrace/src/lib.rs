@@ -69,4 +69,7 @@ pub use instrument::{
 };
 pub use loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
 pub use parallel::PanelConsumer;
-pub use sa::{PruneStats, RaceFreeReason, SiteClass, SiteClassTable, StaticPruneMode};
+pub use sa::{
+    Confirmation, FlowAnalysis, MayRacePairs, PruneStats, RaceFreeReason, SiteClass,
+    SiteClassTable, StaticPruneMode,
+};

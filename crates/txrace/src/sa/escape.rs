@@ -1,0 +1,112 @@
+//! The flow-insensitive base classification: thread-escape, phase,
+//! read-only, and whole-program common-lockset reasoning over the
+//! [`txrace_sim::summary`] records.
+//!
+//! This is the original `sa` analysis, byte-for-byte: [`classify`] is the
+//! sole classification used by [`StaticPruneMode::Full`], and the first
+//! stage of the flow-sensitive pipeline
+//! ([`SiteClassTable::analyze_flow`]), which only ever *adds* race-free
+//! verdicts on top of these.
+//!
+//! [`StaticPruneMode::Full`]: crate::sa::StaticPruneMode::Full
+//! [`SiteClassTable::analyze_flow`]: crate::sa::SiteClassTable::analyze_flow
+
+use std::collections::BTreeMap;
+
+use txrace_sim::summary::Phase;
+use txrace_sim::{Addr, Program, SiteAccess};
+
+use super::{RaceFreeReason, SiteClass};
+
+/// Classifies every site of `p` with the flow-insensitive analyses.
+/// `records` must be the access records of `txrace_sim::summarize(p)`.
+pub(super) fn classify(p: &Program, records: &[SiteAccess]) -> Vec<SiteClass> {
+    // Conflict sets: for every address, the concurrent-phase,
+    // non-atomic records whose footprint covers it. Atomics are
+    // excluded because detectors neither check nor record them — an
+    // RMW can never appear on either side of a race report.
+    let mut by_addr: BTreeMap<Addr, Vec<usize>> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if r.phase != Phase::Concurrent || r.atomic {
+            continue;
+        }
+        for &a in &r.addrs {
+            by_addr.entry(a).or_default().push(i);
+        }
+    }
+
+    let addr_safety = |a: Addr| -> AddrSafety {
+        let set = by_addr.get(&a).map(Vec::as_slice).unwrap_or(&[]);
+        let single_thread = set
+            .windows(2)
+            .all(|w| records[w[0]].thread == records[w[1]].thread);
+        let write_free = set.iter().all(|&i| !records[i].writes);
+        let common_lock = match set {
+            [] => true,
+            [first, rest @ ..] => {
+                let mut locks = records[*first].locks.clone();
+                for &i in rest {
+                    locks = locks.intersection(&records[i].locks).copied().collect();
+                }
+                !locks.is_empty()
+            }
+        };
+        AddrSafety {
+            safe: single_thread || write_free || common_lock,
+            single_thread,
+            write_free,
+        }
+    };
+
+    // Which sites are data accesses at all (and their record, if any).
+    let mut is_data = vec![false; p.site_count() as usize];
+    p.visit_static(&mut |_, site, op| {
+        // Sync ops, compute, and syscalls are never checked; their
+        // class stays PotentiallyRacy, which is vacuously sound.
+        if op.is_data_access() {
+            is_data[site.index()] = true;
+        }
+    });
+    let mut record_of: Vec<Option<usize>> = vec![None; p.site_count() as usize];
+    for (i, r) in records.iter().enumerate() {
+        record_of[r.site.index()] = Some(i);
+    }
+
+    (0..p.site_count() as usize)
+        .map(|s| {
+            if !is_data[s] {
+                return SiteClass::PotentiallyRacy;
+            }
+            let Some(ri) = record_of[s] else {
+                // A data site with no record sits under a zero-trip
+                // loop: it never executes.
+                return SiteClass::RaceFree(RaceFreeReason::Dead);
+            };
+            let r = &records[ri];
+            if r.atomic {
+                return SiteClass::PotentiallyRacy;
+            }
+            if r.phase != Phase::Concurrent {
+                return SiteClass::RaceFree(RaceFreeReason::SinglePhase);
+            }
+            let safety: Vec<AddrSafety> = r.addrs.iter().map(|&a| addr_safety(a)).collect();
+            if safety.iter().any(|s| !s.safe) {
+                return SiteClass::PotentiallyRacy;
+            }
+            let reason = if safety.iter().all(|s| s.single_thread) {
+                RaceFreeReason::ThreadLocal
+            } else if safety.iter().all(|s| s.write_free) {
+                RaceFreeReason::ReadOnly
+            } else {
+                RaceFreeReason::Lockset
+            };
+            SiteClass::RaceFree(reason)
+        })
+        .collect()
+}
+
+struct AddrSafety {
+    safe: bool,
+    single_thread: bool,
+    write_free: bool,
+}

@@ -1,0 +1,499 @@
+//! The dataflow framework: per-thread control-flow graphs over the
+//! structured IR, a worklist fixpoint engine, and the two flow-sensitive
+//! analyses built on them.
+//!
+//! * **Must-lockset** ([`must_locksets`]): a forward dataflow through
+//!   `Lock`/`Unlock` with *intersection* as the meet, run to fixpoint
+//!   over loop back edges. Where the summary pass's single walk must
+//!   strip every lock whose depth drifts across a loop body (it only
+//!   sees the first iteration's state), the fixpoint computes the locks
+//!   held on *every* path — so `loop { lock(l); write(x) }` correctly
+//!   proves `l` held at the write.
+//! * **Redundant-check elimination** ([`redundant_checks`]): a forward
+//!   availability analysis that finds re-checks of an address already
+//!   checked earlier in the same synchronization-free, loop-free span.
+//!   Eliding the later check loses nothing: with no synchronization
+//!   between witness and re-check, no happens-before edge can separate
+//!   them, so any race detectable at the re-check is detectable at the
+//!   witness (possibly reported with the witness's site id — the
+//!   *witness mapping*, exposed via
+//!   [`SiteClassTable::witness_of`](super::SiteClassTable::witness_of)).
+//!
+//! **Termination.** The must-lockset state is a finite map from locks to
+//! hold depths. After a node's first visit, its input only ever
+//! *decreases* pointwise (the meet takes per-lock minima over more
+//! predecessor states), the transfer function is monotone (increment and
+//! saturating decrement both preserve `<=`), and depths are bounded
+//! below by zero — so every node's state strictly decreases at most a
+//! finite number of times and the worklist drains. The availability
+//! analysis is a single structural walk (facts never cross a loop edge)
+//! and needs no fixpoint at all.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use txrace_sim::{LockId, Op, Program, SiteId, Stmt, ThreadId};
+
+/// One node of a thread's flow graph: a single static op occurrence.
+#[derive(Debug, Clone)]
+pub(super) struct FlowNode {
+    /// The op's static site.
+    pub site: SiteId,
+    /// The op itself.
+    pub op: Op,
+    /// Predecessor node indices (loop back edges included).
+    pub preds: Vec<u32>,
+    /// True if thread entry reaches this node directly (no op before it
+    /// on some path). Needed to seed the dataflow: an entry node whose
+    /// only *listed* preds are loop back edges would otherwise wait
+    /// forever for a predecessor to be visited first.
+    pub entry: bool,
+}
+
+/// The control-flow graph of one thread, derived from its structured
+/// statement tree: straight-line ops chain, a loop with `trips > 1` adds
+/// a back edge from its body's exit to its body's entry, and zero-trip
+/// loops contribute no nodes at all (dead code, matching the summary
+/// pass). Node order is execution order of the first iteration, so
+/// indices form a reverse postorder modulo back edges.
+#[derive(Debug)]
+pub(super) struct ThreadGraph {
+    /// Nodes in first-iteration execution order.
+    pub nodes: Vec<FlowNode>,
+}
+
+impl ThreadGraph {
+    /// Builds the graph for thread `t` of `p`.
+    pub fn build(p: &Program, t: ThreadId) -> Self {
+        let mut nodes = Vec::new();
+        let _ = build_list(p.thread(t), Vec::new(), &mut nodes);
+        ThreadGraph { nodes }
+    }
+}
+
+/// Appends `stmts` to `nodes` with `incoming` as the entry frontier.
+/// Returns `(entry_nodes, exit_frontier)`; `entry_nodes` is empty when
+/// the statement list creates no nodes (all-dead code).
+fn build_list(
+    stmts: &[Stmt],
+    incoming: Vec<u32>,
+    nodes: &mut Vec<FlowNode>,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut first: Vec<u32> = Vec::new();
+    let mut cur = incoming;
+    for s in stmts {
+        match s {
+            Stmt::Op { site, op } => {
+                let id = nodes.len() as u32;
+                let entry = cur.is_empty();
+                nodes.push(FlowNode {
+                    site: *site,
+                    op: *op,
+                    preds: std::mem::replace(&mut cur, vec![id]),
+                    entry,
+                });
+                if first.is_empty() {
+                    first.push(id);
+                }
+            }
+            Stmt::Loop { trips: 0, .. } => {}
+            Stmt::Loop { trips, body, .. } => {
+                let (entry, exit) = build_list(body, cur.clone(), nodes);
+                if entry.is_empty() {
+                    continue; // body was all-dead: no nodes, state flows through
+                }
+                if *trips > 1 {
+                    // Back edge: each body-exit node feeds the body entry.
+                    for &e in &entry {
+                        for &x in &exit {
+                            nodes[e as usize].preds.push(x);
+                        }
+                    }
+                }
+                cur = exit;
+                if first.is_empty() {
+                    first = entry;
+                }
+            }
+        }
+    }
+    (first, cur)
+}
+
+/// Lock-hold depths: the dataflow value. Absent means depth zero.
+type LockDepths = BTreeMap<LockId, u32>;
+
+/// Per-lock minimum of two depth maps (the meet: a lock is must-held
+/// only if held on both inputs).
+fn meet(a: &LockDepths, b: &LockDepths) -> LockDepths {
+    a.iter()
+        .filter_map(|(l, &da)| {
+            let d = da.min(b.get(l).copied().unwrap_or(0));
+            (d > 0).then_some((*l, d))
+        })
+        .collect()
+}
+
+/// Applies one op to the lock state.
+fn transfer(op: &Op, state: &mut LockDepths) {
+    match op {
+        Op::Lock(l) => *state.entry(*l).or_insert(0) += 1,
+        Op::Unlock(l) => {
+            // Unbalanced unlocks (flagged by the lint) saturate at zero.
+            if let Some(d) = state.get_mut(l) {
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    state.remove(l);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The flow-sensitive must-lockset analysis: for every data-access site
+/// of `p`, the set of locks provably held at *every* dynamic occurrence.
+/// Sites under zero-trip loops are absent (dead code).
+pub(super) fn must_locksets(p: &Program) -> BTreeMap<SiteId, BTreeSet<LockId>> {
+    let mut out = BTreeMap::new();
+    for t in 0..p.thread_count() {
+        let g = ThreadGraph::build(p, ThreadId(t as u32));
+        if g.nodes.is_empty() {
+            continue;
+        }
+        let n = g.nodes.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in g.nodes.iter().enumerate() {
+            for &pr in &node.preds {
+                succs[pr as usize].push(i as u32);
+            }
+        }
+        // ins[i] = lock state on entry to node i; None = not yet visited.
+        let mut ins: Vec<Option<LockDepths>> = vec![None; n];
+        let mut outs: Vec<Option<LockDepths>> = vec![None; n];
+        // Index order is reverse postorder modulo back edges, so one
+        // pass reaches near-fixpoint; back edges re-queue what's left.
+        let mut work: Vec<u32> = (0..n as u32).collect();
+        while let Some(i) = work.pop() {
+            let node = &g.nodes[i as usize];
+            // Meet over thread entry (nothing held) if it reaches this
+            // node, plus every *visited* predecessor; unvisited preds
+            // are top (no constraint yet) and re-queue us later.
+            let mut acc: Option<LockDepths> = node.entry.then(LockDepths::new);
+            for &pr in &node.preds {
+                if let Some(o) = &outs[pr as usize] {
+                    acc = Some(match acc {
+                        None => o.clone(),
+                        Some(a) => meet(&a, o),
+                    });
+                }
+            }
+            let Some(input) = acc else {
+                continue; // nothing reaching it visited yet
+            };
+            if ins[i as usize].as_ref() == Some(&input) {
+                continue; // no change: successors already up to date
+            }
+            let mut o = input.clone();
+            transfer(&node.op, &mut o);
+            ins[i as usize] = Some(input);
+            let changed = outs[i as usize].as_ref() != Some(&o);
+            outs[i as usize] = Some(o);
+            if changed {
+                work.extend(succs[i as usize].iter().copied());
+            }
+        }
+        for (i, node) in g.nodes.iter().enumerate() {
+            if !node.op.is_data_access() {
+                continue;
+            }
+            let held = ins[i]
+                .as_ref()
+                .map(|m| m.keys().copied().collect())
+                .unwrap_or_default();
+            out.insert(node.site, held);
+        }
+    }
+    out
+}
+
+/// One available-check fact: `witness` already checked this address in
+/// the current sync-free, loop-free span; `writes` is the witness's
+/// access kind.
+struct Fact {
+    witness: SiteId,
+    writes: bool,
+}
+
+/// Finds redundant checks: scalar, non-atomic sites whose address was
+/// already checked by a *surviving* site (`checked(site)` true) earlier
+/// in the same synchronization-free, loop-free straight-line span, with
+/// a strong-enough witness (`witness.writes || !site.writes` — a read
+/// can witness a later read, only a write can witness a later write).
+///
+/// Spans are cut at every sync op and syscall (region boundaries: new
+/// happens-before edges can appear there) *and* at loop edges (the
+/// loop-cut optimization may split a transaction at a back edge, so a
+/// fact is only trusted within one iteration's straight-line body).
+/// Returns `(redundant_site, witness_site)` pairs, in program order.
+pub(super) fn redundant_checks(
+    p: &Program,
+    checked: &dyn Fn(SiteId) -> bool,
+) -> Vec<(SiteId, SiteId)> {
+    let mut out = Vec::new();
+    for t in 0..p.thread_count() {
+        let mut state: BTreeMap<txrace_sim::Addr, Fact> = BTreeMap::new();
+        walk_avail(p.thread(ThreadId(t as u32)), &mut state, checked, &mut out);
+    }
+    out
+}
+
+fn walk_avail(
+    stmts: &[Stmt],
+    state: &mut BTreeMap<txrace_sim::Addr, Fact>,
+    checked: &dyn Fn(SiteId) -> bool,
+    out: &mut Vec<(SiteId, SiteId)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Op { site, op } => match op {
+                Op::Read(_) | Op::Write(_, _) => {
+                    let a = op.access_addr().expect("scalar access has an address");
+                    let w = op.is_write_access();
+                    if !checked(*site) {
+                        // Already pruned by another reason (or a marker):
+                        // neither a redundancy candidate nor a witness.
+                        continue;
+                    }
+                    if let Some(f) = state.get(&a) {
+                        if f.writes || !w {
+                            // Covered: elide, and keep the original
+                            // witness (its coverage subsumes this one's).
+                            out.push((*site, f.witness));
+                            continue;
+                        }
+                    }
+                    state.insert(
+                        a,
+                        Fact {
+                            witness: *site,
+                            writes: w,
+                        },
+                    );
+                }
+                // Atomics are never checked and create no happens-before
+                // edges in the detectors: facts flow straight through.
+                // Array accesses are multi-address and excluded from the
+                // pass entirely; Compute is inert.
+                Op::Rmw(_, _) | Op::ReadArr { .. } | Op::WriteArr { .. } | Op::Compute(_) => {}
+                // Everything else — sync ops, syscalls, and (in already-
+                // instrumented programs) transaction markers — starts a
+                // new span.
+                _ => state.clear(),
+            },
+            Stmt::Loop { trips: 0, .. } => {}
+            Stmt::Loop { body, .. } => {
+                // Facts never cross a loop edge: the loop-cut pass may
+                // split transactions at the back edge, so availability
+                // holds only within one iteration's straight-line body.
+                state.clear();
+                let mut inner = BTreeMap::new();
+                walk_avail(body, &mut inner, checked, out);
+                state.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txrace_sim::ProgramBuilder;
+
+    fn locks_at(p: &Program, label: &str) -> BTreeSet<LockId> {
+        must_locksets(p)
+            .get(&p.site(label).expect("label exists"))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn graph_back_edges_only_for_multi_trip_loops() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(1, |tb| {
+            tb.read(x).write(x, 1);
+        });
+        b.thread(0).loop_n(3, |tb| {
+            tb.read(x).write(x, 2);
+        });
+        let g = ThreadGraph::build(&b.build(), ThreadId(0));
+        assert_eq!(g.nodes.len(), 4);
+        // trips=1 loop: pure chain. trips=3 loop: entry node (index 2)
+        // has the chain pred and the body-exit back edge.
+        assert_eq!(g.nodes[1].preds, vec![0]);
+        assert_eq!(g.nodes[2].preds, vec![1, 3]);
+        assert_eq!(g.nodes[3].preds, vec![2]);
+    }
+
+    #[test]
+    fn fixpoint_keeps_lock_through_reacquiring_loop() {
+        // The summary pass must strip `l` here (its depth drifts across
+        // iterations); the fixpoint proves it held at the write anyway:
+        // every path to the write passes the Lock first.
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(3, |tb| {
+            tb.lock(l).write_l(x, 1, "w");
+        });
+        let p = b.build();
+        assert!(locks_at(&p, "w").contains(&l));
+    }
+
+    #[test]
+    fn lock_released_mid_loop_gives_no_credit_after_unlock() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(3, |tb| {
+            tb.lock(l)
+                .write_l(x, 1, "inside")
+                .unlock(l)
+                .write_l(x, 2, "outside");
+        });
+        let p = b.build();
+        assert!(locks_at(&p, "inside").contains(&l));
+        assert!(locks_at(&p, "outside").is_empty());
+    }
+
+    #[test]
+    fn meet_drops_lock_not_held_on_entry_path() {
+        // Before the loop the write executes once with no lock: the meet
+        // of {entry, back-edge} states must not claim `l`.
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).loop_n(3, |tb| {
+            tb.write_l(x, 1, "w").lock(l);
+        });
+        let p = b.build();
+        assert!(locks_at(&p, "w").is_empty());
+    }
+
+    #[test]
+    fn dead_loops_contribute_no_nodes_or_state() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0).lock(l);
+        b.thread(0).loop_n(0, |tb| {
+            tb.unlock(l).write_l(x, 9, "dead");
+        });
+        b.thread(0).write_l(x, 1, "after").unlock(l);
+        let p = b.build();
+        let locks = must_locksets(&p);
+        assert!(!locks.contains_key(&p.site("dead").unwrap()));
+        // The dead unlock must not leak into the live state.
+        assert!(locks_at(&p, "after").contains(&l));
+    }
+
+    #[test]
+    fn redundancy_within_a_straight_span() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.thread(0)
+            .write_l(x, 1, "wx") // witness
+            .read_l(y, "ry") // other address: no interference
+            .read_l(x, "rx") // read after write: covered
+            .write_l(x, 2, "wx2"); // write after write: covered
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        let names: Vec<(&str, &str)> = red
+            .iter()
+            .map(|&(s, w)| (p.label_of(s).expect("label"), p.label_of(w).expect("label")))
+            .collect();
+        assert_eq!(names, vec![("rx", "wx"), ("wx2", "wx")]);
+    }
+
+    #[test]
+    fn read_witness_cannot_cover_a_write() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).read_l(x, "r").write_l(x, 1, "w");
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        assert!(red.is_empty(), "a read must not witness a later write");
+        // But the write now witnesses later accesses.
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0)
+            .read_l(x, "r")
+            .write_l(x, 1, "w")
+            .read_l(x, "r2");
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        assert_eq!(red.len(), 1);
+        assert_eq!(p.label_of(red[0].0), Some("r2"));
+        assert_eq!(p.label_of(red[0].1), Some("w"));
+    }
+
+    #[test]
+    fn sync_and_loops_cut_availability_spans() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let l = b.lock_id("l");
+        b.thread(0)
+            .write_l(x, 1, "w")
+            .lock(l)
+            .read_l(x, "after_sync")
+            .unlock(l);
+        b.thread(0).loop_n(4, |tb| {
+            tb.read_l(x, "in_loop");
+        });
+        b.thread(0).read_l(x, "after_loop");
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        assert!(
+            red.is_empty(),
+            "facts must not cross sync ops or loop edges: {red:?}"
+        );
+        // Within one iteration's body, availability works as usual.
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).loop_n(4, |tb| {
+            tb.read_l(x, "first").read_l(x, "second");
+        });
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        assert_eq!(red.len(), 1);
+        assert_eq!(p.label_of(red[0].0), Some("second"));
+    }
+
+    #[test]
+    fn unchecked_sites_neither_witness_nor_elide() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0)
+            .read_l(x, "pruned") // not checked: cannot witness
+            .read_l(x, "live") // the real witness
+            .read_l(x, "covered");
+        let p = b.build();
+        let pruned = p.site("pruned").unwrap();
+        let red = redundant_checks(&p, &|s| s != pruned);
+        assert_eq!(red.len(), 1);
+        assert_eq!(p.label_of(red[0].0), Some("covered"));
+        assert_eq!(p.label_of(red[0].1), Some("live"));
+    }
+
+    #[test]
+    fn atomics_flow_through_without_killing_facts() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        let c = b.var("c");
+        b.thread(0).read_l(x, "r1").rmw(c, 1).read_l(x, "r2");
+        let p = b.build();
+        let red = redundant_checks(&p, &|_| true);
+        assert_eq!(red.len(), 1, "an RMW creates no HB edge: fact survives");
+    }
+}

@@ -1,0 +1,242 @@
+//! Soundness of the flow-sensitive analysis layer, end to end.
+//!
+//! Two promises are on trial:
+//!
+//! 1. **The candidate generator over-approximates the dynamic truth**:
+//!    every race an exact, unpruned FastTrack detector reports — on any
+//!    workload, any seed, any scheme — is one of the statically
+//!    generated [`MayRacePairs`].
+//! 2. **Flow pruning never removes a dynamically racing check**: a site
+//!    the flow table calls race-free never shows up in an unpruned race
+//!    report, with exactly one principled exception — a
+//!    `RedundantCheck` site, whose races are still caught (and were
+//!    generated as candidates) under its own id; only its *check* moved
+//!    to the surviving witness.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use txrace::{
+    Detector, MayRacePairs, RaceFreeReason, RunConfig, Scheme, SiteClass, SiteClassTable,
+    StaticPruneMode,
+};
+use txrace_hb::RacePair;
+use txrace_workloads::{all_workloads, by_name, random_program, GenConfig, RaceKind};
+
+fn pairs_of(out: &txrace::RunOutcome) -> BTreeSet<RacePair> {
+    out.races.pairs().collect()
+}
+
+/// Asserts the flow-pruning soundness contract against an *unpruned*
+/// run: every reported site is either still checked, or elided as a
+/// redundant re-check (where detection survives via the witness).
+fn assert_flow_prune_sound(ctx: &str, out: &txrace::RunOutcome, table: &SiteClassTable) {
+    for r in out.races.reports() {
+        for site in [r.prior.site, r.current.site] {
+            match table.class(site) {
+                SiteClass::PotentiallyRacy => {}
+                SiteClass::RaceFree(RaceFreeReason::RedundantCheck) => {
+                    let w = table
+                        .witness_of(site)
+                        .unwrap_or_else(|| panic!("{ctx}: redundant site {site} has no witness"));
+                    assert!(
+                        !table.is_race_free(w),
+                        "{ctx}: witness {w} of redundant site {site} was itself pruned"
+                    );
+                }
+                c => panic!(
+                    "{ctx}: race report {} -- {} involves site {site}, which the \
+                     flow analysis classified {c:?}",
+                    r.prior.site, r.current.site
+                ),
+            }
+        }
+    }
+}
+
+/// Promise 1 on every workload: the static candidate pairs cover every
+/// race an exact detector can find, across seeds and schemes.
+#[test]
+fn mayrace_covers_dynamic_races_on_all_workloads() {
+    for w in all_workloads(4) {
+        let mrp = MayRacePairs::analyze(&w.program);
+        for seed in [1, 2, 42] {
+            for scheme in [Scheme::Tsan, Scheme::txrace()] {
+                let out = Detector::new(w.config(scheme.clone(), seed)).run(&w.program);
+                assert!(out.completed(), "{} seed {seed}", w.name);
+                for pr in out.races.pairs() {
+                    assert!(
+                        mrp.contains(pr.a, pr.b),
+                        "{} seed {seed} ({scheme:?}): dynamic race {pr} escaped the \
+                         static candidate set",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Promise 2 on every workload: unpruned exact TSan never blames a site
+/// the flow table pruned, except redundant re-checks with a live witness.
+#[test]
+fn flow_pruned_sites_never_race_dynamically() {
+    for w in all_workloads(4) {
+        let table = SiteClassTable::analyze_flow(&w.program);
+        for seed in [1, 2, 42] {
+            let out = Detector::new(w.config(Scheme::Tsan, seed)).run(&w.program);
+            assert!(out.completed(), "{} seed {seed}", w.name);
+            assert_flow_prune_sound(w.name, &out, &table);
+        }
+    }
+}
+
+/// The flow layer strictly refines the base layer: every site the
+/// flow-insensitive table prunes is pruned by the flow table with the
+/// same reason, on every workload.
+#[test]
+fn flow_layer_refines_base_layer_on_all_workloads() {
+    for w in all_workloads(4) {
+        let base = SiteClassTable::analyze(&w.program);
+        let flow = SiteClassTable::analyze_flow(&w.program);
+        let (bs, fs) = (base.stats(&w.program), flow.stats(&w.program));
+        for s in 0..w.program.site_count() {
+            let site = txrace_sim::SiteId(s);
+            if let SiteClass::RaceFree(r) = base.class(site) {
+                assert_eq!(
+                    flow.class(site),
+                    SiteClass::RaceFree(r),
+                    "{}: flow layer changed the base verdict of site {site}",
+                    w.name
+                );
+            }
+        }
+        assert!(
+            fs.race_free >= bs.race_free,
+            "{}: flow layer pruned fewer sites than the base layer",
+            w.name
+        );
+    }
+}
+
+/// FullFlow runs end to end: the planted hot races are still found and
+/// no pruned site is ever blamed (mirrors the Full-mode suite, one
+/// layer deeper).
+#[test]
+fn fullflow_prune_still_finds_hot_races() {
+    for name in [
+        "fluidanimate",
+        "raytrace",
+        "ferret",
+        "streamcluster",
+        "canneal",
+    ] {
+        let w = by_name(name, 4).expect("known app");
+        let table = SiteClassTable::analyze_flow(&w.program);
+        let expected = w.expected_txrace_reliable_races();
+        let mut best = 0;
+        for seed in [1, 2, 3] {
+            let tx = Detector::new(
+                w.config(Scheme::txrace(), seed)
+                    .with_prune(StaticPruneMode::FullFlow),
+            )
+            .run(&w.program);
+            assert!(tx.completed(), "{name} seed {seed}");
+            // In the pruned run itself the contract is unconditional:
+            // elided sites have no checks, so they cannot be reported.
+            for r in tx.races.reports() {
+                for site in [r.prior.site, r.current.site] {
+                    assert!(
+                        !table.is_race_free(site),
+                        "{name}: FullFlow run reported pruned site {site}"
+                    );
+                }
+            }
+            let found = w
+                .planted_pairs()
+                .iter()
+                .filter(|&&(p, k)| k == RaceKind::Overlapping && tx.races.contains(p.a, p.b))
+                .count();
+            best = best.max(found);
+        }
+        assert_eq!(
+            best, expected,
+            "{name}: flow pruning lost hot races ({best}/{expected})"
+        );
+    }
+}
+
+/// FullFlow matches Full race-for-race on every workload at the default
+/// seed: the deeper pruning elides cost, not detection.
+#[test]
+fn fullflow_matches_full_detection_on_all_workloads() {
+    for w in all_workloads(4) {
+        let run = |mode| {
+            let out =
+                Detector::new(w.config(Scheme::txrace(), 42).with_prune(mode)).run(&w.program);
+            assert!(out.completed(), "{} {mode:?}", w.name);
+            out
+        };
+        let full = run(StaticPruneMode::Full);
+        let flow = run(StaticPruneMode::FullFlow);
+        assert_eq!(
+            pairs_of(&full),
+            pairs_of(&flow),
+            "{}: FullFlow changed the detected race set vs Full",
+            w.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Promise 1 on random programs: an exact unpruned TSan run never
+    /// reports a pair outside the static candidate set.
+    #[test]
+    fn mayrace_covers_random_program_races(
+        gen_seed in 0u64..400,
+        sched_seed in 0u64..20,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let mrp = MayRacePairs::analyze(&p);
+        let out = Detector::new(RunConfig::new(Scheme::Tsan, sched_seed)).run(&p);
+        prop_assert!(out.completed());
+        for pr in out.races.pairs() {
+            prop_assert!(
+                mrp.contains(pr.a, pr.b),
+                "dynamic race {} escaped the candidate set (gen {}, sched {})",
+                pr, gen_seed, sched_seed
+            );
+        }
+    }
+
+    /// Promise 2 on random programs, plus termination of the dataflow
+    /// fixpoints and the FullFlow pipeline end to end.
+    #[test]
+    fn fullflow_terminates_and_stays_sound_on_random_programs(
+        gen_seed in 0u64..200,
+        sched_seed in 0u64..10,
+    ) {
+        let p = random_program(&GenConfig::default(), gen_seed);
+        let table = SiteClassTable::analyze_flow(&p);
+        let truth = Detector::new(RunConfig::new(Scheme::Tsan, sched_seed)).run(&p);
+        prop_assert!(truth.completed());
+        assert_flow_prune_sound("random program (flow)", &truth, &table);
+        let tx = Detector::new(
+            RunConfig::new(Scheme::txrace(), sched_seed)
+                .with_prune(StaticPruneMode::FullFlow),
+        )
+        .run(&p);
+        prop_assert!(tx.completed());
+        for r in tx.races.reports() {
+            for site in [r.prior.site, r.current.site] {
+                prop_assert!(
+                    !table.is_race_free(site),
+                    "FullFlow run reported pruned site {} (gen {}, sched {})",
+                    site, gen_seed, sched_seed
+                );
+            }
+        }
+    }
+}
