@@ -33,21 +33,35 @@ fn main() {
         )
     });
     for (w, r) in apps.iter().zip(results) {
-        let p = paper::row(w.name).expect("paper row");
+        // The message-passing families have no paper row; they print
+        // bare measured values and stay out of the paper-comparison
+        // geomeans.
+        let p = paper::row(w.name);
         let norm = r.normalized_overhead();
         t.row(vec![
             w.name.to_string(),
-            format!(
-                "{:.2} ({:.2})",
-                norm,
-                p.txrace_overhead.max(1.0) / p.tsan_overhead.max(1.0)
-            ),
-            format!("{:.2} ({:.2})", r.recall, p.recall),
-            format!("{:.2} ({:.2})", r.cost_effectiveness, p.cost_effectiveness),
+            match p {
+                Some(p) => format!(
+                    "{:.2} ({:.2})",
+                    norm,
+                    p.txrace_overhead.max(1.0) / p.tsan_overhead.max(1.0)
+                ),
+                None => format!("{norm:.2}"),
+            },
+            match p {
+                Some(p) => format!("{:.2} ({:.2})", r.recall, p.recall),
+                None => format!("{:.2}", r.recall),
+            },
+            match p {
+                Some(p) => format!("{:.2} ({:.2})", r.cost_effectiveness, p.cost_effectiveness),
+                None => format!("{:.2}", r.cost_effectiveness),
+            },
         ]);
-        ovs.push(norm.max(1e-3));
-        recs.push(r.recall.max(1e-3));
-        ces.push(r.cost_effectiveness.max(1e-3));
+        if p.is_some() {
+            ovs.push(norm.max(1e-3));
+            recs.push(r.recall.max(1e-3));
+            ces.push(r.cost_effectiveness.max(1e-3));
+        }
     }
     println!("{}", t.render());
     println!(

@@ -25,7 +25,8 @@
 //! oldest entries after each store until the cache fits.
 //!
 //! Kinds: `read write rmw acquire release signal wait spawn join
-//! barrier-arrive barrier-release thread-done compute syscall`.
+//! barrier-arrive barrier-release thread-done compute syscall
+//! chan-send chan-recv`.
 //!
 //! Examples:
 //!
@@ -63,6 +64,8 @@ fn parse_kind(s: &str) -> TraceEventKind {
         "thread-done" => TraceEventKind::ThreadDone,
         "compute" => TraceEventKind::Compute,
         "syscall" => TraceEventKind::Syscall,
+        "chan-send" => TraceEventKind::ChanSend,
+        "chan-recv" => TraceEventKind::ChanRecv,
         _ => usage(),
     }
 }
@@ -83,6 +86,8 @@ fn kind_name(k: TraceEventKind) -> &'static str {
         TraceEventKind::ThreadDone => "thread-done",
         TraceEventKind::Compute => "compute",
         TraceEventKind::Syscall => "syscall",
+        TraceEventKind::ChanSend => "chan-send",
+        TraceEventKind::ChanRecv => "chan-recv",
     }
 }
 
@@ -105,6 +110,26 @@ fn print_stats(log: &EventLog, top_n: usize) {
     println!("\nevents by kind:");
     for (k, n) in &counts {
         println!("  {k:<16} {n:>9}  ({:5.1}%)", *n as f64 / total * 100.0);
+    }
+
+    // Per-channel traffic: each arg is a ChanId; sends and recvs must
+    // balance in a completed run (the ChanTrafficImbalance lint's view).
+    let mut chan: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
+    for e in log.events() {
+        match e.kind {
+            TraceEventKind::ChanSend => chan.entry(e.arg).or_default().0 += 1,
+            TraceEventKind::ChanRecv => chan.entry(e.arg).or_default().1 += 1,
+            _ => {}
+        }
+    }
+    if !chan.is_empty() {
+        println!("\nchannel traffic:");
+        for (ch, (s, r)) in &chan {
+            println!(
+                "  ch{ch:<4} {s:>7} sends {r:>7} recvs{}",
+                if s == r { "" } else { "  (IMBALANCED)" }
+            );
+        }
     }
 
     let reads: u64 = heat.values().map(|&(r, _)| r).sum();

@@ -69,14 +69,23 @@ fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// Cache file name for one (workload, seed) recording. The hash covers
-/// everything the recorded schedule depends on: the program IR, the
-/// scheduler policy, the interrupt model, and the seed.
+/// everything the recorded schedule depends on — the program IR, the
+/// scheduler policy, the interrupt model, and the seed — plus the wire
+/// format version, so a format bump (e.g. the channel events in v2)
+/// misses every pre-bump entry instead of relying on decode rejection.
 fn cache_file(w: &Workload, seed: u64) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325;
+    let mut h = fnv1a(
+        0xcbf2_9ce4_8422_2325,
+        &txrace_sim::LOG_VERSION.to_le_bytes(),
+    );
     h = fnv1a(h, format!("{:?}", w.program).as_bytes());
     h = fnv1a(h, format!("{:?}/{:?}", w.sched, w.interrupts).as_bytes());
     h = fnv1a(h, &seed.to_le_bytes());
-    format!("{}-s{seed}-{h:016x}.txlog", w.name)
+    format!(
+        "{}-s{seed}-v{}-{h:016x}.txlog",
+        w.name,
+        txrace_sim::LOG_VERSION
+    )
 }
 
 /// Returns the cached recording for `(w, seed)` if present and valid;
@@ -203,6 +212,13 @@ mod tests {
         assert_ne!(cache_file(&a, 1), cache_file(&a, 2));
         assert_ne!(cache_file(&a, 1), cache_file(&b, 1));
         assert_ne!(cache_file(&a, 1), cache_file(&c, 1));
+        // The wire-format version is part of the name, so bumping
+        // LOG_VERSION orphans (rather than decodes-and-rejects) old
+        // entries.
+        assert!(
+            cache_file(&a, 1).contains(&format!("-v{}-", txrace_sim::LOG_VERSION)),
+            "cache key must embed the wire format version"
+        );
     }
 
     #[test]

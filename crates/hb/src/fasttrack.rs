@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use txrace_sim::{Addr, AddrMap, BarrierId, CondId, LockId, SiteId, ThreadId};
+use txrace_sim::{Addr, AddrMap, BarrierId, ChanId, CondId, LockId, SiteId, ThreadId};
 
 use crate::clock::{Epoch, VectorClock};
 use crate::report::{AccessInfo, AccessKind, RaceReport, RaceSet};
@@ -78,6 +78,7 @@ pub struct FastTrack {
     clocks: Vec<VectorClock>,
     locks: Vec<VectorClock>,
     conds: Vec<VectorClock>,
+    chans: Vec<VectorClock>,
     barriers: Vec<VectorClock>,
     /// Paged map `Addr -> dense shadow index`, assigned on first access
     /// (O(touched) space — address spans can be hundreds of times larger
@@ -110,6 +111,7 @@ impl FastTrack {
                 .collect(),
             locks: Vec::new(),
             conds: Vec::new(),
+            chans: Vec::new(),
             barriers: Vec::new(),
             shadow_ids: AddrMap::new(),
             shadow: Vec::new(),
@@ -357,6 +359,25 @@ impl FastTrack {
         self.clocks[t.index()].join(vc);
     }
 
+    /// Tracks a channel send (release semantics on the channel's clock):
+    /// `Ch ⊔= C_t; C_t[t] += 1`. The send→recv edge is unidirectional —
+    /// a receive never orders later sends (no backpressure edge), exactly
+    /// like `signal`.
+    pub fn chan_send(&mut self, t: ThreadId, ch: ChanId) {
+        self.sync_ops += 1;
+        Self::sync_vc(&mut self.chans, ch.index(), self.n).join(&self.clocks[t.index()]);
+        self.clocks[t.index()].inc(t);
+    }
+
+    /// Tracks a channel receive (acquire semantics): `C_t ⊔= Ch`, so
+    /// everything before any send that fed the channel happens-before
+    /// everything after this receive.
+    pub fn chan_recv(&mut self, t: ThreadId, ch: ChanId) {
+        self.sync_ops += 1;
+        let vc = Self::sync_vc(&mut self.chans, ch.index(), self.n);
+        self.clocks[t.index()].join(vc);
+    }
+
     /// Tracks a thread spawn: the child inherits the parent's history.
     pub fn spawn(&mut self, parent: ThreadId, child: ThreadId) {
         self.sync_ops += 1;
@@ -460,6 +481,14 @@ impl txrace_sim::TraceConsumer for FastTrack {
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         self.barrier_arrivals(b, arrivals);
     }
+
+    fn chan_send(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        FastTrack::chan_send(self, t, ch);
+    }
+
+    fn chan_recv(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        FastTrack::chan_recv(self, t, ch);
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +571,39 @@ mod tests {
         d.wait(T1, CondId(0));
         d.write(T1, SiteId(2), X);
         assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn chan_send_recv_orders() {
+        let mut d = ft(2);
+        d.write(T0, SiteId(1), X);
+        d.chan_send(T0, ChanId(0));
+        d.chan_recv(T1, ChanId(0));
+        d.write(T1, SiteId(2), X);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn chan_edge_is_unidirectional() {
+        // A receive does NOT order the receiver's earlier work before the
+        // sender's later work (no backpressure edge): T1's pre-recv write
+        // races with T0's post-send write.
+        let mut d = ft(2);
+        d.write(T1, SiteId(2), X);
+        d.chan_send(T0, ChanId(0));
+        d.chan_recv(T1, ChanId(0));
+        d.write(T0, SiteId(1), X);
+        assert!(d.races().contains(SiteId(2), SiteId(1)));
+    }
+
+    #[test]
+    fn different_channels_do_not_order() {
+        let mut d = ft(2);
+        d.write(T0, SiteId(1), X);
+        d.chan_send(T0, ChanId(0));
+        d.chan_recv(T1, ChanId(1));
+        d.write(T1, SiteId(2), X);
+        assert_eq!(d.races().distinct_count(), 1);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 
 use std::time::Instant;
 
-use txrace_sim::{Addr, BarrierId, CondId, EventLog, LockId, SiteId, ThreadId, TraceConsumer};
+use txrace_sim::{
+    Addr, BarrierId, ChanId, CondId, EventLog, LockId, SiteId, ThreadId, TraceConsumer,
+};
 
 use crate::fasttrack::{FastTrack, ShadowMode};
 use crate::lockset::{Lockset, LocksetReport};
@@ -155,6 +157,14 @@ impl TraceConsumer for FtShard {
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         self.event_idx += 1;
         self.ft.barrier_arrivals(b, arrivals);
+    }
+    fn chan_send(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        self.event_idx += 1;
+        self.ft.chan_send(t, ch);
+    }
+    fn chan_recv(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        self.event_idx += 1;
+        self.ft.chan_recv(t, ch);
     }
     fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
         self.event_idx += 1;
@@ -345,6 +355,12 @@ impl TraceConsumer for LsShard {
     fn barrier_release(&mut self, _b: BarrierId, _arrivals: &[(ThreadId, SiteId)]) {
         self.event_idx += 1;
     }
+    fn chan_send(&mut self, _t: ThreadId, _site: SiteId, _ch: ChanId) {
+        self.event_idx += 1; // Eraser is blind to non-mutex sync
+    }
+    fn chan_recv(&mut self, _t: ThreadId, _site: SiteId, _ch: ChanId) {
+        self.event_idx += 1;
+    }
     fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
         self.event_idx += 1;
     }
@@ -464,6 +480,7 @@ mod tests {
         let vars: Vec<_> = (0..8).map(|i| b.var(&format!("v{i}"))).collect();
         let l = b.lock_id("l");
         let bar = b.barrier_id("bar");
+        let ch = b.chan_id("ch", n as u64);
         for t in 0..n {
             let mut tb = b.thread(t);
             for (i, &v) in vars.iter().enumerate() {
@@ -473,7 +490,15 @@ mod tests {
                     tb.read(v);
                 }
             }
-            tb.lock(l).rmw(vars[0], 1).unlock(l).barrier(bar);
+            // Every thread deposits before the barrier and drains after it, so
+            // the channel traffic is balanced and deadlock-free while still
+            // exercising the chan_send/chan_recv broadcast path in the shards.
+            tb.send(ch)
+                .lock(l)
+                .rmw(vars[0], 1)
+                .unlock(l)
+                .barrier(bar)
+                .recv(ch);
             for &v in &vars {
                 tb.read(v);
             }

@@ -6,7 +6,7 @@
 //! compression can merge which static pair is blamed first, but never
 //! which variables race).
 
-use txrace_sim::{Addr, AddrMap, BarrierId, CondId, LockId, SiteId, ThreadId};
+use txrace_sim::{Addr, AddrMap, BarrierId, ChanId, CondId, LockId, SiteId, ThreadId};
 
 use crate::clock::VectorClock;
 use crate::report::{AccessInfo, AccessKind, RaceReport, RaceSet};
@@ -37,6 +37,7 @@ pub struct VectorClockDetector {
     clocks: Vec<VectorClock>,
     locks: Vec<VectorClock>,
     conds: Vec<VectorClock>,
+    chans: Vec<VectorClock>,
     barriers: Vec<VectorClock>,
     /// `Addr -> dense variable id`, assigned on first access.
     shadow_ids: AddrMap,
@@ -54,6 +55,7 @@ impl VectorClockDetector {
                 .collect(),
             locks: Vec::new(),
             conds: Vec::new(),
+            chans: Vec::new(),
             barriers: Vec::new(),
             shadow_ids: AddrMap::new(),
             cells: Vec::new(),
@@ -197,6 +199,21 @@ impl VectorClockDetector {
         self.clocks[t.index()].join(vc);
     }
 
+    /// Tracks a channel send (release semantics, like
+    /// [`signal`](VectorClockDetector::signal); the send→recv edge is
+    /// unidirectional — no backpressure edge).
+    pub fn chan_send(&mut self, t: ThreadId, ch: ChanId) {
+        let ct = self.clocks[t.index()].clone();
+        Self::sync_vc(&mut self.chans, ch.index(), self.n).join(&ct);
+        self.clocks[t.index()].inc(t);
+    }
+
+    /// Tracks a channel receive (acquire semantics).
+    pub fn chan_recv(&mut self, t: ThreadId, ch: ChanId) {
+        let vc = Self::sync_vc(&mut self.chans, ch.index(), self.n);
+        self.clocks[t.index()].join(vc);
+    }
+
     /// Tracks a spawn.
     pub fn spawn(&mut self, parent: ThreadId, child: ThreadId) {
         let cp = self.clocks[parent.index()].clone();
@@ -279,6 +296,14 @@ impl txrace_sim::TraceConsumer for VectorClockDetector {
     fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         self.barrier_arrivals(b, arrivals);
     }
+
+    fn chan_send(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        VectorClockDetector::chan_send(self, t, ch);
+    }
+
+    fn chan_recv(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
+        VectorClockDetector::chan_recv(self, t, ch);
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +331,16 @@ mod tests {
         d.lock_acquire(T1, LockId(0));
         d.read(T1, SiteId(2), X);
         d.lock_release(T1, LockId(0));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn chan_send_recv_orders() {
+        let mut d = VectorClockDetector::new(2);
+        d.write(T0, SiteId(1), X);
+        d.chan_send(T0, ChanId(0));
+        d.chan_recv(T1, ChanId(0));
+        d.write(T1, SiteId(2), X);
         assert!(d.races().is_empty());
     }
 

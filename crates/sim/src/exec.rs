@@ -22,7 +22,7 @@
 
 use crate::addr::Addr;
 use crate::flat::{FlatProgram, Instr};
-use crate::ids::{BarrierId, CondId, LockId, LoopId, SiteId, ThreadId};
+use crate::ids::{BarrierId, ChanId, CondId, LockId, LoopId, SiteId, ThreadId};
 use crate::ir::{Op, Program};
 use crate::mem::Memory;
 use crate::sched::{InterruptKind, Scheduler};
@@ -145,9 +145,9 @@ pub trait Runtime {
     }
 
     /// Fired after a synchronization operation architecturally completes
-    /// (`Lock` acquired, `Unlock`/`Signal` done, `Wait` satisfied, `Spawn`
-    /// done, `Join` satisfied). Not fired for barriers — see
-    /// [`Runtime::after_barrier`].
+    /// (`Lock` acquired, `Unlock`/`Signal` done, `Wait` satisfied,
+    /// `ChanSend`/`ChanRecv` performed, `Spawn` done, `Join` satisfied).
+    /// Not fired for barriers — see [`Runtime::after_barrier`].
     fn after_sync(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) {
         let _ = (mem, ev);
     }
@@ -203,6 +203,8 @@ enum TState {
     Runnable,
     BlockedLock(LockId),
     BlockedWait(CondId),
+    BlockedChanSend(ChanId),
+    BlockedChanRecv(ChanId),
     BlockedBarrier(BarrierId),
     BlockedJoin(ThreadId),
     Done,
@@ -226,6 +228,9 @@ pub struct Machine {
     memory: Memory,
     locks: Vec<Option<ThreadId>>,
     sems: Vec<u64>,
+    /// Messages currently queued in each channel.
+    chans: Vec<u64>,
+    chan_caps: Vec<u64>,
     barriers: Vec<BarrierState>,
     barrier_widths: Vec<u32>,
     steps: u64,
@@ -257,6 +262,10 @@ impl Machine {
             memory: Memory::new(),
             locks: vec![None; p.lock_count() as usize],
             sems: vec![0; p.cond_count() as usize],
+            chans: vec![0; p.chan_count() as usize],
+            chan_caps: (0..p.chan_count())
+                .map(|c| p.chan_capacity(ChanId(c)))
+                .collect(),
             barriers: vec![BarrierState::default(); p.barrier_count() as usize],
             barrier_widths: (0..p.barrier_count())
                 .map(|b| p.barrier_width(BarrierId(b)))
@@ -403,6 +412,16 @@ impl Machine {
                 self.states_dirty = true;
                 return Ok(());
             }
+            Op::ChanSend(ch) if self.chans[ch.index()] >= self.chan_caps[ch.index()] => {
+                self.states[ti] = TState::BlockedChanSend(ch);
+                self.states_dirty = true;
+                return Ok(());
+            }
+            Op::ChanRecv(ch) if self.chans[ch.index()] == 0 => {
+                self.states[ti] = TState::BlockedChanRecv(ch);
+                self.states_dirty = true;
+                return Ok(());
+            }
             Op::Join(u) if self.states[u.index()] != TState::Done => {
                 self.states[ti] = TState::BlockedJoin(u);
                 self.states_dirty = true;
@@ -446,6 +465,7 @@ impl Machine {
         let mut fault: Option<String> = None;
         let mut wake_lock: Option<LockId> = None;
         let mut wake_cond: Option<CondId> = None;
+        let mut wake_chan: Option<TState> = None;
         let mut spawned: Option<ThreadId> = None;
         let mut barrier_release: Option<BarrierId> = None;
 
@@ -486,6 +506,18 @@ impl Machine {
             Op::Wait(c) => {
                 debug_assert!(self.sems[c.index()] > 0);
                 self.sems[c.index()] -= 1;
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::ChanSend(ch) => {
+                debug_assert!(self.chans[ch.index()] < self.chan_caps[ch.index()]);
+                self.chans[ch.index()] += 1;
+                wake_chan = Some(TState::BlockedChanRecv(ch));
+                rt.after_sync(&mut self.memory, &ev);
+            }
+            Op::ChanRecv(ch) => {
+                debug_assert!(self.chans[ch.index()] > 0);
+                self.chans[ch.index()] -= 1;
+                wake_chan = Some(TState::BlockedChanSend(ch));
                 rt.after_sync(&mut self.memory, &ev);
             }
             Op::Spawn(u) => {
@@ -531,6 +563,14 @@ impl Machine {
         if let Some(c) = wake_cond {
             for s in self.states.iter_mut() {
                 if *s == TState::BlockedWait(c) {
+                    *s = TState::Runnable;
+                    self.states_dirty = true;
+                }
+            }
+        }
+        if let Some(blocked) = wake_chan {
+            for s in self.states.iter_mut() {
+                if *s == blocked {
                     *s = TState::Runnable;
                     self.states_dirty = true;
                 }
@@ -687,6 +727,59 @@ mod tests {
         let p = b.build();
         let (r, _) = run_direct(&p);
         assert_eq!(r.status, RunStatus::Done);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let ch = b.chan_id("ch", 4);
+        b.thread(0).write(x, 1).send(ch);
+        b.thread(1).recv(ch).read(x);
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 1);
+    }
+
+    #[test]
+    fn send_blocks_at_capacity() {
+        // Capacity-1 channel: the producer cannot run ahead of the consumer,
+        // so under round-robin the two strictly alternate and every update
+        // lands.
+        let mut b = ProgramBuilder::new(2);
+        let x = b.var("x");
+        let ch = b.chan_id("ch", 1);
+        b.thread(0).loop_n(10, |t| {
+            t.rmw(x, 1).send(ch);
+        });
+        b.thread(1).loop_n(10, |t| {
+            t.recv(ch).rmw(x, 1);
+        });
+        let p = b.build();
+        let (r, mem) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Done);
+        assert_eq!(mem.load(x), 20);
+    }
+
+    #[test]
+    fn recv_without_send_deadlocks() {
+        let mut b = ProgramBuilder::new(1);
+        let ch = b.chan_id("ch", 2);
+        b.thread(0).recv(ch);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Deadlock);
+    }
+
+    #[test]
+    fn send_beyond_capacity_without_recv_deadlocks() {
+        let mut b = ProgramBuilder::new(1);
+        let ch = b.chan_id("ch", 2);
+        b.thread(0).send(ch).send(ch).send(ch);
+        let p = b.build();
+        let (r, _) = run_direct(&p);
+        assert_eq!(r.status, RunStatus::Deadlock);
     }
 
     #[test]

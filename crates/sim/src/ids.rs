@@ -63,6 +63,11 @@ id_type!(
     "b"
 );
 id_type!(
+    /// A bounded message channel identifier used by `ChanSend`/`ChanRecv`.
+    ChanId,
+    "ch"
+);
+id_type!(
     /// A static loop identity, used by the loop-cut optimization.
     LoopId,
     "loop"

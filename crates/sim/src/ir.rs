@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use crate::addr::{Addr, VarLayout};
-use crate::ids::{BarrierId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
+use crate::ids::{BarrierId, ChanId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
 
 /// Flavor of a system call. The simulator gives syscalls no semantics
 /// beyond their cost and the fact that transactions must be cut around
@@ -75,6 +75,13 @@ pub enum Op {
     Wait(CondId),
     /// Barrier arrival (blocking until all participants arrive).
     Barrier(BarrierId),
+    /// Send one message into a bounded channel (blocking while the
+    /// channel is at capacity). Establishes a happens-before edge to the
+    /// `ChanRecv` that takes the message.
+    ChanSend(ChanId),
+    /// Receive one message from a bounded channel (blocking while the
+    /// channel is empty).
+    ChanRecv(ChanId),
     /// Start a parked thread; establishes a happens-before edge.
     Spawn(ThreadId),
     /// Wait for a thread to finish; establishes a happens-before edge.
@@ -116,6 +123,8 @@ impl Op {
                 | Op::Signal(_)
                 | Op::Wait(_)
                 | Op::Barrier(_)
+                | Op::ChanSend(_)
+                | Op::ChanRecv(_)
                 | Op::Spawn(_)
                 | Op::Join(_)
         )
@@ -125,7 +134,12 @@ impl Op {
     pub fn may_block(&self) -> bool {
         matches!(
             self,
-            Op::Lock(_) | Op::Wait(_) | Op::Barrier(_) | Op::Join(_)
+            Op::Lock(_)
+                | Op::Wait(_)
+                | Op::Barrier(_)
+                | Op::ChanSend(_)
+                | Op::ChanRecv(_)
+                | Op::Join(_)
         )
     }
 
@@ -178,6 +192,7 @@ pub struct Program {
     pub(crate) n_locks: u32,
     pub(crate) n_conds: u32,
     pub(crate) n_barriers: u32,
+    pub(crate) chan_caps: Vec<u64>,
     pub(crate) parked: Vec<bool>,
     pub(crate) barrier_widths: Vec<u32>,
     pub(crate) labels: HashMap<String, SiteId>,
@@ -222,6 +237,16 @@ impl Program {
     /// Number of barriers referenced.
     pub fn barrier_count(&self) -> u32 {
         self.n_barriers
+    }
+
+    /// Number of bounded channels referenced.
+    pub fn chan_count(&self) -> u32 {
+        self.chan_caps.len() as u32
+    }
+
+    /// Capacity (message slots) of channel `ch`.
+    pub fn chan_capacity(&self, ch: ChanId) -> u64 {
+        self.chan_caps[ch.index()]
     }
 
     /// Whether thread `t` starts parked (it is the target of a `Spawn`).
@@ -303,7 +328,8 @@ impl Program {
             "transformation must preserve the thread count"
         );
         assert!(n_sites >= self.n_sites, "site count cannot shrink");
-        let (parked, barrier_widths) = analyze_threads(&threads, self.n_barriers);
+        let (parked, barrier_widths) =
+            analyze_threads(&threads, self.n_barriers, self.chan_count());
         Program {
             threads,
             n_sites,
@@ -311,6 +337,7 @@ impl Program {
             n_locks: self.n_locks,
             n_conds: self.n_conds,
             n_barriers: self.n_barriers,
+            chan_caps: self.chan_caps.clone(),
             parked,
             barrier_widths,
             labels: self.labels.clone(),
@@ -319,10 +346,10 @@ impl Program {
     }
 }
 
-/// Validates spawn/join/barrier structure and derives parked flags and
-/// barrier widths. Shared by [`ProgramBuilder::build`] and
+/// Validates spawn/join/barrier/channel structure and derives parked
+/// flags and barrier widths. Shared by [`ProgramBuilder::build`] and
 /// [`Program::with_transformed_threads`].
-fn analyze_threads(threads: &[Vec<Stmt>], n_barriers: u32) -> (Vec<bool>, Vec<u32>) {
+fn analyze_threads(threads: &[Vec<Stmt>], n_barriers: u32, n_chans: u32) -> (Vec<bool>, Vec<u32>) {
     let n = threads.len();
     let mut parked = vec![false; n];
     let mut members: Vec<std::collections::BTreeSet<u32>> =
@@ -332,6 +359,7 @@ fn analyze_threads(threads: &[Vec<Stmt>], n_barriers: u32) -> (Vec<bool>, Vec<u3
         t: usize,
         stmts: &[Stmt],
         n: usize,
+        n_chans: u32,
         parked: &mut [bool],
         members: &mut [std::collections::BTreeSet<u32>],
     ) {
@@ -352,14 +380,17 @@ fn analyze_threads(threads: &[Vec<Stmt>], n_barriers: u32) -> (Vec<bool>, Vec<u3
                     Op::Barrier(b) => {
                         members[b.index()].insert(t as u32);
                     }
+                    Op::ChanSend(ch) | Op::ChanRecv(ch) => {
+                        assert!(ch.0 < n_chans, "use of undeclared channel {ch}");
+                    }
                     _ => {}
                 },
-                Stmt::Loop { body, .. } => walk(t, body, n, parked, members),
+                Stmt::Loop { body, .. } => walk(t, body, n, n_chans, parked, members),
             }
         }
     }
     for (t, stmts) in threads.iter().enumerate() {
-        walk(t, stmts, n, &mut parked, &mut members);
+        walk(t, stmts, n, n_chans, &mut parked, &mut members);
     }
     let widths = members.iter().map(|m| m.len() as u32).collect();
     (parked, widths)
@@ -384,6 +415,8 @@ pub struct ProgramBuilder {
     lock_names: HashMap<String, LockId>,
     cond_names: HashMap<String, CondId>,
     barrier_names: HashMap<String, BarrierId>,
+    chan_names: HashMap<String, ChanId>,
+    chan_caps: Vec<u64>,
 }
 
 impl ProgramBuilder {
@@ -407,6 +440,8 @@ impl ProgramBuilder {
             lock_names: HashMap::new(),
             cond_names: HashMap::new(),
             barrier_names: HashMap::new(),
+            chan_names: HashMap::new(),
+            chan_caps: Vec::new(),
         }
     }
 
@@ -463,6 +498,29 @@ impl ProgramBuilder {
         b
     }
 
+    /// Returns the bounded channel with the given name, allocating it
+    /// with `cap` message slots on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`, or if the channel was already declared with
+    /// a different capacity.
+    pub fn chan_id(&mut self, name: &str, cap: u64) -> ChanId {
+        assert!(cap >= 1, "channel {name:?} needs at least one slot");
+        if let Some(&ch) = self.chan_names.get(name) {
+            assert_eq!(
+                self.chan_caps[ch.index()],
+                cap,
+                "channel {name:?} redeclared with a different capacity"
+            );
+            return ch;
+        }
+        let ch = ChanId(self.chan_caps.len() as u32);
+        self.chan_caps.push(cap);
+        self.chan_names.insert(name.to_owned(), ch);
+        ch
+    }
+
     /// Opens a [`ThreadBuilder`] appending to thread `t`.
     ///
     /// # Panics
@@ -496,7 +554,8 @@ impl ProgramBuilder {
     /// a nonexistent thread, a thread spawned more than once, or a
     /// `Join`/`Spawn` self-target.
     pub fn build(self) -> Program {
-        let (parked, barrier_widths) = analyze_threads(&self.threads, self.next_barrier);
+        let n_chans = self.chan_caps.len() as u32;
+        let (parked, barrier_widths) = analyze_threads(&self.threads, self.next_barrier, n_chans);
         Program {
             threads: self.threads,
             n_sites: self.next_site,
@@ -504,6 +563,7 @@ impl ProgramBuilder {
             n_locks: self.next_lock,
             n_conds: self.next_cond,
             n_barriers: self.next_barrier,
+            chan_caps: self.chan_caps,
             parked,
             barrier_widths,
             labels: self.labels,
@@ -613,6 +673,26 @@ impl ThreadBuilder<'_> {
     /// Appends a barrier arrival.
     pub fn barrier(&mut self, b: BarrierId) -> &mut Self {
         self.push_op(Op::Barrier(b), None)
+    }
+
+    /// Appends a bounded-channel send.
+    pub fn send(&mut self, ch: ChanId) -> &mut Self {
+        self.push_op(Op::ChanSend(ch), None)
+    }
+
+    /// Appends a labeled bounded-channel send.
+    pub fn send_l(&mut self, ch: ChanId, label: &str) -> &mut Self {
+        self.push_op(Op::ChanSend(ch), Some(label))
+    }
+
+    /// Appends a bounded-channel receive.
+    pub fn recv(&mut self, ch: ChanId) -> &mut Self {
+        self.push_op(Op::ChanRecv(ch), None)
+    }
+
+    /// Appends a labeled bounded-channel receive.
+    pub fn recv_l(&mut self, ch: ChanId, label: &str) -> &mut Self {
+        self.push_op(Op::ChanRecv(ch), Some(label))
     }
 
     /// Appends a thread spawn.
@@ -775,5 +855,42 @@ mod tests {
         assert_eq!(Op::Write(a, 3).access_addr(), Some(a));
         assert_eq!(Op::Compute(5).access_addr(), None);
         assert!(!Op::Syscall(SyscallKind::Io).is_sync());
+        assert!(Op::ChanSend(ChanId(0)).is_sync());
+        assert!(Op::ChanRecv(ChanId(0)).is_sync());
+        assert!(Op::ChanSend(ChanId(0)).may_block());
+        assert!(Op::ChanRecv(ChanId(0)).may_block());
+        assert!(!Op::ChanSend(ChanId(0)).is_data_access());
+    }
+
+    #[test]
+    fn named_channels_are_interned_with_capacity() {
+        let mut b = ProgramBuilder::new(2);
+        let c1 = b.chan_id("work", 4);
+        let c2 = b.chan_id("work", 4);
+        let c3 = b.chan_id("done", 1);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, c3);
+        b.thread(0).send(c1);
+        b.thread(1).recv(c1);
+        let p = b.build();
+        assert_eq!(p.chan_count(), 2);
+        assert_eq!(p.chan_capacity(c1), 4);
+        assert_eq!(p.chan_capacity(c3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacity")]
+    fn channel_capacity_mismatch_rejected() {
+        let mut b = ProgramBuilder::new(1);
+        b.chan_id("work", 4);
+        b.chan_id("work", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared channel")]
+    fn undeclared_channel_rejected() {
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).send(ChanId(3));
+        let _ = b.build();
     }
 }

@@ -61,15 +61,17 @@ pub use exec::{
     RunResult, RunStatus, Runtime, Snapshot, StepLimit,
 };
 pub use flat::{FlatProgram, FlatThread, Instr};
-pub use ids::{BarrierId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
+pub use ids::{BarrierId, ChanId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
 pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
 pub use mem::{JournalMark, Memory, WriteJournal};
 pub use replay::{fan_out, FanOutReport, Live, TraceConsumer};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
-pub use summary::{dynamic_site_counts, summarize, Phase, ProgramSummary, SiteAccess};
-pub use trace::{record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind};
+pub use summary::{dynamic_site_counts, summarize, ChanSiteUse, Phase, ProgramSummary, SiteAccess};
+pub use trace::{
+    record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind, LOG_VERSION,
+};
 
 /// A runtime that executes memory operations directly against memory with
 /// no detection or transactional machinery. Used to establish uninstrumented

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::ids::{BarrierId, LockId, LoopId, ThreadId};
+use crate::ids::{BarrierId, ChanId, LockId, LoopId, ThreadId};
 use crate::ir::{Op, Program, Stmt};
 
 /// One structural problem found in a program.
@@ -58,6 +58,18 @@ pub enum LintIssue {
         /// Per-thread dynamic arrival counts (participants only).
         arrivals: Vec<(ThreadId, u64)>,
     },
+    /// A channel's total dynamic send count differs from its total
+    /// dynamic receive count: either a receiver starves (deadlock) or
+    /// messages are left queued at exit (and senders stall once the
+    /// surplus exceeds the capacity).
+    ChanTrafficImbalance {
+        /// The channel in question.
+        chan: ChanId,
+        /// Total dynamic sends across all threads (loop-weighted).
+        sends: u64,
+        /// Total dynamic receives across all threads (loop-weighted).
+        recvs: u64,
+    },
     /// A loop with zero trips: its body is dead code.
     ZeroTripLoop {
         /// The thread containing the loop.
@@ -92,6 +104,12 @@ impl fmt::Display for LintIssue {
                 }
                 write!(f, ")")
             }
+            LintIssue::ChanTrafficImbalance { chan, sends, recvs } => {
+                write!(
+                    f,
+                    "channel {chan}: {sends} sends vs {recvs} receives (traffic imbalance)"
+                )
+            }
             LintIssue::ZeroTripLoop { thread, id } => {
                 write!(f, "{thread}: loop {id} has zero trips (dead body)")
             }
@@ -103,27 +121,23 @@ impl fmt::Display for LintIssue {
 /// deterministic order (by thread, then program order; barrier issues
 /// last).
 pub fn lint(p: &Program) -> Vec<LintIssue> {
-    let mut issues = Vec::new();
-    // arrivals[barrier] -> thread -> dynamic count
-    let mut arrivals: BTreeMap<BarrierId, BTreeMap<ThreadId, u64>> = BTreeMap::new();
+    let mut acc = Acc::default();
     for t in 0..p.thread_count() {
         let tid = ThreadId(t as u32);
         let mut held: BTreeMap<LockId, u64> = BTreeMap::new();
-        walk(
-            p,
-            tid,
-            p.thread(tid),
-            1,
-            &mut held,
-            &mut arrivals,
-            &mut issues,
-        );
+        walk(p, tid, p.thread(tid), 1, &mut held, &mut acc);
         for (&lock, &depth) in &held {
             if depth > 0 {
-                issues.push(LintIssue::LockHeldAtExit { thread: tid, lock });
+                acc.issues
+                    .push(LintIssue::LockHeldAtExit { thread: tid, lock });
             }
         }
     }
+    let Acc {
+        arrivals,
+        traffic,
+        mut issues,
+    } = acc;
     for (barrier, counts) in arrivals {
         let mut it = counts.values();
         let first = it.next().copied().unwrap_or(0);
@@ -134,7 +148,22 @@ pub fn lint(p: &Program) -> Vec<LintIssue> {
             });
         }
     }
+    for (chan, (sends, recvs)) in traffic {
+        if sends != recvs {
+            issues.push(LintIssue::ChanTrafficImbalance { chan, sends, recvs });
+        }
+    }
     issues
+}
+
+/// Program-wide accumulators shared by every per-thread walk.
+#[derive(Default)]
+struct Acc {
+    /// arrivals[barrier] -> thread -> dynamic count
+    arrivals: BTreeMap<BarrierId, BTreeMap<ThreadId, u64>>,
+    /// traffic[chan] = (total dynamic sends, total dynamic recvs)
+    traffic: BTreeMap<ChanId, (u64, u64)>,
+    issues: Vec<LintIssue>,
 }
 
 fn walk(
@@ -143,8 +172,7 @@ fn walk(
     stmts: &[Stmt],
     multiplier: u64,
     held: &mut BTreeMap<LockId, u64>,
-    arrivals: &mut BTreeMap<BarrierId, BTreeMap<ThreadId, u64>>,
-    issues: &mut Vec<LintIssue>,
+    acc: &mut Acc,
 ) {
     for s in stmts {
         match s {
@@ -155,7 +183,7 @@ fn walk(
                 Op::Unlock(l) => {
                     let d = held.entry(*l).or_insert(0);
                     if *d == 0 {
-                        issues.push(LintIssue::UnlockWithoutLock {
+                        acc.issues.push(LintIssue::UnlockWithoutLock {
                             thread: tid,
                             lock: *l,
                         });
@@ -164,39 +192,37 @@ fn walk(
                     }
                 }
                 Op::Join(target) if !p.starts_parked(*target) => {
-                    issues.push(LintIssue::JoinOfNeverSpawned {
+                    acc.issues.push(LintIssue::JoinOfNeverSpawned {
                         thread: tid,
                         target: *target,
                     });
                 }
                 Op::Barrier(b) => {
-                    *arrivals.entry(*b).or_default().entry(tid).or_insert(0) += multiplier;
+                    *acc.arrivals.entry(*b).or_default().entry(tid).or_insert(0) += multiplier;
+                }
+                Op::ChanSend(ch) => {
+                    acc.traffic.entry(*ch).or_insert((0, 0)).0 += multiplier;
+                }
+                Op::ChanRecv(ch) => {
+                    acc.traffic.entry(*ch).or_insert((0, 0)).1 += multiplier;
                 }
                 _ => {}
             },
             Stmt::Loop { id, trips, body } => {
                 if *trips == 0 {
-                    issues.push(LintIssue::ZeroTripLoop {
+                    acc.issues.push(LintIssue::ZeroTripLoop {
                         thread: tid,
                         id: *id,
                     });
                     continue;
                 }
                 let before = held.clone();
-                walk(
-                    p,
-                    tid,
-                    body,
-                    multiplier * u64::from(*trips),
-                    held,
-                    arrivals,
-                    issues,
-                );
+                walk(p, tid, body, multiplier * u64::from(*trips), held, acc);
                 for lock in before.keys().chain(held.keys()) {
                     let a = before.get(lock).copied().unwrap_or(0);
                     let b = held.get(lock).copied().unwrap_or(0);
                     if a != b {
-                        issues.push(LintIssue::LoopChangesLockDepth {
+                        acc.issues.push(LintIssue::LoopChangesLockDepth {
                             thread: tid,
                             id: *id,
                             lock: *lock,
@@ -335,6 +361,39 @@ mod tests {
             LintIssue::BarrierArrivalMismatch { barrier, arrivals }
                 if *barrier == bar && arrivals.len() == 2
         )));
+    }
+
+    #[test]
+    fn flags_channel_traffic_imbalance_with_loop_multiplicity() {
+        let mut b = ProgramBuilder::new(2);
+        let ch = b.chan_id("ch", 8);
+        b.thread(0).spawn(ThreadId(1)).loop_n(4, |tb| {
+            tb.send(ch);
+        });
+        b.thread(1).loop_n(3, |tb| {
+            tb.recv(ch);
+        });
+        b.thread(0).join(ThreadId(1));
+        let issues = lint(&b.build());
+        assert!(issues.contains(&LintIssue::ChanTrafficImbalance {
+            chan: ch,
+            sends: 4,
+            recvs: 3,
+        }));
+    }
+
+    #[test]
+    fn balanced_channel_traffic_is_clean() {
+        let mut b = ProgramBuilder::new(2);
+        let ch = b.chan_id("ch", 2);
+        b.thread(0).spawn(ThreadId(1)).loop_n(5, |tb| {
+            tb.send(ch);
+        });
+        b.thread(1).loop_n(5, |tb| {
+            tb.recv(ch);
+        });
+        b.thread(0).join(ThreadId(1));
+        assert!(lint(&b.build()).is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use crate::addr::Addr;
 use crate::exec::{Directive, OpEvent, Runtime};
-use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
+use crate::ids::{BarrierId, ChanId, CondId, LockId, SiteId, ThreadId};
 use crate::ir::{Op, SyscallKind};
 use crate::mem::Memory;
 use crate::trace::EventLog;
@@ -102,6 +102,18 @@ pub trait TraceConsumer {
         let _ = (t, site, kind);
     }
 
+    /// A send into channel `ch` completed (a happens-before release
+    /// toward the receive that takes the message).
+    fn chan_send(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        let _ = (t, site, ch);
+    }
+
+    /// A receive from channel `ch` completed (a happens-before acquire
+    /// from the sends that fed the channel).
+    fn chan_recv(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        let _ = (t, site, ch);
+    }
+
     /// Thread `t` finished its program.
     fn thread_done(&mut self, t: ThreadId) {
         let _ = t;
@@ -149,6 +161,12 @@ impl<C: TraceConsumer + ?Sized> TraceConsumer for Box<C> {
     }
     fn syscall(&mut self, t: ThreadId, site: SiteId, kind: SyscallKind) {
         (**self).syscall(t, site, kind);
+    }
+    fn chan_send(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        (**self).chan_send(t, site, ch);
+    }
+    fn chan_recv(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        (**self).chan_recv(t, site, ch);
     }
     fn thread_done(&mut self, t: ThreadId) {
         (**self).thread_done(t);
@@ -403,6 +421,8 @@ impl<C: TraceConsumer> Runtime for Live<C> {
             Op::Wait(c) => self.consumer.wait(t, site, c),
             Op::Spawn(u) => self.consumer.spawn(t, site, u),
             Op::Join(u) => self.consumer.join(t, site, u),
+            Op::ChanSend(ch) => self.consumer.chan_send(t, site, ch),
+            Op::ChanRecv(ch) => self.consumer.chan_recv(t, site, ch),
             _ => {}
         }
     }

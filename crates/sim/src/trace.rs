@@ -13,7 +13,7 @@
 
 use crate::addr::Addr;
 use crate::exec::{Directive, OpEvent, RunResult, RunStatus, Runtime, StepLimit};
-use crate::ids::{BarrierId, CondId, LockId, SiteId, ThreadId};
+use crate::ids::{BarrierId, ChanId, CondId, LockId, SiteId, ThreadId};
 use crate::ir::{Op, Program, SyscallKind};
 use crate::mem::Memory;
 use crate::replay::{Live, TraceConsumer};
@@ -105,6 +105,10 @@ pub enum TraceEventKind {
     Compute,
     /// System call; `arg` encodes the [`SyscallKind`].
     Syscall,
+    /// Channel send completed; `arg` is the channel id.
+    ChanSend,
+    /// Channel receive completed; `arg` is the channel id.
+    ChanRecv,
 }
 
 /// One schedule-visible event in an [`EventLog`]: a compact (24-byte)
@@ -254,6 +258,14 @@ impl TraceConsumer for EventLogBuilder {
 
     fn syscall(&mut self, t: ThreadId, site: SiteId, kind: SyscallKind) {
         self.push(TraceEventKind::Syscall, t, site, syscall_code(kind));
+    }
+
+    fn chan_send(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        self.push(TraceEventKind::ChanSend, t, site, u64::from(ch.0));
+    }
+
+    fn chan_recv(&mut self, t: ThreadId, site: SiteId, ch: ChanId) {
+        self.push(TraceEventKind::ChanRecv, t, site, u64::from(ch.0));
     }
 
     fn thread_done(&mut self, t: ThreadId) {
@@ -478,6 +490,8 @@ impl EventLog {
                 TraceEventKind::Syscall => {
                     consumer.syscall(t, site, SYSCALL_CODES[e.arg as usize]);
                 }
+                TraceEventKind::ChanSend => consumer.chan_send(t, site, ChanId(e.arg as u32)),
+                TraceEventKind::ChanRecv => consumer.chan_recv(t, site, ChanId(e.arg as u32)),
             }
         }
     }
@@ -566,6 +580,16 @@ impl EventLog {
                 TraceEventKind::Syscall => {
                     for c in consumers.iter_mut() {
                         c.syscall(t, site, SYSCALL_CODES[e.arg as usize]);
+                    }
+                }
+                TraceEventKind::ChanSend => {
+                    for c in consumers.iter_mut() {
+                        c.chan_send(t, site, ChanId(e.arg as u32));
+                    }
+                }
+                TraceEventKind::ChanRecv => {
+                    for c in consumers.iter_mut() {
+                        c.chan_recv(t, site, ChanId(e.arg as u32));
                     }
                 }
             }
@@ -734,8 +758,11 @@ impl<R: Runtime> Runtime for Recording<R> {
 /// `b"TXLOG\0\0\x01"` as a little-endian u64: identifies a serialized
 /// [`EventLog`].
 const LOG_MAGIC: u64 = u64::from_le_bytes(*b"TXLOG\0\0\x01");
-/// Bump on any layout change; readers reject other versions.
-const LOG_VERSION: u64 = 1;
+/// Bump on any layout change; readers reject other versions. Version 2
+/// added the channel event kinds ([`TraceEventKind::ChanSend`]/
+/// [`TraceEventKind::ChanRecv`]) — version-1 logs from pre-channel
+/// builds are rejected rather than mis-decoded.
+pub const LOG_VERSION: u64 = 2;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -791,6 +818,8 @@ fn kind_from_code(code: u8) -> Option<TraceEventKind> {
         11 => ThreadDone,
         12 => Compute,
         13 => Syscall,
+        14 => ChanSend,
+        15 => ChanRecv,
         _ => return None,
     })
 }
@@ -900,6 +929,12 @@ mod tests {
         fn thread_done(&mut self, t: ThreadId) {
             self.0.push((14, t.0, 0, 0));
         }
+        fn chan_send(&mut self, t: ThreadId, s: SiteId, ch: ChanId) {
+            self.0.push((15, t.0, s.0, u64::from(ch.0)));
+        }
+        fn chan_recv(&mut self, t: ThreadId, s: SiteId, ch: ChanId) {
+            self.0.push((16, t.0, s.0, u64::from(ch.0)));
+        }
     }
 
     #[test]
@@ -914,6 +949,7 @@ mod tests {
         let l = b.lock_id("l");
         let c = b.cond_id("c");
         let bar = b.barrier_id("bar");
+        let ch = b.chan_id("ch", 2);
         b.thread(0)
             .spawn(ThreadId(2))
             .write(x, 1)
@@ -921,6 +957,7 @@ mod tests {
             .lock(l)
             .rmw(x, 1)
             .unlock(l)
+            .send(ch)
             .barrier(bar)
             .join(ThreadId(2))
             .syscall(crate::ir::SyscallKind::Io);
@@ -929,6 +966,7 @@ mod tests {
             .loop_n(4, |t| {
                 t.read_arr(arr, 8).compute(3);
             })
+            .recv(ch)
             .barrier(bar);
         b.thread(2).read(x); // spawn target: starts parked
         let p = b.build();
@@ -964,6 +1002,7 @@ mod tests {
         let l = b.lock_id("l");
         let c = b.cond_id("c");
         let bar = b.barrier_id("bar");
+        let ch = b.chan_id("ch", 2);
         b.thread(0)
             .spawn(ThreadId(2))
             .write(x, 1)
@@ -971,6 +1010,7 @@ mod tests {
             .lock(l)
             .rmw(x, 1)
             .unlock(l)
+            .send(ch)
             .barrier(bar)
             .join(ThreadId(2))
             .syscall(crate::ir::SyscallKind::Io);
@@ -979,6 +1019,7 @@ mod tests {
             .loop_n(4, |t| {
                 t.read_arr(arr, 8).compute(3);
             })
+            .recv(ch)
             .barrier(bar);
         b.thread(2).read(x);
         let p = b.build();
@@ -1005,6 +1046,21 @@ mod tests {
         let mut extra = bytes.clone();
         extra.push(0);
         assert!(EventLog::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn stale_wire_versions_are_rejected() {
+        let mut b = ProgramBuilder::new(1);
+        let x = b.var("x");
+        b.thread(0).write(x, 1);
+        let p = b.build();
+        let mut sched = RoundRobin::new();
+        let log = record_run(&p, &mut sched, StepLimit::default());
+        let mut bytes = log.to_bytes();
+        // Rewrite the version field (second u64) to the pre-channel v1.
+        bytes[8..16].copy_from_slice(&1u64.to_le_bytes());
+        let err = EventLog::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("unsupported version 1"), "{err}");
     }
 
     #[test]

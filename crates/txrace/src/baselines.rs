@@ -224,6 +224,16 @@ impl TraceConsumer for TsanConsumer {
         self.tally.barrier_released += arrivals.len() as u64;
     }
 
+    fn chan_send(&mut self, t: ThreadId, _site: SiteId, ch: txrace_sim::ChanId) {
+        self.ft.chan_send(t, ch);
+        self.tally.sync += 1;
+    }
+
+    fn chan_recv(&mut self, t: ThreadId, _site: SiteId, ch: txrace_sim::ChanId) {
+        self.ft.chan_recv(t, ch);
+        self.tally.sync += 1;
+    }
+
     fn compute(&mut self, _t: ThreadId, _site: SiteId, units: u32) {
         self.tally.compute_units += u64::from(units);
     }
@@ -385,8 +395,8 @@ mod tests {
 /// An always-on Eraser-style lockset detector (Savage et al. '97), the
 /// classic pre-happens-before baseline the paper's related work contrasts
 /// with: cheap bookkeeping, but *incomplete* — it cannot see non-mutex
-/// synchronization (signal/wait, barriers, spawn/join), so it reports
-/// false positives on correctly ordered code.
+/// synchronization (signal/wait, barriers, spawn/join, channel
+/// send/recv), so it reports false positives on correctly ordered code.
 #[derive(Debug)]
 pub struct LocksetConsumer {
     ls: Lockset,
@@ -478,6 +488,14 @@ impl TraceConsumer for LocksetConsumer {
     }
 
     fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
+        self.tally.sync += 1;
+    }
+
+    fn chan_send(&mut self, _t: ThreadId, _site: SiteId, _ch: txrace_sim::ChanId) {
+        self.tally.sync += 1;
+    }
+
+    fn chan_recv(&mut self, _t: ThreadId, _site: SiteId, _ch: txrace_sim::ChanId) {
         self.tally.sync += 1;
     }
 

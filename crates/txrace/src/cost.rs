@@ -73,6 +73,8 @@ impl CostModel {
             | Op::Signal(_)
             | Op::Wait(_)
             | Op::Barrier(_)
+            | Op::ChanSend(_)
+            | Op::ChanRecv(_)
             | Op::Spawn(_)
             | Op::Join(_) => self.sync_op,
             Op::TxBegin(_) | Op::TxEnd(_) | Op::LoopCutProbe(_) => 0,

@@ -744,6 +744,8 @@ impl Runtime for TxRaceEngine {
                     | Op::Wait(_)
                     | Op::Spawn(_)
                     | Op::Join(_)
+                    | Op::ChanSend(_)
+                    | Op::ChanRecv(_)
             ) {
                 self.breakdown.elided += self.cost.tsan_sync;
             }
@@ -756,6 +758,12 @@ impl Runtime for TxRaceEngine {
             Op::Wait(c) => self.ft.wait(t, c),
             Op::Spawn(u) => self.ft.spawn(t, u),
             Op::Join(u) => self.ft.join(t, u),
+            // Channel send/recv is a happens-before edge like any other
+            // sync primitive; since channel ops are `is_sync()` they also
+            // cut transactions in `instrument`, so they only ever fire
+            // outside a hardware transaction (like syscalls).
+            Op::ChanSend(ch) => self.ft.chan_send(t, ch),
+            Op::ChanRecv(ch) => self.ft.chan_recv(t, ch),
             _ => return,
         }
         // Happens-before tracking happens on every path (§5, Figure 6).
@@ -978,6 +986,41 @@ mod tests {
             "capacity aborts should have taught thresholds"
         );
         assert!(engine.stats().loop_cuts > 0);
+    }
+
+    #[test]
+    fn channel_handoff_synchronizes_the_slow_path() {
+        // Producer writes the payload then sends; consumer receives then
+        // reads it. The send→recv happens-before edge must be tracked on
+        // every path, so even with tiny (SlowOnly) regions FastTrack sees
+        // the handoff as ordered. A second, unsynchronized variable is the
+        // control: it must still be reported.
+        let mut b = ProgramBuilder::new(2);
+        let payload = b.var("payload");
+        let racy = b.var("racy");
+        let ch = b.chan_id("ch", 4);
+        // A single handoff: the channel edge is unidirectional (send→recv,
+        // no backpressure), so re-writing the same payload slot across
+        // iterations would be a true race — see the hb crate docs.
+        b.thread(0).write(payload, 7).send(ch).loop_n(10, |tb| {
+            tb.write(racy, 1);
+        });
+        b.thread(1).recv(ch).read(payload).loop_n(10, |tb| {
+            tb.write(racy, 2);
+        });
+        let p = b.build();
+        let ip = instrumented(&p);
+        let engine = run_engine(&ip, EngineConfig::default(), 13);
+        let races = engine.races();
+        // The payload handoff is channel-ordered: no report touches it.
+        assert!(
+            !races.reports().iter().any(|r| r.addr == payload),
+            "channel-synchronized handoff must not be reported: {races:?}"
+        );
+        assert!(
+            races.reports().iter().any(|r| r.addr == racy),
+            "the unsynchronized control variable must still race"
+        );
     }
 
     #[test]

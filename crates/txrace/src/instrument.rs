@@ -136,6 +136,11 @@ pub fn instrument_pruned(
 }
 
 /// A region boundary: transactions end before and begin after these.
+/// Channel send/recv is `is_sync()`, so message-passing ops cut
+/// transactions exactly like syscalls do — a blocking channel op inside
+/// a hardware transaction would either deadlock (the wakeup write is
+/// isolated) or abort on the partner's conflicting queue access, so the
+/// region is split instead and the op runs untracked like other sync.
 fn is_boundary(op: &Op) -> bool {
     op.is_sync() || matches!(op, Op::Syscall(_))
 }

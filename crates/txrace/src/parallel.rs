@@ -8,7 +8,9 @@
 //! type erasure loses the results; [`PanelConsumer`] keeps them.
 
 use txrace_hb::{FastTrack, VectorClockDetector};
-use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, SyscallKind, ThreadId, TraceConsumer};
+use txrace_sim::{
+    Addr, BarrierId, ChanId, CondId, LockId, SiteId, SyscallKind, ThreadId, TraceConsumer,
+};
 
 use crate::baselines::{LocksetConsumer, TsanConsumer};
 
@@ -148,6 +150,8 @@ impl TraceConsumer for PanelConsumer {
         barrier_release(b: BarrierId, arrivals: &[(ThreadId, SiteId)]),
         compute(t: ThreadId, site: SiteId, units: u32),
         syscall(t: ThreadId, site: SiteId, kind: SyscallKind),
+        chan_send(t: ThreadId, site: SiteId, ch: ChanId),
+        chan_recv(t: ThreadId, site: SiteId, ch: ChanId),
         thread_done(t: ThreadId),
     }
 }

@@ -146,6 +146,10 @@ fn transfer(op: &Op, state: &mut LockDepths) {
                 }
             }
         }
+        // Everything else holds no lock. In particular channel send/recv
+        // establishes a happens-before edge but confers no mutual
+        // exclusion, so it must NOT enter the must-lockset — two sites
+        // "protected" only by talking on the same channel still race.
         _ => {}
     }
 }
@@ -285,9 +289,10 @@ fn walk_avail(
                 // Array accesses are multi-address and excluded from the
                 // pass entirely; Compute is inert.
                 Op::Rmw(_, _) | Op::ReadArr { .. } | Op::WriteArr { .. } | Op::Compute(_) => {}
-                // Everything else — sync ops, syscalls, and (in already-
-                // instrumented programs) transaction markers — starts a
-                // new span.
+                // Everything else — sync ops (including channel send and
+                // receive, which acquire/publish happens-before edges),
+                // syscalls, and (in already-instrumented programs)
+                // transaction markers — starts a new span.
                 _ => state.clear(),
             },
             Stmt::Loop { trips: 0, .. } => {}

@@ -116,6 +116,13 @@ impl MhpOracle {
     /// happens-before) against every occurrence of `y`, so the two can
     /// never execute in parallel. Trivially true for same-thread sites
     /// and for sites in a single-threaded phase.
+    ///
+    /// Only barrier and fork-join structure count as evidence. Channel
+    /// send/recv does create happens-before edges at runtime, but which
+    /// send pairs with which recv is schedule-dependent, so the oracle
+    /// conservatively grants channels no ordering credit — channel-
+    /// synchronized sites stay "may happen in parallel" here and rely on
+    /// the dynamic detectors for their race-freedom.
     pub fn ordered(&self, x: &SiteAccess, y: &SiteAccess) -> bool {
         if x.thread == y.thread {
             return true;

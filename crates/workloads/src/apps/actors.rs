@@ -1,0 +1,88 @@
+//! actors: an actor-style web service (not paper Table 1 — a
+//! message-passing family added alongside the paper apps). A dispatcher
+//! thread routes simulated request traffic to per-actor mailboxes
+//! (bounded channels); each actor drains its own mailbox, does private
+//! handler work with I/O, and bumps a shared request counter atomically.
+//! Fully channel-synchronized: no data races.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, Workload};
+
+/// Requests delivered to each actor's mailbox.
+const REQUESTS_PER_ACTOR: u32 = 40;
+/// Mailbox depth: the dispatcher blocks when an actor falls this far
+/// behind (bounded-channel backpressure in the interpreter).
+const MAILBOX_CAP: u64 = 4;
+
+/// Builds actors for `workers` worker threads (one dispatcher plus
+/// `workers - 1` actors; with 2 workers, a single actor).
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 10, 6);
+    let mailboxes: Vec<_> = (2..=workers)
+        .map(|a| b.chan_id(&format!("mailbox_{a}"), MAILBOX_CAP))
+        .collect();
+    let routes = b.array("route_table", 8);
+    let served = b.var("requests_served");
+    {
+        // Worker 1 is the dispatcher: write the routing table once, then
+        // deliver one round of requests to every mailbox per traffic tick.
+        let scratch = b.array("dispatch_buf", 16);
+        let body = IterBody {
+            accesses: 10,
+            compute: 8,
+            scratch,
+        };
+        let boxes = mailboxes.clone();
+        let mut tb = b.thread(1);
+        for i in 0..8 {
+            tb.write(elem(routes, i), i as u64);
+        }
+        tb.loop_n(REQUESTS_PER_ACTOR, move |tb| {
+            body.emit(tb);
+            for &mb in &boxes {
+                tb.send(mb);
+            }
+            tb.syscall(SyscallKind::Io);
+        });
+    }
+    for a in 2..=workers {
+        let scratch = b.array(&format!("handler_buf_{a}"), 16);
+        let body = IterBody {
+            accesses: 14,
+            compute: 20,
+            scratch,
+        };
+        let mb = mailboxes[a - 2];
+        let mut tb = b.thread(a);
+        tb.loop_n(REQUESTS_PER_ACTOR, move |tb| {
+            tb.recv(mb);
+            body.emit(tb);
+            tb.syscall(SyscallKind::Io);
+            tb.rmw(served, 1);
+        });
+        // The routing table was written before the first send, so every
+        // post-drain read is channel-ordered after it.
+        for i in 0..8 {
+            tb.read(elem(routes, i));
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 3.1);
+    Workload {
+        name: "actors",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.0012, 0.0003, workers),
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
+        planted: Vec::new(),
+        scale: "requests 1:1000 vs a load-test run",
+    }
+}

@@ -3,6 +3,7 @@
 //! abort sources, planted races) models what the paper's Table 1 reports
 //! for the original program, scaled down per the module's `scale` note.
 
+pub mod actors;
 pub mod apache;
 pub mod blackscholes;
 pub mod bodytrack;
@@ -12,10 +13,12 @@ pub mod facesim;
 pub mod ferret;
 pub mod fluidanimate;
 pub mod freqmine;
+pub mod pipeline;
 pub mod raytrace;
 pub mod streamcluster;
 pub mod swaptions;
 pub mod vips;
+pub mod worksteal;
 pub mod x264;
 
 #[cfg(test)]
@@ -211,6 +214,28 @@ mod structure_tests {
                         "{} worker {t}",
                         w.name
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_passing_apps_use_channels_and_nobody_else_does() {
+        for workers in [2, 4, 8] {
+            for w in crate::all_workloads(workers) {
+                let chan_ops = dynamic_count(&w.program, |op| {
+                    matches!(op, Op::ChanSend(_) | Op::ChanRecv(_))
+                });
+                let is_mp = matches!(w.name, "pipeline" | "actors" | "worksteal");
+                if is_mp {
+                    assert!(w.program.chan_count() > 0, "{}", w.name);
+                    assert!(chan_ops > 0, "{}", w.name);
+                    // Balanced traffic: the lint would flag a workload
+                    // that strands messages or starves a receiver.
+                    let sends = dynamic_count(&w.program, |op| matches!(op, Op::ChanSend(_)));
+                    assert_eq!(sends * 2, chan_ops, "{} at {workers}", w.name);
+                } else {
+                    assert_eq!(w.program.chan_count(), 0, "{}", w.name);
                 }
             }
         }

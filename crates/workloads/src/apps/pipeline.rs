@@ -1,0 +1,110 @@
+//! pipeline: a producer/consumer chain handing items stage-to-stage over
+//! bounded channels (not paper Table 1 — a message-passing family added
+//! to exercise the channel happens-before path end-to-end). The payload
+//! handoff is fully channel-synchronized; the bug is a shared statistics
+//! counter both ends bump with plain writes, skipping any channel or
+//! lock — one hot overlapping race found by TSan and TxRace alike.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::{elem, ProgramBuilder, SyscallKind};
+
+use crate::patterns::{main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
+
+/// Items flowing through the whole chain (every stage touches each one).
+const ITEMS: u32 = 120;
+/// Bounded-channel capacity between adjacent stages.
+const STAGE_CAP: u64 = 4;
+/// Producer bumps the shared stat counter once per this many items.
+const PROD_EVERY: u32 = 3;
+/// Consumer period — different from the producer's so the phase offset
+/// between the two streams sweeps and instances keep overlapping no
+/// matter how far channel slack lets the stages drift apart.
+const CONS_EVERY: u32 = 4;
+
+/// Builds pipeline for `workers` worker threads (stages of the chain).
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 12, 6);
+    // Stage w sends on stages[w - 1] and receives on stages[w - 2].
+    let stages: Vec<_> = (1..workers)
+        .map(|w| b.chan_id(&format!("stage_{w}"), STAGE_CAP))
+        .collect();
+    let config = b.array("pipe_config", 4);
+    let stat = b.var("items_done");
+    for w in 1..=workers {
+        let scratch = b.array(&format!("stagebuf_{w}"), 16);
+        let body = IterBody {
+            accesses: 14,
+            compute: 12,
+            scratch,
+        };
+        let mut tb = b.thread(w);
+        if w == 1 {
+            // One-time handoff: the config written here is read by the
+            // last stage after its final receive — ordered only by the
+            // transitive send→recv chain, never by a lock or barrier.
+            for i in 0..4 {
+                tb.write(elem(config, i), i as u64);
+            }
+            let ch = stages[0];
+            tb.loop_n(ITEMS / PROD_EVERY, move |tb| {
+                tb.loop_n(PROD_EVERY - 1, move |tb| {
+                    body.emit(tb);
+                    tb.send(ch);
+                });
+                body.emit(tb);
+                tb.send(ch);
+                // The bug: a plain (non-atomic, unlocked) stat bump next
+                // to the periodic progress log. The send before and the
+                // syscall after leave it in a tiny slow-path-only region
+                // (under the K heuristic), the shape of real logging code.
+                tb.write_l(stat, 1, "prod_stat");
+                tb.syscall(SyscallKind::Io);
+            });
+        } else if w < workers {
+            let (rx, tx) = (stages[w - 2], stages[w - 1]);
+            tb.loop_n(ITEMS, move |tb| {
+                tb.recv(rx);
+                body.emit(tb);
+                tb.send(tx);
+            });
+        } else {
+            let rx = stages[w - 2];
+            tb.loop_n(ITEMS / CONS_EVERY, move |tb| {
+                tb.loop_n(CONS_EVERY - 1, move |tb| {
+                    tb.recv(rx);
+                    body.emit(tb);
+                });
+                tb.recv(rx);
+                body.emit(tb);
+                // Same logging-idiom bug on the consumer end.
+                tb.syscall(SyscallKind::Io);
+                tb.write_l(stat, 1, "cons_stat");
+            });
+            // Channel-ordered read of the producer's one-time config.
+            for i in 0..4 {
+                tb.read(elem(config, i));
+            }
+        }
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 4.6);
+    Workload {
+        name: "pipeline",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.001, 0.0003, workers),
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
+        planted: vec![PlantedRace::new(
+            "prod_stat",
+            "cons_stat",
+            RaceKind::Overlapping,
+        )],
+        scale: "items 1:1000 vs a streaming run",
+    }
+}

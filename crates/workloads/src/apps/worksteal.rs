@@ -1,0 +1,72 @@
+//! worksteal: a work-stealing executor modeled as a ring of workers (not
+//! paper Table 1 — a message-passing family added alongside the paper
+//! apps). Each worker owns a bounded deque (channel); every round it
+//! pushes a batch of tasks into its own deque, then steals and runs its
+//! neighbour's batch. All task handoff is channel-synchronized (task
+//! state itself stays worker-private: the channel edge is unidirectional
+//! send→recv with no backpressure edge, so shared payload slots reused
+//! across rounds would be genuinely racy) — there are no data races.
+
+use txrace::{CostModel, SchedKind};
+use txrace_sim::ProgramBuilder;
+
+use crate::patterns::{hot_rmw, main_scaffold, scaled_interrupts, IterBody};
+use crate::spec::{calibrate_shadow_factor, Workload};
+
+/// Rounds of produce-then-steal per worker.
+const ROUNDS: u32 = 12;
+/// Tasks per batch; also each deque's capacity, so a worker can always
+/// publish a full batch once its previous batch has been stolen.
+const BATCH: u32 = 4;
+
+/// Builds worksteal for `workers` worker threads.
+pub fn build(workers: usize) -> Workload {
+    assert!(workers >= 2);
+    let mut b = ProgramBuilder::new(workers + 1);
+    main_scaffold(&mut b, workers, 10, 6);
+    let deques: Vec<_> = (1..=workers)
+        .map(|w| b.chan_id(&format!("deque_{w}"), u64::from(BATCH)))
+        .collect();
+    let tasks_done = b.var("tasks_done");
+    for w in 1..=workers {
+        let scratch = b.array(&format!("task_buf_{w}"), 32);
+        let body = IterBody {
+            accesses: 26,
+            compute: 14,
+            scratch,
+        };
+        // Worker w steals from its ring successor, so deque_w is filled
+        // by w and drained by w's predecessor: per-round send and recv
+        // counts match on every deque at any worker count, and the
+        // round-r batch a steal consumes was published in round r — the
+        // ring never deadlocks.
+        let own = deques[w - 1];
+        let victim = deques[w % workers];
+        let mut tb = b.thread(w);
+        tb.loop_n(ROUNDS, move |tb| {
+            tb.loop_n(BATCH, move |tb| {
+                body.emit(tb);
+                tb.send(own);
+            });
+            tb.loop_n(BATCH, move |tb| {
+                tb.recv(victim);
+                body.emit(tb);
+            });
+            hot_rmw(tb, tasks_done);
+        });
+    }
+    let program = b.build();
+    let shadow_factor = calibrate_shadow_factor(&program, &CostModel::default(), 3.8);
+    Workload {
+        name: "worksteal",
+        program,
+        shadow_factor,
+        interrupts: scaled_interrupts(0.001, 0.0003, workers),
+        sched: SchedKind::Fair {
+            jitter: 0.1,
+            slack: 0,
+        },
+        planted: Vec::new(),
+        scale: "tasks 1:1000 vs an executor benchmark",
+    }
+}

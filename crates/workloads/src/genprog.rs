@@ -18,6 +18,8 @@ pub struct GenConfig {
     pub locks: usize,
     /// Condition semaphores.
     pub conds: usize,
+    /// Bounded message channels.
+    pub chans: usize,
 }
 
 impl Default for GenConfig {
@@ -28,6 +30,7 @@ impl Default for GenConfig {
             shared_vars: 6,
             locks: 2,
             conds: 2,
+            chans: 2,
         }
     }
 }
@@ -37,7 +40,15 @@ impl Default for GenConfig {
 /// Deadlock freedom: locks are taken one at a time and released
 /// immediately after a few accesses; `Wait`s are pre-funded by surplus
 /// `Signal`s emitted on thread 0 before anything else, so every wait is
-/// eventually satisfiable regardless of scheduling.
+/// eventually satisfiable regardless of scheduling. Channels follow the
+/// same scheme: random `ChanRecv`s appear only on threads other than 0,
+/// thread 0 funds every one of them with a matching trailing `ChanSend`
+/// (channel capacity is sized so no send can ever block), and thread 0
+/// then drains the randomly-emitted sends so per-channel traffic stays
+/// balanced and the lint stays clean. The drain must not race the other
+/// threads for the funding messages (a thread whose recv precedes its own
+/// send would starve), so thread 0 first waits on a completion semaphore
+/// each other thread signals as its last op.
 pub fn random_program(cfg: &GenConfig, seed: u64) -> Program {
     assert!(cfg.threads >= 2, "need at least two threads");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -51,11 +62,20 @@ pub fn random_program(cfg: &GenConfig, seed: u64) -> Program {
     let conds: Vec<_> = (0..cfg.conds)
         .map(|i| b.cond_id(&format!("c{i}")))
         .collect();
+    // Capacity exceeding every send the generator could possibly emit:
+    // sends never block, which is what makes the funding scheme sound.
+    let chan_cap = (cfg.threads * cfg.ops_per_thread * 2).max(1) as u64;
+    let chans: Vec<_> = (0..cfg.chans)
+        .map(|i| b.chan_id(&format!("ch{i}"), chan_cap))
+        .collect();
     let scratches: Vec<_> = (0..cfg.threads)
         .map(|t| b.array(&format!("scratch{t}"), 8))
         .collect();
 
     let mut waits_per_cond = vec![0u32; cfg.conds];
+    let mut sends_per_chan = vec![0u32; cfg.chans];
+    let mut recvs_per_chan = vec![0u32; cfg.chans];
+    let done = (cfg.chans > 0).then(|| b.cond_id("gen_done"));
 
     for (t, &scratch) in scratches.iter().enumerate() {
         let mut tb = b.thread(t);
@@ -109,9 +129,21 @@ pub fn random_program(cfg: &GenConfig, seed: u64) -> Program {
                     tb.wait(conds[c]);
                     emitted += 1;
                 }
-                89..=94 => {
+                89..=90 => {
                     let v = vars[rng.gen_range(0..vars.len())];
                     tb.rmw(v, 1);
+                    emitted += 1;
+                }
+                91..=92 if !chans.is_empty() => {
+                    let c = rng.gen_range(0..chans.len());
+                    sends_per_chan[c] += 1;
+                    tb.send(chans[c]);
+                    emitted += 1;
+                }
+                93..=94 if !chans.is_empty() && t != 0 => {
+                    let c = rng.gen_range(0..chans.len());
+                    recvs_per_chan[c] += 1;
+                    tb.recv(chans[c]);
                     emitted += 1;
                 }
                 _ => {
@@ -126,6 +158,9 @@ pub fn random_program(cfg: &GenConfig, seed: u64) -> Program {
                 }
             }
         }
+        if let (Some(done), true) = (done, t != 0) {
+            tb.signal(done);
+        }
     }
     // Pre-fund every wait: surplus signals on thread 0, before its body.
     // ProgramBuilder appends, so rebuild thread 0 by prefixing is not
@@ -136,6 +171,28 @@ pub fn random_program(cfg: &GenConfig, seed: u64) -> Program {
         for (c, &n) in waits_per_cond.iter().enumerate() {
             for _ in 0..n {
                 tb.signal(conds[c]);
+            }
+        }
+        // Fund every randomly-emitted recv (sends cannot block at this
+        // capacity). Thread 0 never blocks before this point — it has no
+        // waits and no recvs — so the funding always happens and every
+        // other thread can run to completion.
+        for (c, &n) in recvs_per_chan.iter().enumerate() {
+            for _ in 0..n {
+                tb.send(chans[c]);
+            }
+        }
+        // Wait for every other thread, then drain the randomly-emitted
+        // sends to balance the books. Draining earlier could steal a
+        // funding message from a thread whose recv precedes its own send.
+        if let Some(done) = done {
+            for _ in 1..cfg.threads {
+                tb.wait(done);
+            }
+        }
+        for (c, &n) in sends_per_chan.iter().enumerate() {
+            for _ in 0..n {
+                tb.recv(chans[c]);
             }
         }
     }
@@ -157,6 +214,28 @@ mod tests {
             let r = m.run(&mut rt, &mut s);
             assert_eq!(r.status, RunStatus::Done, "seed {seed}: {r:?}");
         }
+    }
+
+    #[test]
+    fn generated_channel_traffic_is_balanced_and_exercised() {
+        use txrace_sim::Op;
+        let mut any_chans = false;
+        for seed in 0..30 {
+            let p = random_program(&GenConfig::default(), seed);
+            for c in 0..p.chan_count() {
+                let sends = p.fold_dynamic(|op| match op {
+                    Op::ChanSend(ch) if ch.0 == c => 1,
+                    _ => 0,
+                });
+                let recvs = p.fold_dynamic(|op| match op {
+                    Op::ChanRecv(ch) if ch.0 == c => 1,
+                    _ => 0,
+                });
+                assert_eq!(sends, recvs, "seed {seed} channel {c}");
+                any_chans |= sends > 0;
+            }
+        }
+        assert!(any_chans, "no seed in 0..30 produced channel traffic");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! # txrace-workloads
 //!
 //! Synthetic analogues of the paper's evaluation workloads: the 13 PARSEC
-//! applications (simlarge) plus the Apache web server.
+//! applications (simlarge) plus the Apache web server, and three
+//! message-passing families (a producer/consumer pipeline, an actor-style
+//! web service, and a work-stealing executor) that exercise the bounded
+//! channel primitives end-to-end.
 //!
 //! The real benchmarks cannot run on the simulator, so each app here is a
 //! *parameterized concurrent program* matched to what the paper's Table 1
@@ -18,7 +21,7 @@
 //! let w = by_name("streamcluster", 4).expect("known app");
 //! assert_eq!(w.name, "streamcluster");
 //! assert!(!w.planted.is_empty());
-//! assert_eq!(all_workloads(4).len(), 14);
+//! assert_eq!(all_workloads(4).len(), 17);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -33,8 +36,8 @@ pub mod spec;
 pub use genprog::{random_program, GenConfig};
 pub use spec::{calibrate_shadow_factor, PlantedRace, RaceKind, Workload};
 
-/// Builds every workload at the given worker-thread count, in the paper's
-/// Table 1 order.
+/// Builds every workload at the given worker-thread count: the paper's
+/// Table 1 apps in paper order, then the message-passing families.
 pub fn all_workloads(workers: usize) -> Vec<Workload> {
     vec![
         apps::blackscholes::build(workers),
@@ -51,6 +54,9 @@ pub fn all_workloads(workers: usize) -> Vec<Workload> {
         apps::dedup::build(workers),
         apps::canneal::build(workers),
         apps::apache::build(workers),
+        apps::pipeline::build(workers),
+        apps::actors::build(workers),
+        apps::worksteal::build(workers),
     ]
 }
 
@@ -71,6 +77,9 @@ pub fn by_name(name: &str, workers: usize) -> Option<Workload> {
         "dedup" => apps::dedup::build,
         "canneal" => apps::canneal::build,
         "apache" => apps::apache::build,
+        "pipeline" => apps::pipeline::build,
+        "actors" => apps::actors::build,
+        "worksteal" => apps::worksteal::build,
         _ => return None,
     };
     Some(f(workers))

@@ -130,6 +130,7 @@ fn fullflow_prune_still_finds_hot_races() {
         "ferret",
         "streamcluster",
         "canneal",
+        "pipeline",
     ] {
         let w = by_name(name, 4).expect("known app");
         let table = SiteClassTable::analyze_flow(&w.program);
@@ -185,6 +186,66 @@ fn fullflow_matches_full_detection_on_all_workloads() {
             "{}: FullFlow changed the detected race set vs Full",
             w.name
         );
+    }
+}
+
+/// Channels give the static layers no ordering or exclusion credit: two
+/// plain writes synchronized *only* by a send→recv edge must stay in the
+/// static candidate set and must never be pruned by either table — while
+/// the dynamic detectors, which do see the edge, report nothing. If the
+/// analysis ever started crediting channels (unsoundly, since send/recv
+/// pairing is schedule-dependent), this is the test that catches it.
+#[test]
+fn channel_synchronized_sites_are_never_statically_pruned() {
+    use txrace_sim::ProgramBuilder;
+    let mut b = ProgramBuilder::new(2);
+    let x = b.var("x");
+    let ch = b.chan_id("ch", 1);
+    b.thread(0).write_l(x, 1, "before_send").send(ch);
+    b.thread(1).recv(ch).write_l(x, 2, "after_recv");
+    let p = b.build();
+
+    let (mut before, mut after) = (None, None);
+    p.visit_static(&mut |_, site, _| match p.label_of(site) {
+        Some("before_send") => before = Some(site),
+        Some("after_recv") => after = Some(site),
+        _ => {}
+    });
+    let (before, after) = (before.expect("labeled site"), after.expect("labeled site"));
+
+    let mrp = MayRacePairs::analyze(&p);
+    assert!(
+        mrp.contains(before, after),
+        "channel-synchronized pair must stay a static may-race candidate"
+    );
+    for (name, table) in [
+        ("base", SiteClassTable::analyze(&p)),
+        ("flow", SiteClassTable::analyze_flow(&p)),
+    ] {
+        for site in [before, after] {
+            assert!(
+                !table.is_race_free(site),
+                "{name} table pruned channel-synchronized site {site}"
+            );
+        }
+    }
+
+    // The dynamic side of the line: the send→recv edge orders the two
+    // writes, so exact TSan is silent and the pruned TxRace run agrees.
+    for seed in [1, 42] {
+        let tsan = Detector::new(RunConfig::new(Scheme::Tsan, seed)).run(&p);
+        assert!(tsan.completed(), "seed {seed}");
+        assert_eq!(
+            tsan.races.distinct_count(),
+            0,
+            "seed {seed}: channel handoff misreported as a race"
+        );
+        let tx = Detector::new(
+            RunConfig::new(Scheme::txrace(), seed).with_prune(StaticPruneMode::FullFlow),
+        )
+        .run(&p);
+        assert!(tx.completed(), "seed {seed}");
+        assert_eq!(tx.races.distinct_count(), 0, "seed {seed} (FullFlow)");
     }
 }
 

@@ -87,6 +87,7 @@ fn hot_races_are_found_across_seeds() {
         "ferret",
         "streamcluster",
         "canneal",
+        "pipeline",
     ] {
         let w = by_name(name, 4).expect("known app");
         let expected = w.expected_txrace_reliable_races();
