@@ -22,9 +22,7 @@
 //! cargo run --release -p txrace-bench --bin ablation [workers] [seed]
 //! ```
 
-use txrace::{
-    recall, Detector, InstrumentConfig, Scheme, SiteClassTable, StaticPruneMode, TxRaceOpts,
-};
+use txrace::{recall, Detector, Knobs, Scheme, SiteClassTable, StaticPruneMode, TxRaceOpts};
 use txrace_bench::{fmt_x, geomean, map_cells, pool_width, run_scheme, Table};
 use txrace_hb::ShadowMode;
 use txrace_htm::HtmConfig;
@@ -133,14 +131,12 @@ fn k_threshold_ablation(workers: usize, seed: u64) {
         .collect();
     let outs = map_cells(pool_width(), &grid, |_, &(k, name)| {
         let w = by_name(name, workers).expect("known app");
-        let opts = TxRaceOpts {
-            instrument: InstrumentConfig {
-                k_min_ops: k,
-                ..InstrumentConfig::default()
-            },
-            ..TxRaceOpts::default()
-        };
-        run_scheme(&w, Scheme::TxRace(opts), seed)
+        let cfg = w
+            .config(Scheme::txrace(), seed)
+            .with_knobs(Knobs::default().with_k(k));
+        let out = Detector::new(cfg).run(&w.program);
+        assert!(out.completed(), "{name}: K={k} run did not complete");
+        out
     });
     for (k, row) in ks.iter().zip(outs.chunks(names.len())) {
         let mut cells = vec![format!("{k}")];

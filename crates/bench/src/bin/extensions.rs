@@ -11,7 +11,7 @@
 //! cargo run --release -p txrace-bench --bin extensions [workers] [seed]
 //! ```
 
-use txrace::{recall, Detector, Scheme, TxRaceOpts};
+use txrace::{recall, Detector, Knobs, Scheme, TxRaceOpts};
 use txrace_bench::{fmt_x, geomean, run_scheme, Table};
 use txrace_htm::HtmConfig;
 use txrace_workloads::all_workloads;
@@ -48,11 +48,15 @@ fn main() {
         let hints = Detector::new(w.config(Scheme::TxRace(hint_opts), seed).with_htm(hint_htm))
             .run(&w.program);
 
-        let samp_opts = TxRaceOpts {
-            slow_sampling: Some(0.5),
-            ..TxRaceOpts::default()
-        };
-        let samp = run_scheme(&w, Scheme::TxRace(samp_opts), seed);
+        let samp_cfg = w
+            .config(Scheme::txrace(), seed)
+            .with_knobs(Knobs::default().with_sampling(0.5));
+        let samp = Detector::new(samp_cfg).run(&w.program);
+        assert!(
+            samp.completed(),
+            "{}: sampling run did not complete",
+            w.name
+        );
 
         let r0 = recall(&base.races, &truth.races);
         let r1 = recall(&hints.races, &truth.races);

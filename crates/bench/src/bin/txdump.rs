@@ -6,7 +6,7 @@
 //! ```text
 //! txdump <app> [--seed <n>] [--workers <n>] [--thread <t>]
 //!              [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats]
-//!              [--sites] [--no-trace-cache]
+//!              [--sites] [--epochs] [--budget <x>] [--no-trace-cache]
 //! txdump --cache-clear
 //! ```
 //!
@@ -18,6 +18,12 @@
 //! view: every data site with its flow-insensitive (`Full`) and
 //! flow-sensitive (`FullFlow`) classification, redundancy witnesses, and
 //! the static may-race candidate pairs.
+//!
+//! `--epochs` runs the app live under the adaptive `ProductionMode`
+//! controller (`--budget`, default 1.2) and prints the per-epoch
+//! telemetry the controller steered by: the active knob values, abort
+//! counts, check/elision totals, the tsan/htm cycle split, and the
+//! cumulative modeled overhead at each epoch boundary.
 //!
 //! `--cache-clear` (no app needed) wipes `target/trace-cache` and
 //! reports what was removed. The cache is also bounded automatically:
@@ -42,7 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  txdump <app> [--seed <n>] [--workers <n>] [--thread <t>] \
          [--kind <k>[,<k>...]] [--head <n>] [--summary] [--stats] [--sites] \
-         [--no-trace-cache]\n  \
+         [--epochs] [--budget <x>] [--no-trace-cache]\n  \
          txdump --cache-clear"
     );
     std::process::exit(2);
@@ -234,6 +240,66 @@ fn print_sites(w: &txrace_workloads::Workload) {
     }
 }
 
+/// `--epochs`: run the app live under `ProductionMode` and print the
+/// epoch-by-epoch telemetry the adaptive controller steered by.
+fn print_epochs(w: &txrace_workloads::Workload, seed: u64, budget: f64) {
+    use txrace::{Detector, Scheme};
+
+    let out = Detector::new(w.config(Scheme::production(budget), seed)).run(&w.program);
+    let tm = out
+        .telemetry
+        .as_ref()
+        .expect("production runs always carry telemetry");
+    println!(
+        "\nproduction run: budget {budget}x, overhead {:.2}x, {} race(s), \
+         {}/{} epochs active",
+        out.overhead,
+        out.races.distinct_count(),
+        tm.active_epochs(),
+        tm.epochs.len(),
+    );
+    println!(
+        "\n  {:>5} {:>7} {:>6} {:>5} {:>3} {:>5} {:>13} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "epoch",
+        "events",
+        "active",
+        "samp",
+        "K",
+        "lcut",
+        "aborts c/k/u",
+        "checks",
+        "elided",
+        "tsan cyc",
+        "htm cyc",
+        "cum ovh"
+    );
+    for e in &tm.epochs {
+        println!(
+            "  {:>5} {:>7} {:>6} {:>5.2} {:>3} {:>5} {:>5}/{:<3}/{:<3} {:>9} {:>9} {:>10} {:>10} {:>7.2}x",
+            e.index,
+            e.events,
+            if e.active { "on" } else { "off" },
+            e.sampling,
+            e.k_min_ops,
+            e.loopcut_threshold,
+            e.conflict_aborts,
+            e.capacity_aborts,
+            e.unknown_aborts,
+            e.checks,
+            e.elided_checks,
+            e.tsan_cycles,
+            e.htm_cycles,
+            e.cum_overhead,
+        );
+    }
+    println!(
+        "\n  {} events total; controller decisions are a pure function of\n  \
+         this telemetry prefix, so a rerun with the same seed and budget\n  \
+         reproduces this table exactly.",
+        tm.total_events()
+    );
+}
+
 fn main() {
     let args: Vec<String> = txrace_bench::args_after_cache_flag();
     if args.iter().any(|a| a == "--cache-clear") {
@@ -253,6 +319,8 @@ fn main() {
     let mut summary = false;
     let mut stats = false;
     let mut sites = false;
+    let mut epochs = false;
+    let mut budget = 1.2f64;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -266,6 +334,8 @@ fn main() {
             "--summary" => summary = true,
             "--stats" => stats = true,
             "--sites" => sites = true,
+            "--epochs" => epochs = true,
+            "--budget" => budget = val(&mut it).parse().unwrap_or_else(|_| usage()),
             // The one positional argument is the app; flags go anywhere.
             s if !s.starts_with('-') && app.is_none() => app = Some(s.to_string()),
             _ => usage(),
@@ -282,6 +352,13 @@ fn main() {
         // Pure static analysis: no recording needed.
         println!("{app} ({workers} workers): static site classification");
         print_sites(&w);
+        return;
+    }
+    if epochs {
+        // Live engine run, not a trace replay: the controller only
+        // exists inside the two-phase engine.
+        println!("{app} (seed {seed}, {workers} workers): adaptive controller epochs");
+        print_epochs(&w, seed, budget);
         return;
     }
     let log = txrace_bench::record_workload(&w, seed);

@@ -143,6 +143,31 @@ impl FastTrack {
         &self.clocks[t.index()]
     }
 
+    /// Forgets all happens-before state (thread clocks, lock/cond/
+    /// channel/barrier vector clocks) and every shadow cell, while
+    /// keeping the races found so far, the check/sync counters, and the
+    /// sampling RNG stream.
+    ///
+    /// Duty-cycled monitoring uses this when re-arming after an idle
+    /// gap: accesses from before the gap must not pair with accesses
+    /// after it, because the synchronization between them was never
+    /// observed. Resetting the shadow guarantees any reported pair has
+    /// both endpoints inside one contiguous monitored stretch, so no
+    /// false positives can cross the gap. The address interning table
+    /// is retained so existing dense indices stay valid.
+    pub fn reset_shadow(&mut self) {
+        for (t, c) in self.clocks.iter_mut().enumerate() {
+            *c = VectorClock::initial(ThreadId(t as u32), self.n);
+        }
+        self.locks.clear();
+        self.conds.clear();
+        self.chans.clear();
+        self.barriers.clear();
+        for s in &mut self.shadow {
+            *s = VarState::fresh();
+        }
+    }
+
     fn sync_vc(table: &mut Vec<VectorClock>, idx: usize, n: usize) -> &mut VectorClock {
         if table.len() <= idx {
             table.resize(idx + 1, VectorClock::zero(n));

@@ -224,6 +224,10 @@ pub struct Machine {
     flat: FlatProgram,
     pcs: Vec<usize>,
     loop_stacks: Vec<Vec<LoopFrame>>,
+    /// `loop_free[t]`: thread `t`'s flat code contains no loops, so its
+    /// loop stack is empty forever and the per-step detach/restore of
+    /// `loop_stacks[t]` can be skipped.
+    loop_free: Vec<bool>,
     states: Vec<TState>,
     memory: Memory,
     locks: Vec<Option<ThreadId>>,
@@ -254,10 +258,16 @@ impl Machine {
                 }
             })
             .collect();
+        let loop_free = flat
+            .threads
+            .iter()
+            .map(|th| !th.code.iter().any(|i| matches!(i, Instr::LoopEnter { .. })))
+            .collect();
         Machine {
             flat,
             pcs: vec![0; n],
             loop_stacks: vec![Vec::new(); n],
+            loop_free,
             states,
             memory: Memory::new(),
             locks: vec![None; p.lock_count() as usize],
@@ -432,8 +442,16 @@ impl Machine {
 
         let interrupted = sched.interrupt(t);
         // Detach the loop stack so the event can borrow it while hooks
-        // receive `&mut Memory`.
-        let stack = std::mem::take(&mut self.loop_stacks[ti]);
+        // receive `&mut Memory`. A loop-free thread's stack is empty
+        // forever, so an empty stand-in (no allocation) saves the
+        // detach/restore pair on its every step.
+        let loop_free = self.loop_free[ti];
+        let stack = if loop_free {
+            debug_assert!(self.loop_stacks[ti].is_empty());
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.loop_stacks[ti])
+        };
         // Indexed accesses resolve their effective address from the loop
         // nest *before* the event is built.
         let arr_addr = match op {
@@ -542,7 +560,9 @@ impl Machine {
             Op::Syscall(_) | Op::Compute(_) => {}
             Op::TxBegin(_) | Op::TxEnd(_) | Op::LoopCutProbe(_) => {}
         }
-        self.loop_stacks[ti] = stack;
+        if !loop_free {
+            self.loop_stacks[ti] = stack;
+        }
 
         if let Some(msg) = fault {
             return Err(msg);

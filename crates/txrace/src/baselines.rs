@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use txrace_hb::{FastTrack, Lockset, LocksetReport, RaceSet, ShadowMode};
 use txrace_sim::{Addr, BarrierId, CondId, LockId, SiteId, SyscallKind, ThreadId, TraceConsumer};
 
+use crate::control::Knobs;
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::sa::SiteClassTable;
 
@@ -67,6 +68,24 @@ impl TsanConsumer {
             checked: 0,
             skipped: 0,
             elided: 0,
+        }
+    }
+
+    /// Builds a consumer from the control-plane [`Knobs`]: the sampling
+    /// knob selects between full and sampled checking (`None` means
+    /// check everything). The prune table, when the prune knob asks for
+    /// one, is installed separately via [`TsanConsumer::with_prune`].
+    pub fn from_knobs(
+        threads: usize,
+        cost: CostModel,
+        shadow_factor: f64,
+        shadow: ShadowMode,
+        knobs: &Knobs,
+        seed: u64,
+    ) -> Self {
+        match knobs.sampling {
+            Some(rate) => Self::sampling(threads, cost, shadow_factor, shadow, rate, seed),
+            None => Self::full(threads, cost, shadow_factor, shadow),
         }
     }
 

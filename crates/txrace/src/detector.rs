@@ -10,19 +10,20 @@ use txrace_sim::{
 };
 
 use crate::baselines::TsanConsumer;
+use crate::control::{AdaptiveController, Knobs, ProductionMode, Telemetry};
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::engine::{EngineConfig, EngineStats, TxRaceEngine};
 use crate::instrument::{instrument, instrument_pruned, InstrumentConfig, InstrumentedProgram};
 use crate::loopcut::{LoopcutMode, LoopcutProfile};
 use crate::sa::{SiteClassTable, StaticPruneMode};
 
-/// TxRace-specific options.
+/// TxRace-specific options. Runtime tunables (the `K` threshold, the
+/// slow-path sampling rate, the loop-cut initial threshold, the prune
+/// mode) live in [`RunConfig::knobs`], not here.
 #[derive(Debug, Clone)]
 pub struct TxRaceOpts {
     /// Loop-cut scheme (`NoOpt` / `Dyn` / `Prof`).
     pub loopcut: LoopcutMode,
-    /// Instrumentation pass configuration.
-    pub instrument: InstrumentConfig,
     /// Transient-abort retries before the slow path.
     pub max_retries: u32,
     /// Profile for [`LoopcutMode::Prof`]; auto-collected (one Dyn run on a
@@ -34,20 +35,16 @@ pub struct TxRaceOpts {
     /// Extension: conflict-address-directed slow path (requires
     /// [`txrace_htm::HtmConfig::report_conflict_address`]).
     pub conflict_hints: bool,
-    /// Extension: sample slow-path checks at this rate.
-    pub slow_sampling: Option<f64>,
 }
 
 impl Default for TxRaceOpts {
     fn default() -> Self {
         TxRaceOpts {
             loopcut: LoopcutMode::Dyn,
-            instrument: InstrumentConfig::default(),
             max_retries: 3,
             profile: None,
             track_fast_sync: true,
             conflict_hints: false,
-            slow_sampling: None,
         }
     }
 }
@@ -64,6 +61,11 @@ pub enum Scheme {
     },
     /// The TxRace two-phase detector.
     TxRace(TxRaceOpts),
+    /// TxRace + flow-sensitive static pruning under an adaptive overhead
+    /// budget: the deploy-everywhere configuration. Runs with epoch
+    /// telemetry and the [`AdaptiveController`] re-tuning the knobs
+    /// online; the outcome carries the telemetry stream.
+    Production(ProductionMode),
 }
 
 impl Scheme {
@@ -78,6 +80,12 @@ impl Scheme {
             loopcut: mode,
             ..TxRaceOpts::default()
         })
+    }
+
+    /// Production mode with the given overhead budget (e.g. `1.2` allows
+    /// 20% extra cycles over the uninstrumented baseline).
+    pub fn production(budget: f64) -> Scheme {
+        Scheme::Production(ProductionMode { budget })
     }
 }
 
@@ -123,8 +131,14 @@ pub struct RunConfig {
     pub shadow: ShadowMode,
     /// Optional interpreter step limit.
     pub step_limit: Option<u64>,
-    /// Static race-freedom pruning (see [`StaticPruneMode`]).
-    pub prune: StaticPruneMode,
+    /// Control-plane knobs: the `K` threshold, sampling rate, loop-cut
+    /// initial threshold, and static pruning mode, consumed uniformly by
+    /// instrumentation, engine, loop-cut learner, and baselines.
+    pub knobs: Knobs,
+    /// Emit per-epoch [`Telemetry`] with this nominal epoch length in
+    /// executed operations (production runs always emit telemetry,
+    /// defaulting to [`AdaptiveController::EPOCH_EVENTS`]).
+    pub telemetry_epochs: Option<u64>,
 }
 
 impl RunConfig {
@@ -144,7 +158,8 @@ impl RunConfig {
             shadow_factor: 1.0,
             shadow: ShadowMode::Exact,
             step_limit: None,
-            prune: StaticPruneMode::Off,
+            knobs: Knobs::default(),
+            telemetry_epochs: None,
         }
     }
 
@@ -172,9 +187,21 @@ impl RunConfig {
         self
     }
 
-    /// Sets the static race-freedom pruning mode.
+    /// Sets the static race-freedom pruning mode (a knob).
     pub fn with_prune(mut self, p: StaticPruneMode) -> Self {
-        self.prune = p;
+        self.knobs.prune = p;
+        self
+    }
+
+    /// Replaces the full control-plane knob set.
+    pub fn with_knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Requests per-epoch telemetry with the given epoch length.
+    pub fn with_telemetry(mut self, epoch_events: u64) -> Self {
+        self.telemetry_epochs = Some(epoch_events);
         self
     }
 }
@@ -196,6 +223,9 @@ pub struct RunOutcome {
     pub engine: Option<EngineStats>,
     /// Software access checks performed.
     pub checks: u64,
+    /// Epoch telemetry ([`RunConfig::with_telemetry`] or production
+    /// runs; `None` otherwise).
+    pub telemetry: Option<Telemetry>,
     /// Final shared-memory state of the run.
     pub memory: txrace_sim::Memory,
     /// Interpreter result.
@@ -246,9 +276,9 @@ impl Detector {
         self.cfg.step_limit.map(StepLimit).unwrap_or_default()
     }
 
-    /// The prune table for `p`, when pruning is enabled.
+    /// The prune table for `p`, when the prune knob is enabled.
     fn prune_table(&self, p: &Program) -> Option<SiteClassTable> {
-        match self.cfg.prune {
+        match self.cfg.knobs.prune {
             StaticPruneMode::Off => None,
             StaticPruneMode::ChecksOnly | StaticPruneMode::Full => Some(SiteClassTable::analyze(p)),
             StaticPruneMode::FullFlow => Some(SiteClassTable::analyze_flow(p)),
@@ -276,18 +306,23 @@ impl Detector {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
-        let table = self.prune_table(program);
         match &self.cfg.scheme {
-            Scheme::Tsan | Scheme::TsanSampling { .. } => self.run_tsan(program, table),
+            Scheme::Tsan | Scheme::TsanSampling { .. } => {
+                let table = self.prune_table(program);
+                self.run_tsan(program, table)
+            }
             Scheme::TxRace(opts) => {
-                let ip = match self.cfg.prune {
+                let table = self.prune_table(program);
+                let icfg = InstrumentConfig::from_knobs(&self.cfg.knobs);
+                let ip = match self.cfg.knobs.prune {
                     StaticPruneMode::Full | StaticPruneMode::FullFlow => {
-                        instrument_pruned(program, &opts.instrument, table.as_ref())
+                        instrument_pruned(program, &icfg, table.as_ref())
                     }
-                    _ => instrument(program, &opts.instrument),
+                    _ => instrument(program, &icfg),
                 };
                 self.run_txrace(&ip, opts, table)
             }
+            Scheme::Production(mode) => self.run_production(program, *mode),
         }
     }
 
@@ -327,8 +362,11 @@ impl Detector {
             shadow: self.cfg.shadow,
             track_fast_sync: opts.track_fast_sync,
             conflict_hints: opts.conflict_hints,
-            slow_sampling: opts.slow_sampling,
+            knobs: self.cfg.knobs,
             prune: None,
+            epoch_events: None,
+            production: None,
+            watch: Vec::new(),
         };
         let mut engine = TxRaceEngine::new(ip, cfg);
         let mut machine = Machine::new(&ip.program);
@@ -362,15 +400,63 @@ impl Detector {
             shadow: self.cfg.shadow,
             track_fast_sync: opts.track_fast_sync,
             conflict_hints: opts.conflict_hints,
-            slow_sampling: opts.slow_sampling,
+            knobs: self.cfg.knobs,
             prune,
+            epoch_events: self.cfg.telemetry_epochs,
+            production: None,
+            watch: Vec::new(),
         };
+        self.finish_engine_run(ip, cfg)
+    }
+
+    /// Runs the production scheme: TxRace with flow-sensitive pruning,
+    /// the statically derived watch set, epoch telemetry, and the
+    /// adaptive controller holding the budget.
+    fn run_production(&self, program: &Program, mode: ProductionMode) -> RunOutcome {
+        // Production always deploys the strongest static analysis: the
+        // flow-sensitive prune table plus the watch set over the
+        // surviving may-race candidate sites.
+        let table = SiteClassTable::analyze_flow(program);
+        let watch = crate::sa::watch_sites(program, &table);
+        let knobs = Knobs {
+            prune: StaticPruneMode::FullFlow,
+            ..self.cfg.knobs
+        };
+        let icfg = InstrumentConfig::from_knobs(&knobs);
+        let ip = instrument_pruned(program, &icfg, Some(&table));
+        let cfg = EngineConfig {
+            htm: self.cfg.htm,
+            cost: self.cfg.cost,
+            shadow_factor: self.cfg.shadow_factor,
+            loopcut: LoopcutMode::Dyn,
+            profile: None,
+            max_retries: 3,
+            shadow: self.cfg.shadow,
+            track_fast_sync: true,
+            conflict_hints: false,
+            knobs,
+            prune: Some(table),
+            epoch_events: Some(
+                self.cfg
+                    .telemetry_epochs
+                    .unwrap_or(AdaptiveController::EPOCH_EVENTS),
+            ),
+            production: Some(mode),
+            watch,
+        };
+        self.finish_engine_run(&ip, cfg)
+    }
+
+    /// Drives an engine configuration to completion and assembles the
+    /// outcome (shared tail of the TxRace and production schemes).
+    fn finish_engine_run(&self, ip: &InstrumentedProgram, cfg: EngineConfig) -> RunOutcome {
         let mut engine = TxRaceEngine::new(ip, cfg);
         let mut machine = Machine::new(&ip.program);
         let mut sched = self.make_sched(self.cfg.seed);
         let run = machine.run_with_limit(&mut engine, sched.as_mut(), self.limit());
         let baseline_cycles = self.cfg.cost.baseline_cycles(&ip.program);
         let breakdown = engine.breakdown();
+        let telemetry = engine.take_telemetry();
         RunOutcome {
             races: engine.races().clone(),
             breakdown,
@@ -379,6 +465,7 @@ impl Detector {
             htm: Some(engine.htm_stats()),
             engine: Some(engine.stats()),
             checks: engine.checks(),
+            telemetry,
             memory: machine.memory().clone(),
             run,
         }
@@ -401,11 +488,15 @@ impl Detector {
 
     fn tsan_consumer_with(&self, threads: usize, prune: Option<SiteClassTable>) -> TsanConsumer {
         let mut c = match &self.cfg.scheme {
-            Scheme::Tsan => TsanConsumer::full(
+            // The plain-TSan baseline honours the sampling knob (default
+            // `None`: full checking).
+            Scheme::Tsan => TsanConsumer::from_knobs(
                 threads,
                 self.cfg.cost,
                 self.cfg.shadow_factor,
                 self.cfg.shadow,
+                &self.cfg.knobs,
+                self.cfg.seed.wrapping_add(0x517C_C1B7),
             ),
             Scheme::TsanSampling { rate } => TsanConsumer::sampling(
                 threads,
@@ -415,8 +506,8 @@ impl Detector {
                 *rate,
                 self.cfg.seed.wrapping_add(0x517C_C1B7),
             ),
-            Scheme::TxRace(_) => {
-                panic!("TxRace is an active engine, not a trace consumer; use run()")
+            Scheme::TxRace(_) | Scheme::Production(_) => {
+                panic!("engine schemes are not trace consumers; use run()")
             }
         };
         if let Some(table) = prune {
@@ -441,6 +532,7 @@ impl Detector {
             htm: None,
             engine: None,
             checks: consumer.checked(),
+            telemetry: None,
             memory,
             run,
         }
@@ -481,9 +573,10 @@ impl Detector {
     ///
     /// # Panics
     ///
-    /// Panics if the configured scheme is [`Scheme::TxRace`]: the TxRace
-    /// engine steers execution (rollbacks, re-execution) and therefore
-    /// cannot run from a fixed trace.
+    /// Panics if the configured scheme is [`Scheme::TxRace`] or
+    /// [`Scheme::Production`]: the TxRace engine steers execution
+    /// (rollbacks, re-execution) and therefore cannot run from a fixed
+    /// trace.
     pub fn consumer(&self, program: &Program) -> TsanConsumer {
         self.tsan_consumer_with(program.thread_count(), self.prune_table(program))
     }

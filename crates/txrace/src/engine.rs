@@ -35,6 +35,7 @@ use txrace_sim::{
     Snapshot, ThreadId,
 };
 
+use crate::control::{AdaptiveController, EpochRecord, Knobs, ProductionMode, Telemetry};
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::instrument::{InstrumentedProgram, RegionInfo, RegionKind};
 use crate::loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
@@ -85,6 +86,9 @@ pub struct EngineStats {
     /// Slow-path checks elided because the static race-freedom analysis
     /// proved the site race-free.
     pub elided_checks: u64,
+    /// Slow-path checks skipped because production-mode monitoring was
+    /// idle (duty-cycling under the overhead budget).
+    pub idle_skips: u64,
 }
 
 impl EngineStats {
@@ -135,15 +139,29 @@ pub struct EngineConfig {
     /// cheaper re-execution, same racy pair. Requires the HTM feature; has
     /// no effect otherwise.
     pub conflict_hints: bool,
-    /// Extension (paper §9, the LiteRace/Pacer direction): sample
-    /// slow-path access checks at this rate in `(0, 1]`; `None` checks
-    /// everything (the paper's configuration).
-    pub slow_sampling: Option<f64>,
+    /// The unified control-plane knobs: the slow-path sampling rate is
+    /// read from [`Knobs::sampling`], the dynamic `K` override (production
+    /// mode only) from [`Knobs::k_min_ops`], and the loop-cut initial
+    /// threshold from [`Knobs::loopcut_threshold`]. Default knobs
+    /// reproduce the paper's configuration.
+    pub knobs: Knobs,
     /// Static race-freedom classification: slow-path checks at sites the
     /// table proves race-free are elided (their would-be cost is recorded
     /// in [`CycleBreakdown::elided`]). `None` checks every site (the
     /// paper's configuration).
     pub prune: Option<SiteClassTable>,
+    /// Emit epoch-structured [`Telemetry`] with this nominal epoch
+    /// length in executed operations; `None` keeps only the end-of-run
+    /// aggregates (no per-event counting overhead beyond one branch).
+    pub epoch_events: Option<u64>,
+    /// Run under an [`AdaptiveController`] holding this budget. Implies
+    /// telemetry (an epoch length must also be set) and enables the
+    /// dynamic `K` override, duty-cycled monitoring, and the watch set.
+    pub production: Option<ProductionMode>,
+    /// Watched sites for duty-cycled re-arming (production mode): a
+    /// slow-path access to one of these while idle may re-open a
+    /// monitoring window. Built from [`crate::sa::watch_sites`].
+    pub watch: Vec<txrace_sim::SiteId>,
 }
 
 impl Default for EngineConfig {
@@ -158,8 +176,11 @@ impl Default for EngineConfig {
             shadow: ShadowMode::Exact,
             track_fast_sync: true,
             conflict_hints: false,
-            slow_sampling: None,
+            knobs: Knobs::default(),
             prune: None,
+            epoch_events: None,
+            production: None,
+            watch: Vec::new(),
         }
     }
 }
@@ -200,6 +221,38 @@ pub struct TxRaceEngine {
     prune: Option<SiteClassTable>,
     sync_dead: bool,
     stats: EngineStats,
+    /// Knobs currently in force (production mode re-tunes them at epoch
+    /// boundaries; otherwise they stay at their configured values).
+    knobs: Knobs,
+    /// The production-mode controller, when this is a budgeted run.
+    controller: Option<AdaptiveController>,
+    /// Whether slow-path monitoring is armed (always true outside
+    /// production mode).
+    monitoring_on: bool,
+    /// `watch[site]`: an idle-mode access here may re-arm monitoring.
+    watch: Vec<bool>,
+    /// Epoch telemetry under construction (`epoch_events` set).
+    telemetry: Option<Telemetry>,
+    epoch_events: Option<u64>,
+    /// Executed operations, total and within the current epoch.
+    events_total: u64,
+    epoch_acc: u64,
+    /// Static baseline cycles of the program (the overhead denominator).
+    static_baseline: u64,
+    /// Checks skipped because monitoring was idle (duty-cycling).
+    idle_skips: u64,
+    /// Cycles charged to software detection / HTM management, for the
+    /// telemetry split (subsets of the paid breakdown buckets).
+    tsan_cycles: u64,
+    htm_cycles: u64,
+    /// Previous-epoch snapshots for delta telemetry.
+    prev_events: u64,
+    prev_htm: HtmStats,
+    prev_checks: u64,
+    prev_elided: u64,
+    prev_baseline: u64,
+    prev_tsan_cycles: u64,
+    prev_htm_cycles: u64,
 }
 
 impl TxRaceEngine {
@@ -219,6 +272,7 @@ impl TxRaceEngine {
         ft.reserve_addrs(interner.addr_capacity());
         let mut loopcut = LoopcutState::new(cfg.loopcut, n, cfg.profile.as_ref());
         loopcut.reserve_loops(interner.loop_count() as usize);
+        loopcut.set_initial_threshold(cfg.knobs.loopcut_threshold);
         // Happens-before tracking exists to order slow-path checks; when
         // the prune table proves every checkable site race-free, no check
         // can ever consult the FastTrack state, so the per-sync-op
@@ -232,6 +286,24 @@ impl TxRaceEngine {
             });
             !live
         });
+        let static_baseline = cfg.cost.baseline_cycles(&ip.program);
+        let controller = cfg.production.map(|mode| {
+            // The event estimate paces the controller's allowance; one
+            // executed op is one event, so the loop-weighted static op
+            // count is the estimate (re-execution makes actual counts
+            // run a little over — pacing only needs the right scale).
+            let est_events = ip.program.fold_dynamic(|_| 1);
+            AdaptiveController::new(mode, static_baseline, est_events, cfg.knobs)
+        });
+        let mut watch = Vec::new();
+        if !cfg.watch.is_empty() {
+            watch = vec![false; ip.program.site_count() as usize];
+            for s in &cfg.watch {
+                if let Some(slot) = watch.get_mut(s.index()) {
+                    *slot = true;
+                }
+            }
+        }
         TxRaceEngine {
             regions: ip.regions.clone(),
             htm,
@@ -256,11 +328,34 @@ impl TxRaceEngine {
             slow_hint: vec![None; n],
             episode_hint: None,
             sampler: cfg
-                .slow_sampling
+                .knobs
+                .sampling
                 .map(|rate| (rate.clamp(0.0, 1.0), StdRng::seed_from_u64(0x7852_11e5))),
             prune: cfg.prune,
             sync_dead,
             stats: EngineStats::default(),
+            knobs: cfg.knobs,
+            controller,
+            monitoring_on: true,
+            watch,
+            telemetry: cfg.epoch_events.map(|e| Telemetry {
+                epoch_events: e,
+                epochs: Vec::new(),
+            }),
+            epoch_events: cfg.epoch_events,
+            events_total: 0,
+            epoch_acc: 0,
+            static_baseline,
+            idle_skips: 0,
+            tsan_cycles: 0,
+            htm_cycles: 0,
+            prev_events: 0,
+            prev_htm: HtmStats::default(),
+            prev_checks: 0,
+            prev_elided: 0,
+            prev_baseline: 0,
+            prev_tsan_cycles: 0,
+            prev_htm_cycles: 0,
         }
     }
 
@@ -283,6 +378,7 @@ impl TxRaceEngine {
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats;
         s.loop_cuts = self.loopcut.cuts();
+        s.idle_skips = self.idle_skips;
         s
     }
 
@@ -294,6 +390,103 @@ impl TxRaceEngine {
     /// Slow-path access checks performed.
     pub fn checks(&self) -> u64 {
         self.ft.checks()
+    }
+
+    /// The knobs currently in force (production mode re-tunes them).
+    pub fn knobs(&self) -> &Knobs {
+        &self.knobs
+    }
+
+    /// Takes the epoch telemetry stream, flushing the partial final
+    /// epoch first. `None` unless [`EngineConfig::epoch_events`] was
+    /// set. Call once, after the run.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.flush_epoch();
+        self.telemetry.take()
+    }
+
+    /// Closes the current epoch: records the counter deltas and lets
+    /// the production controller re-tune the knobs.
+    fn flush_epoch(&mut self) {
+        if self.telemetry.is_none() || self.epoch_acc == 0 {
+            return;
+        }
+        self.epoch_acc = 0;
+        let htm_stats = *self.htm.stats();
+        let checks = self.ft.checks();
+        let elided_now = self.stats.elided_checks + self.idle_skips;
+        let bd = self.breakdown;
+        let tm = self.telemetry.as_mut().expect("telemetry enabled");
+        let rec = EpochRecord {
+            index: tm.epochs.len() as u64,
+            events: self.events_total - self.prev_events,
+            active: self.monitoring_on,
+            sampling: if self.monitoring_on {
+                self.knobs.sampling.unwrap_or(1.0)
+            } else {
+                0.0
+            },
+            k_min_ops: self.knobs.k_min_ops,
+            loopcut_threshold: self.knobs.loopcut_threshold,
+            conflict_aborts: htm_stats.conflict_aborts - self.prev_htm.conflict_aborts,
+            capacity_aborts: htm_stats.capacity_aborts - self.prev_htm.capacity_aborts,
+            unknown_aborts: htm_stats.unknown_aborts - self.prev_htm.unknown_aborts,
+            checks: checks - self.prev_checks,
+            elided_checks: elided_now - self.prev_elided,
+            tsan_cycles: self.tsan_cycles - self.prev_tsan_cycles,
+            htm_cycles: self.htm_cycles - self.prev_htm_cycles,
+            baseline_cycles: bd.baseline - self.prev_baseline,
+            cum_overhead: bd.overhead_vs(self.static_baseline),
+        };
+        let capacity_delta = rec.capacity_aborts;
+        tm.epochs.push(rec);
+        self.prev_events = self.events_total;
+        self.prev_htm = htm_stats;
+        self.prev_checks = checks;
+        self.prev_elided = elided_now;
+        self.prev_baseline = bd.baseline;
+        self.prev_tsan_cycles = self.tsan_cycles;
+        self.prev_htm_cycles = self.htm_cycles;
+        if let Some(ctl) = self.controller.as_mut() {
+            ctl.on_epoch(self.events_total, bd.extra(), capacity_delta);
+            self.monitoring_on = ctl.active();
+            self.knobs = *ctl.knobs();
+            self.loopcut
+                .set_initial_threshold(self.knobs.loopcut_threshold);
+        }
+    }
+
+    /// Production-mode slow-path gate. Returns true when the access at
+    /// `site` should be software-checked. While idle, a watched site
+    /// may re-arm monitoring (with a shadow reset, so no reported pair
+    /// can span the unmonitored gap); any other idle access charges its
+    /// skipped check to the elided bucket.
+    fn production_gate(&mut self, site: SiteId) -> bool {
+        if self.controller.is_none() || self.monitoring_on {
+            return true;
+        }
+        let watched = self.watch.get(site.index()).copied().unwrap_or(false);
+        let events = self.events_total;
+        let spent = self.breakdown.extra();
+        let opened = watched
+            && self
+                .controller
+                .as_mut()
+                .is_some_and(|c| c.on_watch_hit(events, spent));
+        if opened {
+            // Every re-arm starts a fresh monitored stretch: accesses
+            // from before the idle gap must not pair with accesses
+            // after it (their ordering sync was never observed).
+            self.ft.reset_shadow();
+            self.monitoring_on = true;
+            if let Some(c) = &self.controller {
+                self.knobs = *c.knobs();
+            }
+            return true;
+        }
+        self.idle_skips += 1;
+        self.breakdown.elided += self.eff_check;
+        false
     }
 
     fn bucket_of(&mut self, trigger: SlowTrigger) -> &mut u64 {
@@ -314,6 +507,7 @@ impl TxRaceEngine {
     /// the retry budget resets.
     fn on_fast_commit(&mut self, ti: usize) {
         self.breakdown.txn_mgmt += self.cost.xend;
+        self.htm_cycles += self.cost.xend;
         self.breakdown.baseline += self.txn_base_acc[ti];
         self.txn_base_acc[ti] = 0;
         self.retry_count[ti] = 0;
@@ -338,7 +532,24 @@ impl TxRaceEngine {
     fn enter_region(&mut self, t: ThreadId, r: RegionId, mem: &mut Memory, ev: &OpEvent<'_>) {
         let ti = t.index();
         debug_assert_eq!(self.mode[ti], Mode::Outside, "region entered while busy");
-        match self.region(r).kind {
+        // Production mode re-tunes K online: a region whose checked-op
+        // count falls below the current knob runs slow-only (its markers
+        // were kept precisely so this decision can move at run time).
+        // While the controller is idle the fast path is suspended too —
+        // a transaction whose conflict abort we would not act on is pure
+        // management cost, and letting it run would drain the pacing
+        // allowance the watch-hit reopen is waiting to refill.
+        // Outside production mode the static instrumentation decides.
+        let kind = {
+            let info = self.region(r);
+            let idle = self.controller.is_some() && !self.monitoring_on;
+            if idle || (self.controller.is_some() && info.checked_ops < self.knobs.k_min_ops) {
+                RegionKind::SlowOnly
+            } else {
+                info.kind
+            }
+        };
+        match kind {
             RegionKind::SlowOnly => {
                 self.stats.slow_small += 1;
                 self.mode[ti] = Mode::Slow(r, SlowTrigger::SmallRegion);
@@ -369,6 +580,7 @@ impl TxRaceEngine {
                     self.clone_snaps[ti] = Some(std::hint::black_box(mem.clone()));
                 }
                 self.breakdown.txn_mgmt += self.cost.xbegin;
+                self.htm_cycles += self.cost.xbegin;
                 self.loopcut.on_txn_start(t);
                 // Subscribe to artificial aborts: every transaction reads
                 // TxFail first, so any non-transactional write to it dooms
@@ -477,6 +689,7 @@ impl TxRaceEngine {
         // attributed to the abort reason.
         let wasted = self.txn_base_acc[ti] + self.cost.rollback_penalty;
         self.txn_base_acc[ti] = 0;
+        self.htm_cycles += wasted;
         let hw_hint = hint_before;
         let trigger = match reason {
             AbortReason::Conflict => {
@@ -491,12 +704,14 @@ impl TxRaceEngine {
                     self.htm.write(t, mem, TXFAIL_ADDR, self.txfail_value);
                     self.stats.txfail_writes += 1;
                     self.breakdown.conflict += 2 * self.cost.mem_access;
+                    self.htm_cycles += 2 * self.cost.mem_access;
                     self.txfail_seen[ti] = self.txfail_value;
                     // Episode origin publishes the conflicting line next
                     // to TxFail (extension: one extra shared write).
                     if self.conflict_hints {
                         self.episode_hint = hw_hint;
                         self.breakdown.conflict += self.cost.mem_access;
+                        self.htm_cycles += self.cost.mem_access;
                     }
                 } else {
                     self.txfail_seen[ti] = seen;
@@ -618,6 +833,7 @@ impl TxRaceEngine {
     fn charge_check(&mut self, trigger: SlowTrigger) {
         let c = self.eff_check;
         *self.bucket_of(trigger) += c;
+        self.tsan_cycles += c;
     }
 
     /// True when the static prune table elides this slow-path check;
@@ -652,6 +868,15 @@ impl TxRaceEngine {
 impl Runtime for TxRaceEngine {
     fn before_op(&mut self, mem: &mut Memory, ev: &OpEvent<'_>) -> Directive {
         let t = ev.thread;
+        // Epoch clock: one executed op is one event. Off (a single
+        // branch) unless telemetry was requested.
+        if let Some(len) = self.epoch_events {
+            self.events_total += 1;
+            self.epoch_acc += 1;
+            if self.epoch_acc >= len {
+                self.flush_epoch();
+            }
+        }
         // Simulated OS interrupts abort in-flight transactions.
         if let Some(kind) = ev.interrupted {
             self.htm.interrupt(t, mem, kind);
@@ -700,7 +925,10 @@ impl Runtime for TxRaceEngine {
     fn read(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr) -> u64 {
         let t = ev.thread;
         if let Mode::Slow(_, trigger) = self.mode[t.index()] {
-            if !self.prune_elides(ev.site) && self.slow_check_decision(t.index(), addr) {
+            if !self.prune_elides(ev.site)
+                && self.production_gate(ev.site)
+                && self.slow_check_decision(t.index(), addr)
+            {
                 self.ft.read(t, ev.site, addr);
                 self.charge_check(trigger);
             }
@@ -713,7 +941,10 @@ impl Runtime for TxRaceEngine {
     fn write(&mut self, mem: &mut Memory, ev: &OpEvent<'_>, addr: Addr, val: u64) {
         let t = ev.thread;
         if let Mode::Slow(_, trigger) = self.mode[t.index()] {
-            if !self.prune_elides(ev.site) && self.slow_check_decision(t.index(), addr) {
+            if !self.prune_elides(ev.site)
+                && self.production_gate(ev.site)
+                && self.slow_check_decision(t.index(), addr)
+            {
                 self.ft.write(t, ev.site, addr);
                 self.charge_check(trigger);
             }
@@ -751,6 +982,25 @@ impl Runtime for TxRaceEngine {
             }
             return;
         }
+        if self.controller.is_some() && !self.monitoring_on {
+            // Idle duty cycle: the happens-before state is reset before
+            // monitoring re-arms, so anything tracked now would be
+            // discarded — skip it and record the avoided cost.
+            if matches!(
+                ev.op,
+                Op::Lock(_)
+                    | Op::Unlock(_)
+                    | Op::Signal(_)
+                    | Op::Wait(_)
+                    | Op::Spawn(_)
+                    | Op::Join(_)
+                    | Op::ChanSend(_)
+                    | Op::ChanRecv(_)
+            ) {
+                self.breakdown.elided += self.cost.tsan_sync;
+            }
+            return;
+        }
         match ev.op {
             Op::Lock(l) => self.ft.lock_acquire(t, l),
             Op::Unlock(l) => self.ft.lock_release(t, l),
@@ -768,18 +1018,20 @@ impl Runtime for TxRaceEngine {
         }
         // Happens-before tracking happens on every path (§5, Figure 6).
         self.breakdown.txn_mgmt += self.cost.tsan_sync;
+        self.tsan_cycles += self.cost.tsan_sync;
     }
 
     fn after_barrier(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         if !self.track_fast_sync {
             return; // ablation: see after_sync
         }
-        if self.sync_dead {
+        if self.sync_dead || (self.controller.is_some() && !self.monitoring_on) {
             self.breakdown.elided += self.cost.tsan_sync * arrivals.len() as u64;
             return;
         }
         self.ft.barrier_arrivals(b, arrivals);
         self.breakdown.txn_mgmt += self.cost.tsan_sync * arrivals.len() as u64;
+        self.tsan_cycles += self.cost.tsan_sync * arrivals.len() as u64;
     }
 }
 

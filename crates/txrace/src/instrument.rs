@@ -45,6 +45,20 @@ impl Default for InstrumentConfig {
     }
 }
 
+impl InstrumentConfig {
+    /// Derives the pass configuration from the unified control-plane
+    /// knobs: the `K` small-region threshold is the only knob the pass
+    /// consumes (sampling, loop-cut threshold, and pruning act at
+    /// runtime). With default knobs this equals
+    /// [`InstrumentConfig::default`].
+    pub fn from_knobs(knobs: &crate::control::Knobs) -> Self {
+        InstrumentConfig {
+            k_min_ops: knobs.k_min_ops,
+            ..InstrumentConfig::default()
+        }
+    }
+}
+
 /// How the runtime should treat a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+pub mod control;
 pub mod cost;
 pub mod detector;
 pub mod engine;
@@ -59,6 +60,9 @@ pub mod parallel;
 pub mod sa;
 
 pub use baselines::{LocksetConsumer, TsanConsumer};
+pub use control::{
+    AdaptiveController, ControlDecision, EpochRecord, Knobs, ProductionMode, Telemetry,
+};
 pub use cost::{CostModel, CycleBreakdown};
 pub use detector::{recall, Detector, RunConfig, RunOutcome, SchedKind, Scheme, TxRaceOpts};
 pub use engine::EngineConfig;
@@ -70,6 +74,6 @@ pub use instrument::{
 pub use loopcut::{LoopcutMode, LoopcutProfile, LoopcutState};
 pub use parallel::PanelConsumer;
 pub use sa::{
-    Confirmation, FlowAnalysis, MayRacePairs, PruneStats, RaceFreeReason, SiteClass,
+    watch_sites, Confirmation, FlowAnalysis, MayRacePairs, PruneStats, RaceFreeReason, SiteClass,
     SiteClassTable, StaticPruneMode,
 };

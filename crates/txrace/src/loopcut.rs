@@ -82,12 +82,16 @@ pub struct LoopcutState {
     /// `counters[thread][l]`: iterations of loop `l` inside the thread's
     /// current transaction.
     counters: Vec<Vec<u32>>,
+    /// Threshold installed when a capacity abort first activates a loop
+    /// ([`INITIAL_THRESHOLD`] by default; the adaptive controller raises
+    /// it via [`LoopcutState::set_initial_threshold`]).
+    initial_threshold: u32,
     cuts: u64,
 }
 
 /// Initial threshold after the first capacity abort (paper: "a small
 /// initial estimate (two in our experiment)").
-const INITIAL_THRESHOLD: u32 = 2;
+pub const INITIAL_THRESHOLD: u32 = 2;
 
 impl LoopcutState {
     /// Creates loop-cut state for `threads` threads. `profile` seeds
@@ -97,6 +101,7 @@ impl LoopcutState {
             mode,
             thresholds: Vec::new(),
             counters: vec![Vec::new(); threads],
+            initial_threshold: INITIAL_THRESHOLD,
             cuts: 0,
         };
         if let (LoopcutMode::Prof, Some(p)) = (mode, profile) {
@@ -138,6 +143,13 @@ impl LoopcutState {
     /// Number of transactions split so far.
     pub fn cuts(&self) -> u64 {
         self.cuts
+    }
+
+    /// Sets the threshold installed when a capacity abort first
+    /// activates a loop. Already-active loops keep their learned values;
+    /// only future activations start from the new estimate.
+    pub fn set_initial_threshold(&mut self, t: u32) {
+        self.initial_threshold = t.max(1);
     }
 
     /// Current per-loop thresholds in `LoopId` order (what a profiling
@@ -195,6 +207,7 @@ impl LoopcutState {
             return;
         }
         let Some(l) = l else { return };
+        let initial = self.initial_threshold;
         let slot = self.slot(l);
         match slot {
             Some(v) => {
@@ -203,7 +216,7 @@ impl LoopcutState {
             }
             None => {
                 *slot = Some(Learn {
-                    threshold: INITIAL_THRESHOLD,
+                    threshold: initial,
                     cap: None,
                 });
             }
@@ -335,6 +348,22 @@ mod tests {
         p.set(L, 9);
         assert_eq!(p.thresholds.len(), 1);
         assert_eq!(p.get(L), Some(9));
+    }
+
+    #[test]
+    fn initial_threshold_applies_to_future_activations_only() {
+        let mut s = LoopcutState::new(LoopcutMode::Dyn, 1, None);
+        s.on_capacity_abort(Some(L));
+        assert_eq!(threshold_of(&s, L), INITIAL_THRESHOLD);
+        s.set_initial_threshold(8);
+        let l2 = LoopId(5);
+        s.on_capacity_abort(Some(l2));
+        assert_eq!(threshold_of(&s, l2), 8, "new activation uses the knob");
+        assert_eq!(threshold_of(&s, L), INITIAL_THRESHOLD, "learned value kept");
+        s.set_initial_threshold(0);
+        let l3 = LoopId(7);
+        s.on_capacity_abort(Some(l3));
+        assert_eq!(threshold_of(&s, l3), 1, "floors at one");
     }
 
     #[test]

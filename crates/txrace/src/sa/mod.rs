@@ -442,6 +442,25 @@ pub fn op_is_checkable(op: &Op) -> bool {
     op.is_data_access() && !matches!(op, Op::Rmw(_, _))
 }
 
+/// The duty-cycled production mode's watch set: every site that appears
+/// in a [`MayRacePairs`] candidate pair and is not already proved
+/// race-free by `table`. These are the sites a budgeted monitor keeps
+/// "debug registers" on while idle — an access to one is the only event
+/// that can re-arm full checking, because only these sites can ever
+/// appear in a FastTrack report. Sorted ascending, deduplicated.
+pub fn watch_sites(p: &Program, table: &SiteClassTable) -> Vec<SiteId> {
+    let pairs = MayRacePairs::analyze(p);
+    let mut sites: BTreeSet<SiteId> = BTreeSet::new();
+    for pr in pairs.pairs() {
+        for s in [pr.a, pr.b] {
+            if !table.is_race_free(s) {
+                sites.insert(s);
+            }
+        }
+    }
+    sites.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
