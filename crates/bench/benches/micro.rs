@@ -7,7 +7,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use txrace::{instrument, InstrumentConfig};
 use txrace_hb::{FastTrack, ShadowMode, VectorClock};
 use txrace_htm::{HtmConfig, HtmSystem};
-use txrace_sim::{Addr, LockId, Memory, ProgramBuilder, SiteId, ThreadId, WriteJournal};
+use txrace_sim::{
+    Addr, DirectRuntime, LockId, Machine, Memory, ProgramBuilder, RandomSched, SiteId, ThreadId,
+    WriteJournal,
+};
 
 fn bench_htm(c: &mut Criterion) {
     let mut g = c.benchmark_group("htm");
@@ -127,6 +130,40 @@ fn bench_fasttrack(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dispatch(c: &mut Criterion) {
+    // Interpreter dispatch over the packed 16-byte instruction stream:
+    // a loop-heavy 4-thread program stepped end-to-end under the no-op
+    // DirectRuntime, so the measurement is decode + dispatch + scheduler,
+    // not detection. This is the hot loop the packed `Instr` layout and
+    // hot-first `InstrKind` ordering exist for.
+    let mut b = ProgramBuilder::new(4);
+    let l = b.lock_id("l");
+    for t in 0..4 {
+        let arr = b.array(&format!("a{t}"), 64);
+        b.thread(t).loop_n(200, |tb| {
+            for i in 0..8 {
+                tb.read(txrace_sim::elem(arr, i));
+                tb.write(txrace_sim::elem(arr, i), i as u64);
+            }
+            tb.lock(l).rmw(txrace_sim::elem(arr, 0), 1).unlock(l);
+            tb.compute(4);
+        });
+    }
+    let p = b.build();
+
+    let mut g = c.benchmark_group("dispatch");
+    g.bench_function("machine_step_loop_heavy_4x200", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(black_box(&p));
+            let mut rt = DirectRuntime::default();
+            let mut sched = RandomSched::new(7);
+            let res = m.run(&mut rt, &mut sched);
+            black_box((res.steps, rt.ops))
+        });
+    });
+    g.finish();
+}
+
 fn bench_instrument(c: &mut Criterion) {
     let mut b = ProgramBuilder::new(4);
     let l = b.lock_id("l");
@@ -151,6 +188,7 @@ criterion_group!(
     bench_htm,
     bench_snapshot,
     bench_fasttrack,
+    bench_dispatch,
     bench_instrument
 );
 criterion_main!(benches);

@@ -48,6 +48,7 @@ pub use fasttrack::{FastTrack, ShadowMode};
 pub use lockset::{Lockset, LocksetReport};
 pub use report::{AccessInfo, AccessKind, RacePair, RaceReport, RaceSet};
 pub use sharded::{
-    shard_of, ShardStats, ShardedFastTrack, ShardedFtOutcome, ShardedLockset, ShardedLsOutcome,
+    shard_of, ShardPlan, ShardStats, ShardedFastTrack, ShardedFtOutcome, ShardedLockset,
+    ShardedLsOutcome,
 };
 pub use vcref::VectorClockDetector;

@@ -1,5 +1,6 @@
 //! Address-sharded replay detection: FastTrack / lockset shadow state
-//! partitioned across W workers, each replaying the same [`EventLog`].
+//! partitioned across W workers over one shared, pre-indexed view of an
+//! [`EventLog`].
 //!
 //! The parallelization rule is the classic one for per-variable race
 //! detectors:
@@ -9,29 +10,38 @@
 //!   shadow-state work — the dominant cost on access-heavy traces — is
 //!   split W ways.
 //! * **Sync events broadcast.** Every shard processes every
-//!   lock/unlock/signal/wait/spawn/join/barrier event, so each shard
-//!   maintains the *full* vector-clock state. A variable's race verdict
-//!   depends only on the sync history plus that variable's own accesses,
-//!   both of which its owning shard sees completely — hence every
-//!   per-access verdict is identical to the serial detector's.
+//!   lock/unlock/signal/wait/spawn/join/barrier/channel event, so each
+//!   shard maintains the *full* vector-clock state. A variable's race
+//!   verdict depends only on the sync history plus that variable's own
+//!   accesses, both of which its owning shard sees completely — hence
+//!   every per-access verdict is identical to the serial detector's.
 //! * **Reports merge deterministically.** Each shard tags its reports
-//!   with the global index of the triggering event (all shards count
-//!   every event, so indices agree). Concatenating the per-shard report
-//!   lists in shard order and stable-sorting by event index reconstructs
-//!   the serial discovery order exactly; feeding that sequence through a
-//!   fresh [`RaceSet`] reproduces the serial first-report-per-pair
-//!   dedup, because a pair's globally-first report is also first within
-//!   its own shard (an address lives on one shard only).
+//!   with the global index of the triggering event (indices come from
+//!   the [`ShardPlan`], so shards agree without counting events).
+//!   Concatenating the per-shard report lists in shard order and
+//!   stable-sorting by event index reconstructs the serial discovery
+//!   order exactly; feeding that sequence through a fresh [`RaceSet`]
+//!   reproduces the serial first-report-per-pair dedup, because a
+//!   pair's globally-first report is also first within its own shard
+//!   (an address lives on one shard only).
+//!
+//! Since the sync-indexed rework, shards do **not** replay the log:
+//! [`ShardPlan::build`] derives a [`SyncIndex`] plus per-shard
+//! [`AccessPartition`] slices in one pass over the decoded log, and each
+//! shard consumes (its slice + the shared sync stream) through the
+//! two-cursor merge of
+//! [`replay_indexed`](txrace_sim::replay_indexed). Per-shard work is
+//! O(accesses/W + sync) instead of O(all events), and the decode +
+//! partition happens once per log regardless of the shard count.
 //!
 //! Sharding supports [`ShadowMode::Exact`] only: `Cells` mode draws
 //! evictions from a single global RNG stream whose state depends on the
 //! interleaved access order across *all* addresses, which no
 //! partitioning can reproduce.
 
-use std::time::Instant;
-
 use txrace_sim::{
-    Addr, BarrierId, ChanId, CondId, EventLog, LockId, SiteId, ThreadId, TraceConsumer,
+    fan_out_indexed, Addr, AccessPartition, BarrierId, ChanId, CondId, EventLog, IndexedAccess,
+    IndexedConsumer, LockId, SiteId, SyncIndex, ThreadId,
 };
 
 use crate::fasttrack::{FastTrack, ShadowMode};
@@ -54,126 +64,150 @@ pub fn shard_of(addr: Addr, shards: usize) -> usize {
     ((h as u128 * shards as u128) >> 64) as usize
 }
 
+/// One log's pre-indexed sharding work plan: the shared sync stream plus
+/// per-shard access slices, built once at decode time and consumed by
+/// every sharded detector that replays the same log — heterogeneous
+/// panels included ([`ShardedFastTrack::run_with_plan`],
+/// [`ShardedLockset::run_with_plan`]).
+///
+/// The plan is always **derived** from a decoded [`EventLog`], never
+/// deserialized from disk: the wire format carries only the flat event
+/// stream, so an index can never disagree with the log it claims to
+/// describe.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    sync: SyncIndex,
+    partition: AccessPartition,
+    threads: usize,
+}
+
+impl ShardPlan {
+    /// Indexes `log` for `shards` shards: one pass to lift the sync
+    /// stream, one to route accesses through [`shard_of`].
+    pub fn build(log: &EventLog, shards: usize) -> Self {
+        Self::with_sync(SyncIndex::of(log), log, shards)
+    }
+
+    /// Like [`ShardPlan::build`], but reuses an already-derived
+    /// [`SyncIndex`] — the sync stream does not depend on the shard
+    /// count, so a harness sweeping shard counts over one log indexes
+    /// the sync events once and re-partitions only the accesses.
+    pub fn with_sync(sync: SyncIndex, log: &EventLog, shards: usize) -> Self {
+        assert_eq!(
+            sync.total_events(),
+            log.len() as u64,
+            "sync index derived from a different log"
+        );
+        ShardPlan {
+            sync,
+            partition: AccessPartition::of(log, shards, shard_of),
+            threads: log.thread_count(),
+        }
+    }
+
+    /// Number of shards this plan routes to.
+    pub fn shards(&self) -> usize {
+        self.partition.shards()
+    }
+
+    /// The shared sync stream.
+    pub fn sync(&self) -> &SyncIndex {
+        &self.sync
+    }
+
+    /// The per-shard access slices.
+    pub fn partition(&self) -> &AccessPartition {
+        &self.partition
+    }
+
+    /// Thread count of the recorded program.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Events shard `shard` will dispatch: its access slice plus the
+    /// shared sync stream.
+    pub fn shard_events(&self, shard: usize) -> u64 {
+        self.partition.slice(shard).len() as u64 + self.sync.len() as u64
+    }
+}
+
 /// Per-shard timing and work counters, for imbalance diagnosis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
-    /// Total events this shard observed (identical across shards).
+    /// Events this shard dispatched: its routed access slice plus the
+    /// shared sync stream. Unlike the pre-index engine (where every
+    /// shard walked the full log and this field equaled the log
+    /// length), shards now differ in `events` by their slice sizes.
     pub events: u64,
     /// Access checks this shard performed (its routed share).
     pub checks: u64,
     /// Dynamic reports this shard produced before the merge.
     pub races_found: u64,
-    /// Wall time of this shard's replay pass, in nanoseconds.
+    /// Wall time of this shard's merge pass, in nanoseconds.
     pub wall_ns: u64,
 }
 
 /// One FastTrack shard: full sync state, 1/W of the shadow state.
 ///
-/// Bumps a global event counter in *every* consumer method so report
-/// tags align with absolute log positions across shards.
+/// A pure [`IndexedConsumer`]: the plan already routed its accesses, so
+/// there is no ownership check and no event counting on the hot path —
+/// report tags come from the pre-computed global indices.
 struct FtShard {
-    shard: usize,
-    shards: usize,
     ft: FastTrack,
-    event_idx: u64,
     /// `(global event index, report)` in within-shard discovery order.
     tagged: Vec<(u64, RaceReport)>,
 }
 
 impl FtShard {
-    fn new(threads: usize, shard: usize, shards: usize) -> Self {
+    fn new(threads: usize) -> Self {
         FtShard {
-            shard,
-            shards,
             ft: FastTrack::new(threads, ShadowMode::Exact),
-            event_idx: 0,
             tagged: Vec::new(),
         }
     }
-
-    /// Tags any reports the last access produced with the event index.
-    fn collect_new_reports(&mut self, idx: u64, before: usize) {
-        for r in &self.ft.races().reports()[before..] {
-            self.tagged.push((idx, *r));
-        }
-    }
-
-    fn owns(&self, addr: Addr) -> bool {
-        shard_of(addr, self.shards) == self.shard
-    }
 }
 
-impl TraceConsumer for FtShard {
-    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        let idx = self.event_idx;
-        self.event_idx += 1;
-        if self.owns(addr) {
-            let before = self.ft.races().reports().len();
-            self.ft.read(t, site, addr);
-            self.collect_new_reports(idx, before);
+impl IndexedConsumer for FtShard {
+    fn access(&mut self, a: &IndexedAccess) {
+        let before = self.ft.races().reports().len();
+        if a.is_write {
+            self.ft.write(a.thread, a.site, a.addr);
+        } else {
+            self.ft.read(a.thread, a.site, a.addr);
+        }
+        for r in &self.ft.races().reports()[before..] {
+            self.tagged.push((a.idx, *r));
         }
     }
-    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        let idx = self.event_idx;
-        self.event_idx += 1;
-        if self.owns(addr) {
-            let before = self.ft.races().reports().len();
-            self.ft.write(t, site, addr);
-            self.collect_new_reports(idx, before);
-        }
-    }
-    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
-        self.event_idx += 1; // atomics are never checked (C11 model)
-    }
-    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
-        self.event_idx += 1;
+    fn acquire(&mut self, _idx: u64, t: ThreadId, _site: SiteId, l: LockId) {
         self.ft.lock_acquire(t, l);
     }
-    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
-        self.event_idx += 1;
+    fn release(&mut self, _idx: u64, t: ThreadId, _site: SiteId, l: LockId) {
         self.ft.lock_release(t, l);
     }
-    fn signal(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
-        self.event_idx += 1;
+    fn signal(&mut self, _idx: u64, t: ThreadId, _site: SiteId, c: CondId) {
         self.ft.signal(t, c);
     }
-    fn wait(&mut self, t: ThreadId, _site: SiteId, c: CondId) {
-        self.event_idx += 1;
+    fn wait(&mut self, _idx: u64, t: ThreadId, _site: SiteId, c: CondId) {
         self.ft.wait(t, c);
     }
-    fn spawn(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
-        self.event_idx += 1;
+    fn spawn(&mut self, _idx: u64, t: ThreadId, _site: SiteId, child: ThreadId) {
         self.ft.spawn(t, child);
     }
-    fn join(&mut self, t: ThreadId, _site: SiteId, child: ThreadId) {
-        self.event_idx += 1;
+    fn join(&mut self, _idx: u64, t: ThreadId, _site: SiteId, child: ThreadId) {
         self.ft.join(t, child);
     }
-    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
-        self.event_idx += 1;
-    }
-    fn barrier_release(&mut self, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
-        self.event_idx += 1;
+    fn barrier_release(&mut self, _idx: u64, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
         self.ft.barrier_arrivals(b, arrivals);
     }
-    fn chan_send(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
-        self.event_idx += 1;
+    fn chan_send(&mut self, _idx: u64, t: ThreadId, _site: SiteId, ch: ChanId) {
         self.ft.chan_send(t, ch);
     }
-    fn chan_recv(&mut self, t: ThreadId, _site: SiteId, ch: ChanId) {
-        self.event_idx += 1;
+    fn chan_recv(&mut self, _idx: u64, t: ThreadId, _site: SiteId, ch: ChanId) {
         self.ft.chan_recv(t, ch);
-    }
-    fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
-        self.event_idx += 1;
-    }
-    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: txrace_sim::SyscallKind) {
-        self.event_idx += 1;
-    }
-    fn thread_done(&mut self, _t: ThreadId) {
-        self.event_idx += 1;
     }
 }
 
@@ -192,14 +226,10 @@ pub struct ShardedFtOutcome {
     pub shards: Vec<ShardStats>,
 }
 
-/// One FastTrack shard's raw output before the merge: its stats, its
-/// event-index-tagged reports, and its sync-op count.
-type FtShardResult = (ShardStats, Vec<(u64, RaceReport)>, u64);
-
 /// FastTrack with shadow state partitioned across `workers` shards.
 ///
-/// `run` replays the log once per shard on scoped threads; the merged
-/// outcome is byte-identical to a serial
+/// `run` indexes the log ([`ShardPlan::build`]) and merges the per-shard
+/// verdicts; the outcome is byte-identical to a serial
 /// `FastTrack::new(threads, ShadowMode::Exact)` replay of the same log
 /// (races, report order, check totals). See the module docs for the
 /// equivalence argument and why `Cells` mode is excluded.
@@ -218,15 +248,9 @@ impl ShardedFastTrack {
         }
     }
 
-    /// Replays `log` across all shards on scoped threads (one per
-    /// shard) and merges the verdicts.
+    /// Indexes `log` and runs all shards on scoped threads.
     pub fn run(&self, log: &EventLog) -> ShardedFtOutcome {
-        let results = if self.workers == 1 {
-            vec![self.run_shard(log, 0)]
-        } else {
-            run_sharded(self.workers, |shard| self.run_shard(log, shard))
-        };
-        self.merge(results)
+        self.run_with_plan(&ShardPlan::build(log, self.workers))
     }
 
     /// [`ShardedFastTrack::run`] with the shards executed sequentially
@@ -237,33 +261,42 @@ impl ShardedFastTrack {
     /// threaded path pollutes with preemption whenever shards outnumber
     /// cores.
     pub fn run_serial(&self, log: &EventLog) -> ShardedFtOutcome {
-        self.merge((0..self.workers).map(|s| self.run_shard(log, s)).collect())
+        self.run_with_plan_serial(&ShardPlan::build(log, self.workers))
     }
 
-    fn run_shard(&self, log: &EventLog, shard: usize) -> FtShardResult {
-        let t0 = Instant::now();
-        let mut w = FtShard::new(self.threads, shard, self.workers);
-        log.replay(&mut w);
-        let wall_ns = t0.elapsed().as_nanos() as u64;
-        let stats = ShardStats {
-            shard,
-            events: w.event_idx,
-            checks: w.ft.checks(),
-            races_found: w.tagged.len() as u64,
-            wall_ns,
-        };
-        (stats, w.tagged, w.ft.sync_ops())
+    /// Runs the shards over an existing plan on scoped threads — the
+    /// entry point for harnesses that amortize one [`ShardPlan`] across
+    /// several detectors or repetitions.
+    pub fn run_with_plan(&self, plan: &ShardPlan) -> ShardedFtOutcome {
+        self.run_plan(plan, true)
     }
 
-    fn merge(&self, results: Vec<FtShardResult>) -> ShardedFtOutcome {
+    /// [`ShardedFastTrack::run_with_plan`], sequentially on the calling
+    /// thread.
+    pub fn run_with_plan_serial(&self, plan: &ShardPlan) -> ShardedFtOutcome {
+        self.run_plan(plan, false)
+    }
+
+    fn run_plan(&self, plan: &ShardPlan, parallel: bool) -> ShardedFtOutcome {
+        assert_eq!(plan.shards(), self.workers, "plan built for another width");
+        let consumers: Vec<FtShard> = (0..self.workers).map(|_| FtShard::new(self.threads)).collect();
+        let reports = fan_out_indexed(plan.sync(), plan.partition(), consumers, parallel);
         let mut tagged: Vec<(u64, RaceReport)> = Vec::new();
         let mut shards = Vec::with_capacity(self.workers);
         let mut checks = 0;
-        let sync_ops = results[0].2;
-        for (stats, t, _) in results {
-            checks += stats.checks;
-            shards.push(stats);
-            tagged.extend(t);
+        let mut sync_ops = 0;
+        for r in reports {
+            let w = r.consumer;
+            shards.push(ShardStats {
+                shard: r.shard,
+                events: r.events,
+                checks: w.ft.checks(),
+                races_found: w.tagged.len() as u64,
+                wall_ns: r.wall_ns,
+            });
+            checks += w.ft.checks();
+            sync_ops = w.ft.sync_ops();
+            tagged.extend(w.tagged);
         }
         // Stable sort: same-event reports all come from one shard (an
         // address has one owner), so their within-shard order survives.
@@ -280,96 +313,42 @@ impl ShardedFastTrack {
 
 /// One lockset shard: full held-lock state, 1/W of the variable state.
 struct LsShard {
-    shard: usize,
-    shards: usize,
     ls: Lockset,
-    event_idx: u64,
     checks: u64,
     tagged: Vec<(u64, LocksetReport)>,
 }
 
 impl LsShard {
-    fn new(threads: usize, shard: usize, shards: usize) -> Self {
+    fn new(threads: usize) -> Self {
         LsShard {
-            shard,
-            shards,
             ls: Lockset::new(threads),
-            event_idx: 0,
             checks: 0,
             tagged: Vec::new(),
         }
     }
-
-    fn access(&mut self, t: ThreadId, site: SiteId, addr: Addr, is_write: bool) {
-        let idx = self.event_idx;
-        self.event_idx += 1;
-        if shard_of(addr, self.shards) != self.shard {
-            return;
-        }
-        self.checks += 1;
-        let before = self.ls.reports().len();
-        if is_write {
-            self.ls.write(t, site, addr);
-        } else {
-            self.ls.read(t, site, addr);
-        }
-        for r in &self.ls.reports()[before..] {
-            self.tagged.push((idx, *r));
-        }
-    }
 }
 
-impl TraceConsumer for LsShard {
-    fn read(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        self.access(t, site, addr, false);
+impl IndexedConsumer for LsShard {
+    fn access(&mut self, a: &IndexedAccess) {
+        self.checks += 1;
+        let before = self.ls.reports().len();
+        if a.is_write {
+            self.ls.write(a.thread, a.site, a.addr);
+        } else {
+            self.ls.read(a.thread, a.site, a.addr);
+        }
+        for r in &self.ls.reports()[before..] {
+            self.tagged.push((a.idx, *r));
+        }
     }
-    fn write(&mut self, t: ThreadId, site: SiteId, addr: Addr) {
-        self.access(t, site, addr, true);
-    }
-    fn rmw(&mut self, _t: ThreadId, _site: SiteId, _addr: Addr) {
-        self.event_idx += 1;
-    }
-    fn acquire(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
-        self.event_idx += 1;
+    fn acquire(&mut self, _idx: u64, t: ThreadId, _site: SiteId, l: LockId) {
         self.ls.lock_acquire(t, l);
     }
-    fn release(&mut self, t: ThreadId, _site: SiteId, l: LockId) {
-        self.event_idx += 1;
+    fn release(&mut self, _idx: u64, t: ThreadId, _site: SiteId, l: LockId) {
         self.ls.lock_release(t, l);
     }
-    fn signal(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
-        self.event_idx += 1; // Eraser is blind to non-mutex sync
-    }
-    fn wait(&mut self, _t: ThreadId, _site: SiteId, _c: CondId) {
-        self.event_idx += 1;
-    }
-    fn spawn(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
-        self.event_idx += 1;
-    }
-    fn join(&mut self, _t: ThreadId, _site: SiteId, _child: ThreadId) {
-        self.event_idx += 1;
-    }
-    fn barrier_arrive(&mut self, _t: ThreadId, _site: SiteId, _b: BarrierId) {
-        self.event_idx += 1;
-    }
-    fn barrier_release(&mut self, _b: BarrierId, _arrivals: &[(ThreadId, SiteId)]) {
-        self.event_idx += 1;
-    }
-    fn chan_send(&mut self, _t: ThreadId, _site: SiteId, _ch: ChanId) {
-        self.event_idx += 1; // Eraser is blind to non-mutex sync
-    }
-    fn chan_recv(&mut self, _t: ThreadId, _site: SiteId, _ch: ChanId) {
-        self.event_idx += 1;
-    }
-    fn compute(&mut self, _t: ThreadId, _site: SiteId, _units: u32) {
-        self.event_idx += 1;
-    }
-    fn syscall(&mut self, _t: ThreadId, _site: SiteId, _kind: txrace_sim::SyscallKind) {
-        self.event_idx += 1;
-    }
-    fn thread_done(&mut self, _t: ThreadId) {
-        self.event_idx += 1;
-    }
+    // Eraser is blind to every other form of synchronization (signals,
+    // barriers, channels, fork/join) — the defaults ignore them.
 }
 
 /// Result of a sharded lockset replay pass.
@@ -401,45 +380,45 @@ impl ShardedLockset {
         }
     }
 
-    /// Replays `log` across all shards on scoped threads (one per
-    /// shard) and merges the verdicts.
+    /// Indexes `log` and runs all shards on scoped threads.
     pub fn run(&self, log: &EventLog) -> ShardedLsOutcome {
-        let results = if self.workers == 1 {
-            vec![self.run_shard(log, 0)]
-        } else {
-            run_sharded(self.workers, |shard| self.run_shard(log, shard))
-        };
-        self.merge(results)
+        self.run_with_plan(&ShardPlan::build(log, self.workers))
     }
 
     /// [`ShardedLockset::run`] with the shards executed sequentially on
     /// the calling thread — identical outcome, clean per-shard timing
     /// (see [`ShardedFastTrack::run_serial`]).
     pub fn run_serial(&self, log: &EventLog) -> ShardedLsOutcome {
-        self.merge((0..self.workers).map(|s| self.run_shard(log, s)).collect())
+        self.run_with_plan_serial(&ShardPlan::build(log, self.workers))
     }
 
-    fn run_shard(&self, log: &EventLog, shard: usize) -> (ShardStats, Vec<(u64, LocksetReport)>) {
-        let t0 = Instant::now();
-        let mut w = LsShard::new(self.threads, shard, self.workers);
-        log.replay(&mut w);
-        let wall_ns = t0.elapsed().as_nanos() as u64;
-        let stats = ShardStats {
-            shard,
-            events: w.event_idx,
-            checks: w.checks,
-            races_found: w.tagged.len() as u64,
-            wall_ns,
-        };
-        (stats, w.tagged)
+    /// Runs the shards over an existing plan on scoped threads.
+    pub fn run_with_plan(&self, plan: &ShardPlan) -> ShardedLsOutcome {
+        self.run_plan(plan, true)
     }
 
-    fn merge(&self, results: Vec<(ShardStats, Vec<(u64, LocksetReport)>)>) -> ShardedLsOutcome {
+    /// [`ShardedLockset::run_with_plan`], sequentially on the calling
+    /// thread.
+    pub fn run_with_plan_serial(&self, plan: &ShardPlan) -> ShardedLsOutcome {
+        self.run_plan(plan, false)
+    }
+
+    fn run_plan(&self, plan: &ShardPlan, parallel: bool) -> ShardedLsOutcome {
+        assert_eq!(plan.shards(), self.workers, "plan built for another width");
+        let consumers: Vec<LsShard> = (0..self.workers).map(|_| LsShard::new(self.threads)).collect();
+        let reports = fan_out_indexed(plan.sync(), plan.partition(), consumers, parallel);
         let mut tagged: Vec<(u64, LocksetReport)> = Vec::new();
         let mut shards = Vec::with_capacity(self.workers);
-        for (stats, t) in results {
-            shards.push(stats);
-            tagged.extend(t);
+        for r in reports {
+            let w = r.consumer;
+            shards.push(ShardStats {
+                shard: r.shard,
+                events: r.events,
+                checks: w.checks,
+                races_found: w.tagged.len() as u64,
+                wall_ns: r.wall_ns,
+            });
+            tagged.extend(w.tagged);
         }
         tagged.sort_by_key(|&(idx, _)| idx);
         ShardedLsOutcome {
@@ -447,24 +426,6 @@ impl ShardedLockset {
             shards,
         }
     }
-}
-
-/// Runs `f(0..workers)` on scoped threads, returning results in shard
-/// order.
-fn run_sharded<R: Send>(workers: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let mut slots: Vec<Option<R>> = (0..workers).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (shard, slot) in slots.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(shard));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every shard thread fills its slot"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -556,12 +517,52 @@ mod tests {
     }
 
     #[test]
-    fn shard_stats_expose_balanced_event_counts() {
+    fn one_plan_serves_both_detectors_and_all_reps() {
         let (log, n) = racy_log(5);
-        let out = ShardedFastTrack::new(n, 4).run(&log);
-        for s in &out.shards {
-            assert_eq!(s.events, log.len() as u64, "broadcast sees every event");
+        let plan = ShardPlan::build(&log, 4);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.threads(), n);
+        let ft_a = ShardedFastTrack::new(n, 4).run_with_plan(&plan);
+        let ft_b = ShardedFastTrack::new(n, 4).run_with_plan_serial(&plan);
+        assert_eq!(ft_a.races.reports(), ft_b.races.reports());
+        let ls = ShardedLockset::new(n, 4).run_with_plan(&plan);
+        let mut serial_ls = Lockset::new(n);
+        log.replay(&mut serial_ls);
+        assert_eq!(ls.reports, serial_ls.reports());
+        // Reusing the sync stream across shard counts is the sweep path.
+        let sync = SyncIndex::of(&log);
+        for workers in [1usize, 2, 8] {
+            let p = ShardPlan::with_sync(sync.clone(), &log, workers);
+            let out = ShardedFastTrack::new(n, workers).run_with_plan(&p);
+            assert_eq!(out.races.reports(), ft_a.races.reports());
         }
+    }
+
+    #[test]
+    fn shard_stats_expose_sliced_event_counts() {
+        let (log, n) = racy_log(5);
+        let plan = ShardPlan::build(&log, 4);
+        let out = ShardedFastTrack::new(n, 4).run_with_plan_serial(&plan);
+        let sync_len = plan.sync().len() as u64;
+        let mut sliced_total = 0;
+        for s in &out.shards {
+            assert_eq!(
+                s.events,
+                plan.partition().slice(s.shard).len() as u64 + sync_len,
+                "each shard dispatches its slice plus the sync stream"
+            );
+            assert_eq!(s.events, plan.shard_events(s.shard));
+            assert!(
+                s.events < log.len() as u64,
+                "an indexed shard never walks the whole log"
+            );
+            sliced_total += s.events - sync_len;
+        }
+        assert_eq!(
+            sliced_total,
+            plan.partition().total_accesses(),
+            "slices partition the accesses"
+        );
         assert!(out.shards.iter().filter(|s| s.checks > 0).count() > 1);
     }
 

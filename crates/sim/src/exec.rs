@@ -21,7 +21,7 @@
 //! any runtime hook firing, and re-attempts when woken.
 
 use crate::addr::Addr;
-use crate::flat::{FlatProgram, Instr};
+use crate::flat::{FlatProgram, InstrKind};
 use crate::ids::{BarrierId, ChanId, CondId, LockId, LoopId, SiteId, ThreadId};
 use crate::ir::{Op, Program};
 use crate::mem::Memory;
@@ -261,7 +261,7 @@ impl Machine {
         let loop_free = flat
             .threads
             .iter()
-            .map(|th| !th.code.iter().any(|i| matches!(i, Instr::LoopEnter { .. })))
+            .map(|th| !th.code.iter().any(|i| i.kind() == InstrKind::LoopEnter))
             .collect();
         Machine {
             flat,
@@ -367,13 +367,17 @@ impl Machine {
         let ti = t.index();
         let pc = self.pcs[ti];
         let instr = self.flat.threads[ti].code[pc];
-        match instr {
-            Instr::LoopEnter { id, trips, end } => {
+        // Hot path first: everything but the two loop-control kinds is an
+        // operation, decoded from the packed form only once we know we
+        // will execute it.
+        match instr.kind() {
+            InstrKind::LoopEnter => {
+                let trips = instr.trips();
                 if trips == 0 {
-                    self.pcs[ti] = end + 1;
+                    self.pcs[ti] = instr.end() + 1;
                 } else {
                     self.loop_stacks[ti].push(LoopFrame {
-                        id,
+                        id: instr.loop_id(),
                         trips,
                         remaining: trips,
                     });
@@ -382,13 +386,13 @@ impl Machine {
                 self.maybe_finish(t, rt);
                 Ok(())
             }
-            Instr::LoopBack { start, .. } => {
+            InstrKind::LoopBack => {
                 let frame = self.loop_stacks[ti]
                     .last_mut()
                     .expect("LoopBack with empty loop stack");
                 frame.remaining -= 1;
                 if frame.remaining > 0 {
-                    self.pcs[ti] = start;
+                    self.pcs[ti] = instr.start();
                 } else {
                     self.loop_stacks[ti].pop();
                     self.pcs[ti] = pc + 1;
@@ -396,7 +400,10 @@ impl Machine {
                 self.maybe_finish(t, rt);
                 Ok(())
             }
-            Instr::Op { site, op } => self.step_op(t, pc, site, op, rt, sched),
+            _ => {
+                let op = self.flat.threads[ti].decode_op(&instr);
+                self.step_op(t, pc, instr.site(), op, rt, sched)
+            }
         }
     }
 

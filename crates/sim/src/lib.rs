@@ -60,17 +60,21 @@ pub use exec::{
     flat_iteration_index, innermost_iteration_index, Directive, LoopFrame, Machine, OpEvent,
     RunResult, RunStatus, Runtime, Snapshot, StepLimit,
 };
-pub use flat::{FlatProgram, FlatThread, Instr};
+pub use flat::{FlatProgram, FlatThread, Instr, InstrKind};
 pub use ids::{BarrierId, ChanId, CondId, LockId, LoopId, RegionId, SiteId, ThreadId};
 pub use intern::{Interner, RESERVED_LINES};
 pub use ir::{Op, Program, ProgramBuilder, Stmt, SyscallKind, ThreadBuilder};
 pub use lint::{lint, LintIssue};
 pub use mem::{JournalMark, Memory, WriteJournal};
-pub use replay::{fan_out, FanOutReport, Live, TraceConsumer};
+pub use replay::{
+    fan_out, fan_out_indexed, replay_indexed, FanOutReport, IndexedConsumer, IndexedShardReport,
+    Live, TraceConsumer,
+};
 pub use sched::{FairSched, InterruptKind, InterruptModel, RandomSched, RoundRobin, Scheduler};
 pub use summary::{dynamic_site_counts, summarize, ChanSiteUse, Phase, ProgramSummary, SiteAccess};
 pub use trace::{
-    record_run, EventLog, EventLogBuilder, OpCensus, TraceEvent, TraceEventKind, LOG_VERSION,
+    record_run, AccessPartition, EventLog, EventLogBuilder, IndexedAccess, OpCensus, SyncIndex,
+    TraceEvent, TraceEventKind, LOG_VERSION,
 };
 
 /// A runtime that executes memory operations directly against memory with

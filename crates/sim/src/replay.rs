@@ -24,7 +24,7 @@ use crate::exec::{Directive, OpEvent, Runtime};
 use crate::ids::{BarrierId, ChanId, CondId, LockId, SiteId, ThreadId};
 use crate::ir::{Op, SyscallKind};
 use crate::mem::Memory;
-use crate::trace::EventLog;
+use crate::trace::{AccessPartition, EventLog, IndexedAccess, SyncIndex, TraceEventKind};
 
 /// A pure observer of one execution's schedule-visible event stream.
 ///
@@ -171,6 +171,200 @@ impl<C: TraceConsumer + ?Sized> TraceConsumer for Box<C> {
     fn thread_done(&mut self, t: ThreadId) {
         (**self).thread_done(t);
     }
+}
+
+/// A consumer of the *indexed* replay path: one shard's view of a log,
+/// assembled from its [`AccessPartition`] slice plus the shared
+/// [`SyncIndex`] stream by [`replay_indexed`].
+///
+/// Unlike [`TraceConsumer`], every method carries the event's global log
+/// position (`idx`) explicitly — shards no longer count events
+/// themselves, so a shard that sees only 1/S of the accesses still tags
+/// its reports with absolute positions, and the cross-shard merge by
+/// `idx` reproduces serial discovery order. Only the methods a sharded
+/// detector can act on exist: accesses (pre-decoded, one method) and the
+/// sync kinds. Atomics, barrier arrivals, compute, syscalls, and
+/// thread-done never reach an indexed consumer — they are no-ops for
+/// every per-variable detector, and skipping their dispatch entirely is
+/// where the indexed path's work reduction comes from.
+pub trait IndexedConsumer {
+    /// A routed data access (read or write), pre-decoded.
+    fn access(&mut self, a: &IndexedAccess) {
+        let _ = a;
+    }
+
+    /// Mutex `l` acquired.
+    fn acquire(&mut self, idx: u64, t: ThreadId, site: SiteId, l: LockId) {
+        let _ = (idx, t, site, l);
+    }
+
+    /// Mutex `l` released.
+    fn release(&mut self, idx: u64, t: ThreadId, site: SiteId, l: LockId) {
+        let _ = (idx, t, site, l);
+    }
+
+    /// Semaphore `c` posted.
+    fn signal(&mut self, idx: u64, t: ThreadId, site: SiteId, c: CondId) {
+        let _ = (idx, t, site, c);
+    }
+
+    /// A wait on `c` satisfied.
+    fn wait(&mut self, idx: u64, t: ThreadId, site: SiteId, c: CondId) {
+        let _ = (idx, t, site, c);
+    }
+
+    /// Thread `child` spawned by `t`.
+    fn spawn(&mut self, idx: u64, t: ThreadId, site: SiteId, child: ThreadId) {
+        let _ = (idx, t, site, child);
+    }
+
+    /// A join on `child` satisfied.
+    fn join(&mut self, idx: u64, t: ThreadId, site: SiteId, child: ThreadId) {
+        let _ = (idx, t, site, child);
+    }
+
+    /// Barrier `b` released all `arrivals`.
+    fn barrier_release(&mut self, idx: u64, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+        let _ = (idx, b, arrivals);
+    }
+
+    /// A send into channel `ch` completed.
+    fn chan_send(&mut self, idx: u64, t: ThreadId, site: SiteId, ch: ChanId) {
+        let _ = (idx, t, site, ch);
+    }
+
+    /// A receive from channel `ch` completed.
+    fn chan_recv(&mut self, idx: u64, t: ThreadId, site: SiteId, ch: ChanId) {
+        let _ = (idx, t, site, ch);
+    }
+}
+
+/// Dispatches one sync-stream entry to `c`.
+fn dispatch_sync<C: IndexedConsumer>(sync: &SyncIndex, idx: u64, e: &crate::trace::TraceEvent, c: &mut C) {
+    let (t, site) = (e.thread, e.site);
+    match e.kind {
+        TraceEventKind::Acquire => c.acquire(idx, t, site, LockId(e.arg as u32)),
+        TraceEventKind::Release => c.release(idx, t, site, LockId(e.arg as u32)),
+        TraceEventKind::Signal => c.signal(idx, t, site, CondId(e.arg as u32)),
+        TraceEventKind::Wait => c.wait(idx, t, site, CondId(e.arg as u32)),
+        TraceEventKind::Spawn => c.spawn(idx, t, site, ThreadId(e.arg as u32)),
+        TraceEventKind::Join => c.join(idx, t, site, ThreadId(e.arg as u32)),
+        TraceEventKind::BarrierRelease => {
+            let (b, arrivals) = sync.release_arrivals(e.arg);
+            c.barrier_release(idx, b, arrivals);
+        }
+        TraceEventKind::ChanSend => c.chan_send(idx, t, site, ChanId(e.arg as u32)),
+        TraceEventKind::ChanRecv => c.chan_recv(idx, t, site, ChanId(e.arg as u32)),
+        other => unreachable!("non-sync kind {other:?} in a SyncIndex"),
+    }
+}
+
+/// Drives `consumer` through one shard's merged view of a log: its
+/// access slice interleaved with the shared sync stream, in global
+/// event-index order — the two-cursor merge of the indexed sharding
+/// path.
+///
+/// Both inputs are index-sorted by construction and an event is either
+/// an access or a sync event (indices are disjoint), so a strict `<`
+/// comparison fully determines the merge. The dispatched sequence is
+/// exactly the subsequence of the source log this consumer would have
+/// acted on under a full [`EventLog::replay`] walk, in the same order —
+/// which is why detectors built on this path produce byte-identical
+/// results while touching O(slice + sync) events instead of O(log).
+pub fn replay_indexed<C: IndexedConsumer>(
+    sync: &SyncIndex,
+    accesses: &[IndexedAccess],
+    consumer: &mut C,
+) {
+    let syncs = sync.events();
+    let (mut ai, mut si) = (0, 0);
+    while ai < accesses.len() && si < syncs.len() {
+        if accesses[ai].idx < syncs[si].0 {
+            consumer.access(&accesses[ai]);
+            ai += 1;
+        } else {
+            let (idx, e) = &syncs[si];
+            dispatch_sync(sync, *idx, e, consumer);
+            si += 1;
+        }
+    }
+    for a in &accesses[ai..] {
+        consumer.access(a);
+    }
+    for (idx, e) in &syncs[si..] {
+        dispatch_sync(sync, *idx, e, consumer);
+    }
+}
+
+/// One shard's result from a [`fan_out_indexed`] pass.
+#[derive(Debug)]
+pub struct IndexedShardReport<C> {
+    /// The consumer, after consuming its merged view.
+    pub consumer: C,
+    /// The shard this consumer served.
+    pub shard: usize,
+    /// Wall-clock nanoseconds of this shard's merge pass.
+    pub wall_ns: u64,
+    /// Events this shard dispatched: its access slice plus the shared
+    /// sync stream (*not* the full log length — the asymmetry is the
+    /// point of the indexed path).
+    pub events: u64,
+}
+
+/// Runs one [`IndexedConsumer`] per shard over (its slice of
+/// `partition` + the shared `sync` stream), the sharded counterpart of
+/// [`fan_out`].
+///
+/// `consumers[i]` serves shard `i`; the vector length must equal
+/// `partition.shards()`. With `parallel`, shards run on scoped threads
+/// (they share only the read-only index); otherwise they run
+/// sequentially on the calling thread, which is the right mode on
+/// single-core hosts and for clean per-shard wall times. Results are in
+/// shard order either way, and the per-shard event sequences — hence
+/// detector outcomes — are identical in both modes.
+pub fn fan_out_indexed<C: IndexedConsumer + Send>(
+    sync: &SyncIndex,
+    partition: &AccessPartition,
+    consumers: Vec<C>,
+    parallel: bool,
+) -> Vec<IndexedShardReport<C>> {
+    assert_eq!(
+        consumers.len(),
+        partition.shards(),
+        "one consumer per shard"
+    );
+    let run_one = |shard: usize, mut consumer: C| -> IndexedShardReport<C> {
+        let slice = partition.slice(shard);
+        let t0 = Instant::now();
+        replay_indexed(sync, slice, &mut consumer);
+        IndexedShardReport {
+            consumer,
+            shard,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            events: slice.len() as u64 + sync.len() as u64,
+        }
+    };
+    if !parallel || consumers.len() == 1 {
+        return consumers
+            .into_iter()
+            .enumerate()
+            .map(|(s, c)| run_one(s, c))
+            .collect();
+    }
+    let mut slots: Vec<Option<IndexedShardReport<C>>> =
+        consumers.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (shard, (slot, consumer)) in slots.iter_mut().zip(consumers).enumerate() {
+            let run_one = &run_one;
+            scope.spawn(move || {
+                *slot = Some(run_one(shard, consumer));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard thread fills its slot"))
+        .collect()
 }
 
 /// One consumer's slice of a [`fan_out`] pass: the consumer itself plus
@@ -605,6 +799,142 @@ mod tests {
         let log = record_run(&p, &mut RoundRobin::new(), StepLimit::default());
         let none: Vec<Script> = vec![];
         assert!(fan_out(&log, none, 4).is_empty());
+    }
+
+    /// Records the indexed call sequence as strings, for merge-order
+    /// assertions against the raw log.
+    #[derive(Default, Debug, PartialEq)]
+    struct IndexedScript(Vec<String>);
+
+    impl IndexedConsumer for IndexedScript {
+        fn access(&mut self, a: &IndexedAccess) {
+            let k = if a.is_write { "w" } else { "r" };
+            self.0.push(format!("{} {k} {} {}", a.idx, a.thread, a.addr));
+        }
+        fn acquire(&mut self, idx: u64, t: ThreadId, _s: SiteId, l: LockId) {
+            self.0.push(format!("{idx} acq {t} {l}"));
+        }
+        fn release(&mut self, idx: u64, t: ThreadId, _s: SiteId, l: LockId) {
+            self.0.push(format!("{idx} rel {t} {l}"));
+        }
+        fn signal(&mut self, idx: u64, t: ThreadId, _s: SiteId, c: CondId) {
+            self.0.push(format!("{idx} sig {t} {c}"));
+        }
+        fn wait(&mut self, idx: u64, t: ThreadId, _s: SiteId, c: CondId) {
+            self.0.push(format!("{idx} wait {t} {c}"));
+        }
+        fn spawn(&mut self, idx: u64, t: ThreadId, _s: SiteId, u: ThreadId) {
+            self.0.push(format!("{idx} spawn {t} {u}"));
+        }
+        fn join(&mut self, idx: u64, t: ThreadId, _s: SiteId, u: ThreadId) {
+            self.0.push(format!("{idx} join {t} {u}"));
+        }
+        fn barrier_release(&mut self, idx: u64, b: BarrierId, arrivals: &[(ThreadId, SiteId)]) {
+            self.0.push(format!("{idx} relbar {b} x{}", arrivals.len()));
+        }
+        fn chan_send(&mut self, idx: u64, t: ThreadId, _s: SiteId, ch: ChanId) {
+            self.0.push(format!("{idx} send {t} {ch}"));
+        }
+        fn chan_recv(&mut self, idx: u64, t: ThreadId, _s: SiteId, ch: ChanId) {
+            self.0.push(format!("{idx} recv {t} {ch}"));
+        }
+    }
+
+    /// A 3-thread log with locks, a barrier, channels, and enough
+    /// distinct addresses that a partition spreads across shards.
+    fn indexed_fixture() -> EventLog {
+        use crate::exec::StepLimit;
+        use crate::trace::record_run;
+
+        let mut b = ProgramBuilder::new(3);
+        let vars: Vec<_> = (0..6).map(|i| b.var(&format!("v{i}"))).collect();
+        let l = b.lock_id("l");
+        let bar = b.barrier_id("bar");
+        let ch = b.chan_id("ch", 3);
+        for t in 0..3 {
+            let mut tb = b.thread(t);
+            for &v in &vars {
+                tb.write(v, t as u64 + 1);
+            }
+            tb.send(ch).lock(l).rmw(vars[0], 1).unlock(l).barrier(bar).recv(ch);
+            for &v in &vars {
+                tb.read(v);
+            }
+        }
+        let p = b.build();
+        let mut sched = crate::sched::RandomSched::new(23);
+        record_run(&p, &mut sched, StepLimit::default())
+    }
+
+    #[test]
+    fn replay_indexed_merges_slice_and_sync_in_global_order() {
+        let log = indexed_fixture();
+        let sync = SyncIndex::of(&log);
+        let route = |a: Addr, n: usize| (a.0 as usize / 8) % n;
+        for shards in [1usize, 2, 4] {
+            let part = AccessPartition::of(&log, shards, route);
+            for shard in 0..shards {
+                let mut got = IndexedScript::default();
+                replay_indexed(&sync, part.slice(shard), &mut got);
+                // Expected: the log's own order, restricted to this
+                // shard's accesses plus all sync events.
+                let mut want = IndexedScript::default();
+                for (i, e) in log.events().iter().enumerate() {
+                    let idx = i as u64;
+                    match e.kind {
+                        TraceEventKind::Read | TraceEventKind::Write
+                            if route(Addr(e.arg), shards) == shard =>
+                        {
+                            want.access(&IndexedAccess {
+                                idx,
+                                thread: e.thread,
+                                site: e.site,
+                                addr: Addr(e.arg),
+                                is_write: e.kind == TraceEventKind::Write,
+                            });
+                        }
+                        TraceEventKind::Acquire => {
+                            want.acquire(idx, e.thread, e.site, LockId(e.arg as u32))
+                        }
+                        TraceEventKind::Release => {
+                            want.release(idx, e.thread, e.site, LockId(e.arg as u32))
+                        }
+                        TraceEventKind::BarrierRelease => {
+                            let (bar, arr) = log.release_arrivals(e.arg);
+                            want.barrier_release(idx, bar, arr);
+                        }
+                        TraceEventKind::ChanSend => {
+                            want.chan_send(idx, e.thread, e.site, ChanId(e.arg as u32))
+                        }
+                        TraceEventKind::ChanRecv => {
+                            want.chan_recv(idx, e.thread, e.site, ChanId(e.arg as u32))
+                        }
+                        _ => {}
+                    }
+                }
+                assert_eq!(got, want, "shards={shards} shard={shard}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_indexed_parallel_matches_sequential() {
+        let log = indexed_fixture();
+        let sync = SyncIndex::of(&log);
+        let route = |a: Addr, n: usize| (a.0 as usize / 8) % n;
+        for shards in [1usize, 2, 4, 8] {
+            let part = AccessPartition::of(&log, shards, route);
+            let mk = || (0..shards).map(|_| IndexedScript::default()).collect::<Vec<_>>();
+            let seq = fan_out_indexed(&sync, &part, mk(), false);
+            let par = fan_out_indexed(&sync, &part, mk(), true);
+            assert_eq!(seq.len(), shards);
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.shard, p.shard);
+                assert_eq!(s.consumer, p.consumer, "shards={shards}");
+                assert_eq!(s.events, part.slice(s.shard).len() as u64 + sync.len() as u64);
+                assert_eq!(s.events, p.events);
+            }
+        }
     }
 
     #[test]

@@ -597,6 +597,169 @@ impl EventLog {
     }
 }
 
+/// True for the event kinds the indexed sharding path treats as
+/// synchronization: the kinds that mutate a happens-before (or lockset)
+/// detector's cross-variable state and therefore must reach *every*
+/// shard. Barrier arrivals are excluded deliberately — detectors act on
+/// the release (which carries the full arrival list), never on the
+/// arrival itself — as are atomics (never checked under the C11 model)
+/// and the pure bookkeeping kinds (compute, syscall, thread-done).
+fn is_sync_kind(kind: TraceEventKind) -> bool {
+    matches!(
+        kind,
+        TraceEventKind::Acquire
+            | TraceEventKind::Release
+            | TraceEventKind::Signal
+            | TraceEventKind::Wait
+            | TraceEventKind::Spawn
+            | TraceEventKind::Join
+            | TraceEventKind::BarrierRelease
+            | TraceEventKind::ChanSend
+            | TraceEventKind::ChanRecv
+    )
+}
+
+/// The sync side-stream of one [`EventLog`]: every synchronization /
+/// channel event paired with its global event index, plus copies of the
+/// barrier side tables so the stream replays without the log in hand.
+///
+/// A `SyncIndex` is **derived at decode time** ([`SyncIndex::of`]) and
+/// never serialized: the wire format stays the flat v2 event stream, and
+/// a corrupted or adversarial index can never disagree with the log it
+/// was built from. Shards consume this shared stream plus their own
+/// [`AccessPartition`] slice through a two-cursor merge
+/// ([`crate::replay::replay_indexed`]), so per-shard work is
+/// O(accesses/shards + sync) instead of O(all events).
+#[derive(Debug, Clone)]
+pub struct SyncIndex {
+    /// `(global event index, event)` in log order.
+    events: Vec<(u64, TraceEvent)>,
+    arrivals: Vec<(ThreadId, SiteId)>,
+    releases: Vec<(BarrierId, u32, u32)>,
+    total_events: u64,
+}
+
+impl SyncIndex {
+    /// Builds the sync side-stream of `log` in one pass.
+    pub fn of(log: &EventLog) -> SyncIndex {
+        let events: Vec<(u64, TraceEvent)> = log
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| is_sync_kind(e.kind))
+            .map(|(i, e)| (i as u64, *e))
+            .collect();
+        SyncIndex {
+            events,
+            arrivals: log.arrivals.clone(),
+            releases: log.releases.clone(),
+            total_events: log.len() as u64,
+        }
+    }
+
+    /// The indexed sync events, in log order.
+    pub fn events(&self) -> &[(u64, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of sync events in the stream.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the log had no sync events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Length of the log this index was derived from (all kinds).
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// The arrival list of a [`TraceEventKind::BarrierRelease`] event
+    /// (pass the event's `arg`), mirroring
+    /// [`EventLog::release_arrivals`].
+    pub fn release_arrivals(&self, release_idx: u64) -> (BarrierId, &[(ThreadId, SiteId)]) {
+        let (b, start, len) = self.releases[release_idx as usize];
+        (b, &self.arrivals[start as usize..(start + len) as usize])
+    }
+}
+
+/// One checkable data access (read or write), pre-decoded and tagged
+/// with its global event index. The unit of an [`AccessPartition`]
+/// slice: shards consume these directly instead of re-decoding and
+/// re-classifying raw [`TraceEvent`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexedAccess {
+    /// Global position in the source log's event stream.
+    pub idx: u64,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Static site.
+    pub site: SiteId,
+    /// Resolved address.
+    pub addr: Addr,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// The data accesses of one [`EventLog`], split into per-shard,
+/// index-tagged slices in a single pass ([`AccessPartition::of`]).
+///
+/// Only plain reads and writes are partitioned: atomics never reach a
+/// checking detector (C11), so routing them would cost slice space for
+/// events every consumer ignores. Each access appears in exactly one
+/// slice (the partition property tests pin this), and slices are sorted
+/// by `idx` by construction because the partitioner walks the log once
+/// in order.
+#[derive(Debug, Clone)]
+pub struct AccessPartition {
+    slices: Vec<Vec<IndexedAccess>>,
+}
+
+impl AccessPartition {
+    /// Partitions `log`'s reads and writes into `shards` slices routed
+    /// by `route(addr, shards)`. The route function is a parameter (not
+    /// baked in) because the shard-owner hash lives with the sharded
+    /// detectors, a layer above this crate.
+    pub fn of(log: &EventLog, shards: usize, route: impl Fn(Addr, usize) -> usize) -> Self {
+        let shards = shards.max(1);
+        let mut slices: Vec<Vec<IndexedAccess>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, e) in log.events.iter().enumerate() {
+            let is_write = match e.kind {
+                TraceEventKind::Read => false,
+                TraceEventKind::Write => true,
+                _ => continue,
+            };
+            let addr = Addr(e.arg);
+            slices[route(addr, shards)].push(IndexedAccess {
+                idx: i as u64,
+                thread: e.thread,
+                site: e.site,
+                addr,
+                is_write,
+            });
+        }
+        AccessPartition { slices }
+    }
+
+    /// Number of shards (slices).
+    pub fn shards(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Shard `shard`'s accesses, sorted by global event index.
+    pub fn slice(&self, shard: usize) -> &[IndexedAccess] {
+        &self.slices[shard]
+    }
+
+    /// Total partitioned accesses across all slices.
+    pub fn total_accesses(&self) -> u64 {
+        self.slices.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
 /// Records one execution of `p` under `sched` into an [`EventLog`]: the
 /// single interpreter pass of the record-once/replay-many pipeline.
 ///
@@ -1081,6 +1244,106 @@ mod tests {
         assert_eq!(c.compute_units, 5 * 7);
         assert_eq!(c.sync_ops, 5 * 2);
         assert_eq!(c.syscalls, 1);
+    }
+
+    /// A program exercising every event kind, for index/partition tests.
+    fn all_kinds_log() -> EventLog {
+        let mut b = ProgramBuilder::new(3);
+        let x = b.var("x");
+        let arr = b.array("a", 8);
+        let l = b.lock_id("l");
+        let c = b.cond_id("c");
+        let bar = b.barrier_id("bar");
+        let ch = b.chan_id("ch", 2);
+        b.thread(0)
+            .spawn(ThreadId(2))
+            .write(x, 1)
+            .signal(c)
+            .lock(l)
+            .rmw(x, 1)
+            .unlock(l)
+            .send(ch)
+            .barrier(bar)
+            .join(ThreadId(2))
+            .syscall(crate::ir::SyscallKind::Io);
+        b.thread(1)
+            .wait(c)
+            .loop_n(4, |t| {
+                t.read_arr(arr, 8).compute(3);
+            })
+            .recv(ch)
+            .barrier(bar);
+        b.thread(2).read(x);
+        let p = b.build();
+        let mut sched = crate::sched::RandomSched::new(9);
+        record_run(&p, &mut sched, StepLimit::default())
+    }
+
+    #[test]
+    fn sync_index_carries_exactly_the_sync_events_with_log_positions() {
+        let log = all_kinds_log();
+        let sync = SyncIndex::of(&log);
+        assert_eq!(sync.total_events(), log.len() as u64);
+        assert_eq!(sync.len(), sync.events().len());
+        assert!(!sync.is_empty());
+        // Every entry points back at the identical log event, and the
+        // stream is exactly the sync-kind subsequence in order.
+        let want: Vec<(u64, TraceEvent)> = log
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| is_sync_kind(e.kind))
+            .map(|(i, e)| (i as u64, *e))
+            .collect();
+        assert_eq!(sync.events(), &want[..]);
+        assert!(want
+            .iter()
+            .any(|(_, e)| e.kind == TraceEventKind::ChanSend));
+        assert!(want
+            .iter()
+            .any(|(_, e)| e.kind == TraceEventKind::BarrierRelease));
+        // Barrier side tables replay without the log in hand.
+        for (idx, e) in sync.events() {
+            if e.kind == TraceEventKind::BarrierRelease {
+                let (b_from_sync, arr_from_sync) = sync.release_arrivals(e.arg);
+                let (b_from_log, arr_from_log) = log.release_arrivals(e.arg);
+                assert_eq!(b_from_sync, b_from_log, "idx={idx}");
+                assert_eq!(arr_from_sync, arr_from_log);
+            }
+        }
+    }
+
+    #[test]
+    fn access_partition_splits_reads_and_writes_exactly_once() {
+        let log = all_kinds_log();
+        let route = |a: Addr, n: usize| (a.0 as usize / 8) % n;
+        for shards in [1usize, 2, 4, 8] {
+            let part = AccessPartition::of(&log, shards, route);
+            assert_eq!(part.shards(), shards);
+            let n_accesses = log
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::Read | TraceEventKind::Write))
+                .count() as u64;
+            assert_eq!(part.total_accesses(), n_accesses);
+            let mut seen = std::collections::BTreeSet::new();
+            for s in 0..shards {
+                let slice = part.slice(s);
+                assert!(
+                    slice.windows(2).all(|w| w[0].idx < w[1].idx),
+                    "slices are index-sorted"
+                );
+                for a in slice {
+                    assert_eq!(route(a.addr, shards), s, "routed to the owner");
+                    assert!(seen.insert(a.idx), "each access on exactly one shard");
+                    let e = log.events()[a.idx as usize];
+                    assert_eq!(e.thread, a.thread);
+                    assert_eq!(e.site, a.site);
+                    assert_eq!(Addr(e.arg), a.addr);
+                    assert_eq!(e.kind == TraceEventKind::Write, a.is_write);
+                }
+            }
+        }
     }
 
     #[test]

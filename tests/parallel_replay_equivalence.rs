@@ -15,9 +15,10 @@
 use proptest::prelude::*;
 use txrace::{CostModel, Detector, LocksetConsumer, PanelConsumer, RunConfig, Scheme};
 use txrace_hb::{
-    shard_of, FastTrack, Lockset, ShadowMode, ShardedFastTrack, ShardedLockset, VectorClockDetector,
+    shard_of, FastTrack, Lockset, ShadowMode, ShardPlan, ShardedFastTrack, ShardedLockset,
+    VectorClockDetector,
 };
-use txrace_sim::{fan_out, Addr, EventLog, Program};
+use txrace_sim::{fan_out, Addr, EventLog, Program, SyncIndex, TraceEventKind};
 use txrace_workloads::{all_workloads, random_program, GenConfig};
 
 /// Worker counts / fan-out widths exercised everywhere.
@@ -94,6 +95,7 @@ fn check_parallel_equivalence(app: &str, p: &Program, d: &Detector, log: &EventL
 
     // --- Layer 2: address-sharded detectors at every worker count. ---
     for workers in WORKERS {
+        let plan = ShardPlan::build(log, workers);
         let out = ShardedFastTrack::new(n, workers).run(log);
         assert_eq!(
             out.races.reports(),
@@ -112,22 +114,30 @@ fn check_parallel_equivalence(app: &str, p: &Program, d: &Detector, log: &EventL
             "{app} workers={workers}"
         );
         // Threaded and sequential shard execution must agree (shards
-        // are independent; only the merge sees all of them).
-        let seq = ShardedFastTrack::new(n, workers).run_serial(log);
+        // are independent; only the merge sees all of them), and a
+        // pre-built plan must reproduce the internally-built one.
+        let seq = ShardedFastTrack::new(n, workers).run_with_plan_serial(&plan);
         assert_eq!(
             seq.races.reports(),
             out.races.reports(),
             "{app}: threaded vs sequential shard execution, {workers} workers"
         );
-        // Routing partitions the checks: per-shard shares sum to the
-        // serial total, and every shard saw the whole event stream.
+        // Routing partitions the checks and the accesses: per-shard
+        // shares sum to the serial totals, and each shard dispatches
+        // only its access slice plus the shared sync stream — not the
+        // full log (that was the old broadcast design's S× walk).
         let routed: u64 = out.shards.iter().map(|s| s.checks).sum();
         assert_eq!(routed, serial_ft.checks(), "{app} workers={workers}");
-        for s in &out.shards {
-            assert_eq!(s.events, log.len() as u64, "{app} workers={workers}");
+        let sliced: u64 = (0..workers)
+            .map(|i| plan.partition().slice(i).len() as u64)
+            .sum();
+        assert_eq!(sliced, plan.partition().total_accesses());
+        for (i, s) in out.shards.iter().enumerate() {
+            assert_eq!(s.events, plan.shard_events(i), "{app} workers={workers}");
+            assert!(s.events <= log.len() as u64, "{app} workers={workers}");
         }
 
-        let ls_out = ShardedLockset::new(n, workers).run(log);
+        let ls_out = ShardedLockset::new(n, workers).run_with_plan(&plan);
         assert_eq!(
             ls_out.reports,
             serial_ls.reports(),
@@ -143,6 +153,69 @@ fn all_workloads_parallel_replay_identically_across_seeds() {
             let d = Detector::new(w.config(Scheme::Tsan, seed));
             let log = d.record(&w.program);
             check_parallel_equivalence(w.name, &w.program, &d, &log);
+        }
+    }
+}
+
+#[test]
+fn channel_families_shard_identically_and_ride_the_sync_stream() {
+    // The message-passing workloads synchronize through ChanSend/ChanRecv
+    // edges, not locks or barriers. Sharded replay is only sound for them
+    // if channel events ride the broadcast sync stream — every shard must
+    // observe the complete channel history even though no shard owns it.
+    for seed in [7, 42] {
+        for w in all_workloads(4) {
+            if !matches!(w.name, "pipeline" | "actors" | "worksteal") {
+                continue;
+            }
+            let d = Detector::new(w.config(Scheme::Tsan, seed));
+            let log = d.record(&w.program);
+            let n = w.program.thread_count();
+
+            let is_chan = |k: TraceEventKind| {
+                matches!(k, TraceEventKind::ChanSend | TraceEventKind::ChanRecv)
+            };
+            let sync = SyncIndex::of(&log);
+            let chan_in_log = log.events().iter().filter(|e| is_chan(e.kind)).count();
+            let chan_in_sync = sync.events().iter().filter(|(_, e)| is_chan(e.kind)).count();
+            assert!(chan_in_log > 0, "{}: fixture must exercise channels", w.name);
+            assert_eq!(
+                chan_in_sync, chan_in_log,
+                "{}: every channel event rides the sync stream",
+                w.name
+            );
+
+            let mut serial_ft = FastTrack::new(n, ShadowMode::Exact);
+            log.replay(&mut serial_ft);
+            let mut serial_ls = Lockset::new(n);
+            log.replay(&mut serial_ls);
+
+            for workers in WORKERS {
+                let plan = ShardPlan::with_sync(sync.clone(), &log, workers);
+                // No shard's slice contains a channel event: the
+                // partitioner routes only data accesses.
+                let sliced: u64 = (0..workers)
+                    .map(|i| plan.partition().slice(i).len() as u64)
+                    .sum();
+                assert_eq!(
+                    sliced + log.len() as u64 - plan.partition().total_accesses(),
+                    log.len() as u64
+                );
+                let out = ShardedFastTrack::new(n, workers).run_with_plan(&plan);
+                assert_eq!(
+                    out.races.reports(),
+                    serial_ft.races().reports(),
+                    "{} seed={seed} workers={workers}: sharded fasttrack diverged",
+                    w.name
+                );
+                let ls_out = ShardedLockset::new(n, workers).run_with_plan(&plan);
+                assert_eq!(
+                    ls_out.reports,
+                    serial_ls.reports(),
+                    "{} seed={seed} workers={workers}: sharded lockset diverged",
+                    w.name
+                );
+            }
         }
     }
 }
